@@ -1,0 +1,52 @@
+# Standard developer entry points. Everything is plain `go` underneath; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short cover bench fuzz vet fmt tables html examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/trace -run FuzzRead -fuzz=FuzzRead -fuzztime=30s
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every evaluation artifact (tables 1-6, figures 1-3, summary).
+tables:
+	$(GO) run ./cmd/benchtab -all -seeds 4
+
+html:
+	$(GO) run ./cmd/benchtab -all -seeds 4 -html evaluation.html
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bank
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/explore
+	$(GO) run ./examples/deadlock
+
+clean:
+	rm -f evaluation.html test_output.txt bench_output.txt

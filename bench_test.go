@@ -1,0 +1,109 @@
+package repro
+
+// Top-level benchmarks, one per table/figure of the evaluation. `go test
+// -bench=.` regenerates every experiment's data path; cmd/benchtab prints
+// the human-readable tables themselves.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchCfg() harness.Config {
+	return harness.Config{Seeds: 2, Quick: true}
+}
+
+// BenchmarkTable1Characteristics times the benchmark-characteristics sweep.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2AnnotationBurden times yield inference over the suite.
+func BenchmarkTable2AnnotationBurden(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3CheckerComparison times all four checkers over the suite.
+func BenchmarkTable3CheckerComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Overhead times the overhead experiment itself.
+func BenchmarkTable4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Scaling times the thread-scaling sweep.
+func BenchmarkFig2Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Fig2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Convergence times the schedule-coverage sweep over the
+// buggy variants.
+func BenchmarkFig3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Fig3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Ablation times the mover-policy ablation sweep.
+func BenchmarkTable5Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6TransactionStructure times the transaction-statistics
+// sweep.
+func BenchmarkTable6TransactionStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSummary times the suite-wide headline aggregation.
+func BenchmarkSuiteSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ComputeSummary(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeCheckCooperability times the one-shot public API on a
+// small annotated program.
+func BenchmarkFacadeCheckCooperability(b *testing.B) {
+	p := lockedCounter(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := CheckCooperability(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

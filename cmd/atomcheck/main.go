@@ -1,0 +1,68 @@
+// Command atomcheck runs both atomicity baselines over a workload's
+// schedule battery and prints their verdicts side by side: the
+// Atomizer-style reduction checker (conservative) and the Velodrome-style
+// transactional happens-before checker (precise for the observed trace).
+// Disagreements are Atomizer's documented false positives.
+//
+// Usage:
+//
+//	atomcheck -w stringbuffer-buggy -seeds 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atom"
+	"repro/internal/cli"
+	"repro/internal/velodrome"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "", "workload name")
+		seeds    = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
+		threads  = flag.Int("threads", 0, "worker override")
+		size     = flag.Int("size", 0, "size override")
+		methods  = flag.Bool("methods", true, "treat every method span as an atomic block")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fatal(fmt.Errorf("-w is required"))
+	}
+	traces, _, err := cli.Battery(*workload, *seeds, *threads, *size)
+	if err != nil {
+		fatal(err)
+	}
+	azTotal, veloTotal := 0, 0
+	for i, tr := range traces {
+		az := atom.Analyze(tr, atom.Options{MethodsAtomic: *methods})
+		velo := velodrome.Analyze(tr, velodrome.Options{MethodsAtomic: *methods})
+		fmt.Printf("schedule %d (%s): atomizer %d violation(s), velodrome %d unserializable\n",
+			i, tr.Meta.Strategy, len(az.Violations()), len(velo))
+		for _, v := range az.Violations() {
+			fmt.Printf("  atomizer:  %s at %s\n", v, tr.Strings.Name(v.Event.Loc))
+		}
+		for _, v := range velo {
+			fmt.Printf("  velodrome: %s\n", v)
+		}
+		azTotal += len(az.Violations())
+		veloTotal += len(velo)
+	}
+	switch {
+	case azTotal == 0 && veloTotal == 0:
+		fmt.Println("ATOMIC: both checkers clean on all analyzed schedules")
+	case veloTotal == 0:
+		fmt.Printf("SERIALIZABLE but not reducible: %d Atomizer report(s) are false positives on these traces\n", azTotal)
+		os.Exit(1)
+	default:
+		fmt.Printf("NOT ATOMIC: %d unserializable transaction(s) observed\n", veloTotal)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomcheck:", err)
+	os.Exit(2)
+}

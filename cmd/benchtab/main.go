@@ -1,0 +1,183 @@
+// Command benchtab regenerates the evaluation's tables and figures (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded output).
+//
+// Usage:
+//
+//	benchtab -all
+//	benchtab -table 2 -seeds 8
+//	benchtab -fig 3 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate one table (1..6; 5 = policy ablation, 6 = transaction structure)")
+		fig       = flag.Int("fig", 0, "regenerate one figure (1..3)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		seeds     = flag.Int("seeds", 4, "random schedules per workload")
+		quick     = flag.Bool("quick", false, "smaller overhead/scaling experiments")
+		wl        = flag.String("workloads", "", "comma-separated workload subset")
+		csvOutput = flag.Bool("csv", false, "emit tables as CSV")
+		summary   = flag.Bool("summary", false, "print the suite-wide headline summary")
+		htmlOut   = flag.String("html", "", "additionally write everything as a self-contained HTML report")
+		parallel  = flag.Int("parallel", 0, "concurrent workloads per experiment (0 = GOMAXPROCS; timing experiments stay sequential)")
+	)
+	flag.Parse()
+	cfg := harness.Config{Seeds: *seeds, Quick: *quick, Parallel: *parallel}
+	if *wl != "" {
+		cfg.Workloads = strings.Split(*wl, ",")
+	}
+	if !*all && *table == 0 && *fig == 0 && !*summary {
+		*all = true
+	}
+
+	page := &report.HTMLPage{Title: "Cooperative Reasoning for Preemptive Execution — evaluation"}
+	printTable := func(t *report.Table) {
+		if *csvOutput {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		page.Tables = append(page.Tables, t)
+	}
+	printChart := func(c *report.Chart) {
+		fmt.Println(c.String())
+		page.Charts = append(page.Charts, c)
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *all || *summary {
+		run("summary", func() error {
+			s, err := harness.ComputeSummary(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Render())
+			return nil
+		})
+	}
+	if *all || *table == 1 {
+		run("table 1", func() error {
+			t, err := harness.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("table 2", func() error {
+			t, err := harness.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("table 3", func() error {
+			t, err := harness.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *table == 4 {
+		run("table 4", func() error {
+			t, err := harness.Table4(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *table == 5 {
+		run("table 5", func() error {
+			t, err := harness.Table5(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *table == 6 {
+		run("table 6", func() error {
+			t, err := harness.Table6(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			return nil
+		})
+	}
+	if *all || *fig == 1 {
+		run("figure 1", func() error {
+			c, err := harness.Fig1(cfg)
+			if err != nil {
+				return err
+			}
+			printChart(c)
+			return nil
+		})
+	}
+	if *all || *fig == 2 {
+		run("figure 2", func() error {
+			t, c, err := harness.Fig2(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			printChart(c)
+			return nil
+		})
+	}
+	if *all || *fig == 3 {
+		run("figure 3", func() error {
+			t, c, err := harness.Fig3(cfg)
+			if err != nil {
+				return err
+			}
+			printTable(t)
+			printChart(c)
+			return nil
+		})
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := page.WriteHTML(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote HTML report to %s\n", *htmlOut)
+	}
+}

@@ -1,0 +1,139 @@
+// Command coopcheck runs a registered workload (or reads a recorded trace)
+// and reports cooperability violations — the places the code needs a yield
+// annotation or a synchronization fix.
+//
+// Usage:
+//
+//	coopcheck -w bank-buggy -seeds 8
+//	coopcheck -trace run.trc
+//	coopcheck -w tsp -strict -online
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("w", "", "workload name (see -list)")
+		traceFile = flag.String("trace", "", "analyze a recorded trace file instead of running a workload")
+		seeds     = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
+		threads   = flag.Int("threads", 0, "worker override (0 = workload default)")
+		size      = flag.Int("size", 0, "size override (0 = workload default)")
+		strict    = flag.Bool("strict", false, "stay post-commit after a violation instead of resetting")
+		online    = flag.Bool("online", false, "single-pass mover classification (default is two-pass)")
+		volYield  = flag.Bool("volatile-yield", false, "treat volatile accesses as yield points")
+		yieldSpec = flag.String("yields", "", "apply a yield-spec JSON file (see yieldinfer -o)")
+		explain   = flag.Bool("explain", false, "print a concrete interference witness for each violation")
+		list      = flag.Bool("list", false, "list registered workloads and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, s := range workloads.All() {
+			marker := " "
+			if s.Buggy {
+				marker = "*"
+			}
+			fmt.Printf("%s %-20s %s\n", marker, s.Name, s.Description)
+		}
+		fmt.Println("(* = planted concurrency defect)")
+		return
+	}
+
+	policy := movers.DefaultPolicy()
+	policy.VolatileIsYield = *volYield
+	opts := core.Options{Policy: policy, StopAfterViolation: *strict}
+
+	var ysp *spec.YieldSpec
+	if *yieldSpec != "" {
+		var err error
+		if ysp, err = spec.Load(*yieldSpec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applying %d yield annotation(s) from %s\n", len(ysp.Yields), *yieldSpec)
+	}
+
+	var traces []*trace.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		traces = []*trace.Trace{tr}
+	case *workload != "":
+		var err error
+		traces, _, err = cli.Battery(*workload, *seeds, *threads, *size)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -w or -trace is required (try -list)"))
+	}
+
+	total := 0
+	for i, tr := range traces {
+		o := opts
+		if ysp != nil {
+			o.Yields = ysp.Locations(tr.Strings)
+		}
+		var c *core.Checker
+		if *online {
+			c = core.Analyze(tr, o)
+		} else {
+			c = core.AnalyzeTwoPass(tr, o)
+		}
+		st := c.Stats()
+		fmt.Printf("schedule %d (%s): %d events, %d transactions, max tx %d, %d violations\n",
+			i, tr.Meta.Strategy, st.Events, st.Transactions, st.MaxTxLen, len(c.Violations()))
+		for _, v := range c.Violations() {
+			total++
+			if *explain {
+				fmt.Print(indent(core.Explain(tr, v).Format(tr), "  "))
+				continue
+			}
+			loc := tr.Strings.Name(v.Event.Loc)
+			commitLoc := tr.Strings.Name(v.Commit.Loc)
+			fmt.Printf("  %s\n", v)
+			if loc != "" {
+				fmt.Printf("    at %s (commit at %s)\n", loc, commitLoc)
+			}
+		}
+		fmt.Printf("  yield-free methods: %.1f%% (%d methods)\n",
+			c.YieldFreeFraction()*100, c.MethodsSeen())
+	}
+	if total == 0 {
+		fmt.Println("COOPERABLE: no violations on any analyzed schedule")
+		return
+	}
+	fmt.Printf("NOT COOPERABLE: %d violation report(s)\n", total)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coopcheck:", err)
+	os.Exit(2)
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,132 @@
+// Command tracedump records a workload execution to a trace file, prints a
+// recorded trace, or summarizes its statistics.
+//
+// Usage:
+//
+//	tracedump -w bank -strategy random -seed 7 -o bank.trc
+//	tracedump -i bank.trc -print
+//	tracedump -i bank.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "", "workload to record")
+		strategy = flag.String("strategy", "random", "cooperative|roundrobin|random|pct")
+		seed     = flag.Int64("seed", 1, "seed for randomized strategies")
+		quantum  = flag.Int("quantum", 1, "quantum for roundrobin")
+		threads  = flag.Int("threads", 0, "worker override")
+		size     = flag.Int("size", 0, "size override")
+		out      = flag.String("o", "", "write the recorded trace to this file")
+		in       = flag.String("i", "", "read a trace file instead of recording")
+		doPrint  = flag.Bool("print", false, "print every event")
+		lanes    = flag.Bool("lanes", false, "print the trace as per-thread swimlanes")
+		fTid     = flag.Int("tid", -1, "print filter: only this thread")
+		fOp      = flag.String("op", "", "print filter: only this op mnemonic (rd, wr, acq, ...)")
+		fTarget  = flag.Int64("target", -1, "print filter: only this target id")
+		fFrom    = flag.Int("from", 0, "print filter: first event index")
+		fTo      = flag.Int("to", 0, "print filter: one past last event index (0 = end)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *workload != "":
+		spec, ok := workloads.Get(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q; available: %v", *workload, workloads.Names()))
+		}
+		strat, err := cli.ParseStrategy(*strategy, *seed, *quantum)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sched.Run(spec.New(*threads, *size), sched.Options{Strategy: strat, RecordTrace: true})
+		if err != nil {
+			fatal(err)
+		}
+		tr = res.Trace
+	default:
+		fatal(fmt.Errorf("one of -w or -i is required"))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", tr.Len(), *out)
+	}
+
+	if *lanes {
+		fmt.Print(tr.Swimlanes(nil, 200))
+		return
+	}
+
+	if *doPrint {
+		opts := trace.FilterOptions{Tid: trace.TID(*fTid), From: *fFrom, To: *fTo}
+		if *fOp != "" {
+			op, ok := trace.OpByName(*fOp)
+			if !ok {
+				fatal(fmt.Errorf("unknown op %q", *fOp))
+			}
+			opts.Ops = []trace.Op{op}
+		}
+		if *fTarget >= 0 {
+			opts.Target = uint64(*fTarget)
+			opts.TargetSet = true
+		}
+		filtered := tr.Filter(opts)
+		for _, e := range filtered.Events {
+			fmt.Println(tr.Format(e))
+		}
+		if filtered.Len() != tr.Len() {
+			fmt.Printf("(%d of %d events shown)\n", filtered.Len(), tr.Len())
+		}
+		return
+	}
+
+	fmt.Printf("workload:  %s\n", tr.Meta.Workload)
+	fmt.Printf("strategy:  %s (seed %d)\n", tr.Meta.Strategy, tr.Meta.Seed)
+	fmt.Printf("threads:   %d\n", tr.Threads())
+	fmt.Printf("events:    %d\n", tr.Len())
+	fmt.Printf("variables: %d\n", len(tr.Vars()))
+	fmt.Printf("locks:     %d\n", len(tr.Locks()))
+	fmt.Printf("accesses:  %d reads, %d writes\n", tr.CountOp(trace.OpRead), tr.CountOp(trace.OpWrite))
+	fmt.Printf("sync ops:  %d acquires, %d releases, %d waits, %d notifies\n",
+		tr.CountOp(trace.OpAcquire), tr.CountOp(trace.OpRelease),
+		tr.CountOp(trace.OpWait), tr.CountOp(trace.OpNotify))
+	fmt.Printf("yields:    %d\n", tr.CountOp(trace.OpYield))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(2)
+}

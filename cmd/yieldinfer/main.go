@@ -1,0 +1,77 @@
+// Command yieldinfer infers the yield annotations a workload needs: the
+// set of source locations at which inserting `yield` makes every observed
+// schedule cooperable — the paper's annotation-burden measurement.
+//
+// Usage:
+//
+//	yieldinfer -w crawler -seeds 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/spec"
+	"repro/internal/yield"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "", "workload name")
+		seeds    = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
+		threads  = flag.Int("threads", 0, "worker override")
+		size     = flag.Int("size", 0, "size override")
+		out      = flag.String("o", "", "save the inferred annotations as a yield-spec JSON file")
+		minimize = flag.Bool("minimize", false, "greedily drop redundant annotations after inference")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fatal(fmt.Errorf("-w is required"))
+	}
+	traces, _, err := cli.Battery(*workload, *seeds, *threads, *size)
+	if err != nil {
+		fatal(err)
+	}
+	res := yield.Infer(traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if *minimize && res.Converged {
+		before := res.Count()
+		res.Yields = yield.Minimize(traces, core.Options{Policy: movers.DefaultPolicy()}, res.Yields)
+		if dropped := before - res.Count(); dropped > 0 {
+			fmt.Printf("minimization dropped %d redundant annotation(s)\n", dropped)
+		}
+	}
+	fmt.Printf("workload %s: %d schedules analyzed, %d round(s)\n", *workload, len(traces), res.Rounds)
+	if res.Count() == 0 {
+		fmt.Println("no yield annotations needed: all schedules already cooperable")
+	} else {
+		fmt.Printf("%d yield annotation(s) required:\n", res.Count())
+		for _, loc := range res.Locations(traces[0].Strings) {
+			fmt.Printf("  yield before %s\n", loc)
+		}
+	}
+	if res.Residual > 0 {
+		fmt.Printf("warning: %d violation(s) at unknown locations cannot be annotated\n", res.Residual)
+	}
+	fmt.Printf("methods observed: %d, yield-free: %.1f%%\n",
+		res.MethodsSeen, res.YieldFreeFraction()*100)
+	if *out != "" {
+		s := spec.New(*workload, res.Yields, traces[0].Strings)
+		if err := spec.Save(*out, s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d annotation(s) to %s\n", len(s.Yields), *out)
+	}
+	if !res.Converged {
+		fmt.Println("NOT CONVERGED")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yieldinfer:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,117 @@
+// Bank: three checkers, three different verdicts.
+//
+// This example contrasts what race detection, atomicity checking, and
+// cooperability checking each say about an account service with a
+// time-of-check-to-time-of-use bug: the overdraft guard reads the balance
+// without the account lock, then the transfer proceeds under locks without
+// re-checking.
+//
+//   - FastTrack flags the unlocked read (a data race).
+//   - Cooperability flags the same spot — the guard and the move live in
+//     one "transaction" the programmer believed was serial.
+//   - Fixing just the race (locking the guard in its own critical section)
+//     silences FastTrack but NOT cooperability: the check and the move can
+//     still be separated by a preemption, so the checker demands a yield,
+//     telling the programmer the stale-check hazard is still there.
+//
+// Run:
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+type variant int
+
+const (
+	buggy     variant = iota // unlocked guard: race + non-cooperable
+	raceFixed                // guard locked separately: race-free, still non-cooperable
+	atomicFix                // guard inside the transfer's critical section: clean
+)
+
+func buildBank(v variant) *repro.Program {
+	const accounts = 4
+	p := repro.NewProgram("bank-example")
+	balance := p.Vars("balance", accounts)
+	locks := p.Mutexes("acct", accounts)
+	p.SetMain(func(t *repro.T) {
+		for i := range balance {
+			t.Write(balance[i], 100)
+		}
+		teller := func(id int) repro.Proc {
+			return func(t *repro.T) {
+				for n := 0; n < 4; n++ {
+					src := (id + n) % accounts
+					dst := (src + 1) % accounts
+					amt := int64(30)
+					lo, hi := src, dst
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					t.Call("transfer", func() {
+						switch v {
+						case buggy:
+							if t.Read(balance[src]) < amt { // unlocked read: data race
+								return
+							}
+						case raceFixed:
+							t.Acquire(locks[src])
+							ok := t.Read(balance[src]) >= amt
+							t.Release(locks[src])
+							if !ok {
+								return
+							}
+							// The guard is race-free now, but the balance
+							// may change before the move below.
+						}
+						t.Acquire(locks[lo])
+						t.Acquire(locks[hi])
+						if v != atomicFix || t.Read(balance[src]) >= amt {
+							t.Write(balance[src], t.Read(balance[src])-amt)
+							t.Write(balance[dst], t.Read(balance[dst])+amt)
+						}
+						t.Release(locks[hi])
+						t.Release(locks[lo])
+					})
+					t.Yield()
+				}
+			}
+		}
+		h1 := t.Fork("teller1", teller(0))
+		h2 := t.Fork("teller2", teller(1))
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+func main() {
+	for _, v := range []struct {
+		v    variant
+		name string
+	}{{buggy, "buggy (unlocked guard)"}, {raceFixed, "race-fixed (guard in own lock)"}, {atomicFix, "properly fixed (re-check under locks)"}} {
+		fmt.Printf("== %s ==\n", v.name)
+		races, err := repro.CheckRaces(buildBank(v.v), 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coop, err := repro.CheckCooperability(buildBank(v.v), 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  race-free:  %v %v\n", races.RaceFree, races.RacyVars)
+		fmt.Printf("  cooperable: %v\n", coop.Cooperable)
+		for _, txt := range coop.ViolationText {
+			fmt.Println("    ", txt)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The race fix alone does not restore sequential reasoning;")
+	fmt.Println("cooperability keeps warning until the check-then-act is truly atomic")
+	fmt.Println("(or an explicit yield documents the staleness).")
+}

@@ -1,0 +1,80 @@
+// Quickstart: find the missing yield in a two-thread counter.
+//
+// The counter's increments are individually lock-protected, so a race
+// detector is satisfied — but the code between two critical sections is
+// written as if nothing can interleave there. Cooperative reasoning makes
+// that assumption explicit: the checker demands a yield annotation where
+// interference is possible, and accepts the program once the yield is
+// written.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func buildCounter(withYield bool) *repro.Program {
+	p := repro.NewProgram("quickstart-counter")
+	count := p.Var("count")
+	mu := p.Mutex("mu")
+	p.SetMain(func(t *repro.T) {
+		worker := func(t *repro.T) {
+			for i := 0; i < 3; i++ {
+				t.Call("increment", func() {
+					t.Acquire(mu)
+					t.Write(count, t.Read(count)+1)
+					t.Release(mu)
+				})
+				if withYield {
+					t.Yield() // "another thread may run here" — acknowledged
+				}
+			}
+		}
+		h1 := t.Fork("worker1", worker)
+		h2 := t.Fork("worker2", worker)
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+func main() {
+	fmt.Println("== without yield annotations ==")
+	rep, err := repro.CheckCooperability(buildCounter(false), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cooperable: %v\n", rep.Cooperable)
+	for _, v := range rep.ViolationText {
+		fmt.Println("  ", v)
+	}
+
+	fmt.Println("\n== yield inference ==")
+	inf, err := repro.InferYields(buildCounter(false), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, loc := range inf.Locations {
+		fmt.Printf("  insert `yield` before %s\n", loc)
+	}
+
+	fmt.Println("\n== with yield annotations ==")
+	rep, err = repro.CheckCooperability(buildCounter(true), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cooperable: %v (checked %d schedules)\n", rep.Cooperable, rep.Schedules)
+
+	fmt.Println("\n== race check (both variants are race-free) ==")
+	races, err := repro.CheckRaces(buildCounter(false), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("race-free: %v\n", races.RaceFree)
+}

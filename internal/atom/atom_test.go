@@ -1,0 +1,178 @@
+package atom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAtomicCriticalSectionAccepted(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().Acq(10).Read(1).Write(1).Rel(10).AtomicEnd().End()
+	b.On(1).Begin().Acq(10).Write(1).Rel(10).End()
+	c := Analyze(b.Trace(), Options{})
+	if !c.Atomic() {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+	if c.Blocks() != 1 {
+		t.Fatalf("Blocks = %d", c.Blocks())
+	}
+}
+
+func TestLockCoupledBlockViolates(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().At("a.go:1").Acq(10).At("a.go:2").Rel(10).At("a.go:3").Acq(10).At("a.go:4").Rel(10).AtomicEnd().End()
+	b.On(1).Begin().End()
+	c := Analyze(b.Trace(), Options{})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+	v := c.Violations()[0]
+	if v.Event.Op != trace.OpAcquire || v.Blocking {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "atomicity violation") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestOutsideBlocksUnchecked(t *testing.T) {
+	// The same lock-coupled pattern outside any atomic block is fine for
+	// the atomicity checker (this is what cooperability checks instead).
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(10).Rel(10).Acq(10).Rel(10).End()
+	b.On(1).Begin().End()
+	c := Analyze(b.Trace(), Options{})
+	if !c.Atomic() {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+}
+
+func TestWaitInsideAtomicBlocks(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(10).AtomicBegin().At("w.go:9").Wait(10)
+	b.On(1).Begin().Acq(10).Notify(10).Rel(10).End()
+	b.On(0).Acq(10).AtomicEnd().Rel(10).End()
+	c := Analyze(b.Trace(), Options{})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+	if !c.Violations()[0].Blocking {
+		t.Fatalf("violation should be blocking: %+v", c.Violations()[0])
+	}
+	if !strings.Contains(c.Violations()[0].String(), "blocks inside") {
+		t.Errorf("String() = %q", c.Violations()[0].String())
+	}
+}
+
+func TestYieldInsideAtomicBlocks(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().At("y.go:3").Yield().AtomicEnd().End()
+	c := Analyze(b.Trace(), Options{})
+	if len(c.Violations()) != 1 || !c.Violations()[0].Blocking {
+		t.Fatalf("violations = %v", c.Violations())
+	}
+}
+
+func TestMethodsAtomicMode(t *testing.T) {
+	// A method doing two disjoint critical sections: benign under
+	// cooperability-with-a-yield, but a violation when methods are assumed
+	// atomic — the comparison the paper draws.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Enter(1).At("m.go:1").Acq(10).At("m.go:2").Rel(10).At("m.go:3").Acq(10).At("m.go:4").Rel(10).Exit(1).End()
+	b.On(1).Begin().End()
+	if c := Analyze(b.Trace(), Options{}); !c.Atomic() {
+		t.Fatalf("without MethodsAtomic: %v", c.Violations())
+	}
+	c := Analyze(b.Trace(), Options{MethodsAtomic: true})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+	if c.Blocks() != 1 {
+		t.Fatalf("Blocks = %d", c.Blocks())
+	}
+}
+
+func TestNestedBlocksFlattened(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().AtomicBegin().Acq(10).Rel(10).AtomicEnd().Acq(10).Rel(10).AtomicEnd().End()
+	b.On(1).Begin().End()
+	c := Analyze(b.Trace(), Options{})
+	// The outer block spans both critical sections: one violation.
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+	if c.Blocks() != 1 {
+		t.Fatalf("Blocks = %d, want 1 (outermost only)", c.Blocks())
+	}
+}
+
+func TestTwoRacyAccessesInBlockViolate(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin()
+	b.On(1).Begin().Write(1).Write(2).End() // make vars racy
+	b.On(0).AtomicBegin().At("r.go:1").Write(1).At("r.go:2").Write(2).AtomicEnd().End()
+	c := Analyze(b.Trace(), Options{KnownRaces: map[uint64]bool{1: true, 2: true}})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+}
+
+func TestOneReportPerBlockInstance(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin()
+	b.At("p.go:1").Acq(10).At("p.go:2").Rel(10)
+	b.At("p.go:3").Acq(11).At("p.go:4").Rel(11)
+	b.At("p.go:5").Acq(12).At("p.go:6").Rel(12)
+	b.AtomicEnd().End()
+	b.On(1).Begin().End()
+	c := Analyze(b.Trace(), Options{})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1 per block instance", c.Violations())
+	}
+}
+
+func TestForkJoinInsideBlockPureLipton(t *testing.T) {
+	// With the pure Lipton policy, fork is a left mover (commit) and join
+	// a right mover: fork-then-join inside one atomic block violates.
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().At("f.go:1").Fork(1)
+	b.On(1).Begin().End()
+	b.On(0).At("f.go:2").Join(1).AtomicEnd().End()
+	c := Analyze(b.Trace(), Options{})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %v, want 1", c.Violations())
+	}
+	v := c.Violations()[0]
+	if v.Event.Op != trace.OpJoin {
+		t.Fatalf("violation = %+v, want join after fork-commit", v)
+	}
+}
+
+func TestEventsCount(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Begin().AtomicBegin().Read(1).AtomicEnd().End()
+	c := Analyze(b.Trace(), Options{})
+	if c.Events() != 5 {
+		t.Fatalf("Events = %d", c.Events())
+	}
+}
+
+func BenchmarkAtomizerMethodsAtomic(b *testing.B) {
+	bld := trace.NewBuilder()
+	bld.On(0).Begin()
+	bld.On(1).Begin()
+	for i := 0; i < 300; i++ {
+		tid := trace.TID(i % 2)
+		bld.On(tid).Enter(1).Acq(10).Read(1).Write(1).Rel(10).Exit(1)
+	}
+	bld.On(1).End()
+	bld.On(0).End()
+	tr := bld.Trace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tr, Options{MethodsAtomic: true})
+	}
+}

@@ -1,0 +1,59 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// strategy parsing and the standard schedule battery over a registered
+// workload.
+package cli
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// ParseStrategy builds a scheduling strategy from tool flags:
+// "cooperative", "roundrobin" (with quantum), "random" or "pct" (with
+// seed).
+func ParseStrategy(name string, seed int64, quantum int) (sched.Strategy, error) {
+	switch name {
+	case "cooperative", "coop":
+		return sched.Cooperative{}, nil
+	case "roundrobin", "rr":
+		return &sched.RoundRobin{Quantum: quantum}, nil
+	case "random", "rand":
+		return sched.NewRandom(seed), nil
+	case "pct":
+		return &sched.PCT{SeedVal: seed, Depth: 3}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (cooperative|roundrobin|random|pct)", name)
+	}
+}
+
+// Battery runs the named workload under the standard schedule battery
+// (cooperative, round-robin 1 and 5, `seeds` random schedules) and returns
+// the recorded traces with their run results.
+func Battery(name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Result, error) {
+	spec, ok := workloads.Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown workload %q; available: %v", name, workloads.Names())
+	}
+	strategies := []sched.Strategy{
+		sched.Cooperative{},
+		&sched.RoundRobin{Quantum: 1},
+		&sched.RoundRobin{Quantum: 5},
+	}
+	for s := 1; s <= seeds; s++ {
+		strategies = append(strategies, sched.NewRandom(int64(s)))
+	}
+	var traces []*trace.Trace
+	var results []*sched.Result
+	for _, strat := range strategies {
+		res, err := sched.Run(spec.New(threads, size), sched.Options{Strategy: strat, RecordTrace: true})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s under %s: %w", name, strat.Name(), err)
+		}
+		traces = append(traces, res.Trace)
+		results = append(results, res)
+	}
+	return traces, results, nil
+}

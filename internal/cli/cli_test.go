@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"cooperative", "cooperative"},
+		{"coop", "cooperative"},
+		{"roundrobin", "roundrobin(q=3)"},
+		{"rr", "roundrobin(q=3)"},
+		{"random", "random(p=0.25)"},
+		{"rand", "random(p=0.25)"},
+		{"pct", "pct(d=3)"},
+	}
+	for _, c := range cases {
+		s, err := ParseStrategy(c.name, 7, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if s.Name() != c.want {
+			t.Errorf("%s: Name = %q, want %q", c.name, s.Name(), c.want)
+		}
+	}
+	if _, err := ParseStrategy("bogus", 0, 0); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bogus strategy: err = %v", err)
+	}
+}
+
+func TestBattery(t *testing.T) {
+	traces, results, err := Battery("philo", 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 || len(results) != 5 {
+		t.Fatalf("battery sizes %d/%d", len(traces), len(results))
+	}
+	for _, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Meta.Workload != "philo" {
+			t.Fatalf("meta workload = %q", tr.Meta.Workload)
+		}
+	}
+	// Deterministic strategies come first and differ from the seeded ones.
+	if traces[0].Meta.Strategy != "cooperative" {
+		t.Fatalf("first strategy = %q", traces[0].Meta.Strategy)
+	}
+}
+
+func TestBatteryUnknownWorkload(t *testing.T) {
+	_, _, err := Battery("nope", 1, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v", err)
+	}
+}

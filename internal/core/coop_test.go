@@ -1,0 +1,359 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/movers"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// lockPair builds the canonical cooperable pattern:
+// acq rd wr rel — right, both, both, left — reducible with no yield.
+func TestSingleLockTransactionIsCooperable(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Acq(10).Read(1).Write(1).Rel(10)
+	b.On(1).Begin().Acq(10).Read(1).Write(1).Rel(10).End()
+	b.On(0).Join(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if !c.Cooperable() {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+}
+
+// Lock-coupled double update without a yield: acq rel acq rel in one
+// transaction — the second acquire is a right mover post-commit.
+func TestAcquireAfterReleaseNeedsYield(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).At("a.go:10").Acq(10).At("a.go:11").Rel(10).At("a.go:12").Acq(10).At("a.go:13").Rel(10)
+	b.On(1).Begin().End()
+	b.On(0).Join(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	vs := c.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly 1", vs)
+	}
+	v := vs[0]
+	if v.Event.Op != trace.OpAcquire || v.Mover != movers.Right {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.Commit.Op != trace.OpRelease {
+		t.Fatalf("commit = %+v, want the first release", v.Commit)
+	}
+	if !strings.Contains(v.String(), "yield needed") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+// The same pattern with an explicit yield between the two critical sections
+// is cooperable.
+func TestYieldBetweenCriticalSectionsFixes(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Acq(10).Rel(10).Yield().Acq(10).Rel(10)
+	b.On(1).Begin().End()
+	b.On(0).Join(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if !c.Cooperable() {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+	if c.Stats().ExplicitYields != 1 {
+		t.Fatalf("ExplicitYields = %d", c.Stats().ExplicitYields)
+	}
+}
+
+// Two racy (non-mover) accesses in one transaction violate; one is fine.
+func TestTwoNonMoversViolate(t *testing.T) {
+	mk := func(accesses int) *Checker {
+		b := trace.NewBuilder()
+		b.On(0).Begin().Fork(1)
+		b.On(1).Begin().Write(1).Write(2).End() // make vars 1,2 racy
+		b.On(0).At("m.go:5").Write(1)
+		if accesses == 2 {
+			b.On(0).At("m.go:6").Write(2)
+		}
+		b.On(0).End()
+		return AnalyzeTwoPass(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	}
+	if c := mk(1); !c.Cooperable() {
+		t.Fatalf("one racy access should be the lone commit: %v", c.Violations())
+	}
+	// With both accesses, each thread's transaction holds two non-movers:
+	// one violation per thread.
+	c := mk(2)
+	if len(c.Violations()) != 2 {
+		t.Fatalf("violations = %v, want 2", c.Violations())
+	}
+	for _, v := range c.Violations() {
+		if v.Mover != movers.Non {
+			t.Fatalf("violation mover = %v", v.Mover)
+		}
+	}
+}
+
+// Wait resets the transaction: the classic monitor loop is cooperable.
+func TestWaitActsAsYield(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().Acq(10).Wait(10)
+	b.On(0).Acq(10).Write(1).Notify(10).Rel(10)
+	b.On(1).Acq(10).Read(1).Rel(10).End()
+	b.On(0).Join(1).End()
+	c := AnalyzeTwoPass(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if !c.Cooperable() {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+}
+
+// Two-pass mode catches the first access of the first racy pair, which
+// online mode misses when it is the transaction's second non-mover.
+func TestTwoPassCatchesFirstRacyAccess(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	// T0: two accesses of soon-to-be-racy vars in one transaction. At the
+	// time they execute, no race has happened yet.
+	b.On(0).At("x.go:1").Write(1).At("x.go:2").Write(2)
+	// T1 races with both.
+	b.On(1).Begin().Write(1).Write(2).End()
+	b.On(0).End()
+	tr := b.Trace()
+
+	online := Analyze(tr, Options{Policy: movers.DefaultPolicy()})
+	twopass := AnalyzeTwoPass(tr, Options{Policy: movers.DefaultPolicy()})
+	if len(twopass.Violations()) <= len(online.Violations()) {
+		t.Fatalf("two-pass (%d) should find more than online (%d)",
+			len(twopass.Violations()), len(online.Violations()))
+	}
+	if twopass.Cooperable() {
+		t.Fatal("two-pass should flag T0's double racy access")
+	}
+}
+
+// Options.Yields: the inferred-yield set suppresses the violation.
+func TestYieldAnnotationsSuppressViolations(t *testing.T) {
+	build := func() *trace.Trace {
+		b := trace.NewBuilder()
+		b.On(0).Begin().Fork(1)
+		b.On(0).At("a.go:10").Acq(10).At("a.go:11").Rel(10).At("a.go:12").Acq(10).At("a.go:13").Rel(10)
+		b.On(1).Begin().End()
+		b.On(0).Join(1).End()
+		return b.Trace()
+	}
+	tr := build()
+	c := Analyze(tr, Options{Policy: movers.DefaultPolicy()})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("baseline violations = %d", len(c.Violations()))
+	}
+	loc := c.Violations()[0].Event.Loc
+	c2 := Analyze(build(), Options{Policy: movers.DefaultPolicy(), Yields: map[trace.LocID]bool{loc: true}})
+	if !c2.Cooperable() {
+		t.Fatalf("yield annotation did not fix: %v", c2.Violations())
+	}
+	if c2.Stats().ImplicitYields == 0 {
+		t.Fatal("implicit yields not counted")
+	}
+}
+
+func TestStrictModeKeepsPostCommit(t *testing.T) {
+	// acq rel acq acq: inference mode reports once (second acq starts a
+	// fresh pre-commit tx; third acq is fine). Strict mode reports the
+	// second acquire, stays post-commit, and dedups by location — use
+	// distinct locations to observe both reports.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).At("s.go:1").Acq(10).At("s.go:2").Rel(10).At("s.go:3").Acq(11).At("s.go:4").Acq(12)
+	b.On(0).Rel(12).Rel(11)
+	b.On(1).Begin().End()
+	b.On(0).Join(1).End()
+	tr := b.Trace()
+	inf := Analyze(tr, Options{Policy: movers.DefaultPolicy()})
+	strict := Analyze(tr, Options{Policy: movers.DefaultPolicy(), StopAfterViolation: true})
+	if len(inf.Violations()) != 1 {
+		t.Fatalf("inference violations = %v", inf.Violations())
+	}
+	if len(strict.Violations()) != 2 {
+		t.Fatalf("strict violations = %v, want 2", strict.Violations())
+	}
+}
+
+func TestViolationDeduplication(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().End()
+	for i := 0; i < 5; i++ {
+		b.On(0).At("l.go:1").Acq(10).At("l.go:2").Rel(10).At("l.go:3").Acq(10).At("l.go:4").Rel(10).Yield()
+	}
+	b.On(0).Join(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if len(c.Violations()) != 1 {
+		t.Fatalf("violations = %d, want 1 after dedup", len(c.Violations()))
+	}
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().End()
+	for i := 0; i < 5; i++ {
+		// Distinct locations so dedup does not collapse them.
+		b.On(0).At("c.go:" + string(rune('a'+i))).Acq(10).Rel(10).Acq(10).Rel(10).Yield()
+	}
+	b.On(0).Join(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy(), MaxViolations: 2})
+	if len(c.Violations()) != 2 {
+		t.Fatalf("violations = %d, want cap 2", len(c.Violations()))
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("dropped counter not incremented")
+	}
+	if c.Cooperable() {
+		t.Fatal("capped checker must still report non-cooperable")
+	}
+}
+
+func TestMethodYieldStatistics(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin()
+	b.Enter(1).Read(1).Exit(1)          // method 1: yield-free
+	b.Enter(2).Acq(10).Yield().Exit(2)  // method 2: yields
+	b.Enter(3).Enter(1).Read(1).Exit(1) // nested: inner yield-free
+	b.Yield()                           // method 3 (innermost active) yields
+	b.Exit(3)
+	b.Rel(10)
+	b.End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if c.MethodsSeen() != 3 {
+		t.Fatalf("MethodsSeen = %d", c.MethodsSeen())
+	}
+	ym := c.YieldingMethods()
+	if !ym[2] || !ym[3] || ym[1] {
+		t.Fatalf("yielding methods = %v", ym)
+	}
+	got := c.YieldFreeFraction()
+	if got < 0.33 || got > 0.34 {
+		t.Fatalf("YieldFreeFraction = %v, want 1/3", got)
+	}
+}
+
+func TestYieldFreeFractionNoMethods(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Begin().End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if c.YieldFreeFraction() != 1 {
+		t.Fatal("no methods should give fraction 1")
+	}
+}
+
+func TestStatsTransactionsAndMaxTxLen(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(10).Read(1).Write(1).Rel(10).Yield().Read(1).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	st := c.Stats()
+	if st.Events != b.Trace().Len() {
+		t.Fatalf("Events = %d", st.Events)
+	}
+	if st.Transactions < 3 { // begin-boundary, yield, end
+		t.Fatalf("Transactions = %d", st.Transactions)
+	}
+	if st.MaxTxLen < 4 {
+		t.Fatalf("MaxTxLen = %d", st.MaxTxLen)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PreCommit.String() != "pre-commit" || PostCommit.String() != "post-commit" {
+		t.Fatal("Phase.String wrong")
+	}
+}
+
+// Volatile spin-publication: reader spins on volatile then reads data. Each
+// volatile access is a lone non-mover per transaction only if separated by
+// yields; without them, successive volatile reads violate.
+func TestVolatileSpinNeedsYields(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().At("spin.go:3").VolRead(100).At("spin.go:3").VolRead(100)
+	b.On(1).End()
+	b.On(0).VolWrite(100).End()
+	c := Analyze(b.Trace(), Options{Policy: movers.DefaultPolicy()})
+	if c.Cooperable() {
+		t.Fatal("double volatile read in one transaction should violate")
+	}
+	// With VolatileIsYield the same trace is cooperable.
+	p := movers.DefaultPolicy()
+	p.VolatileIsYield = true
+	c2 := Analyze(b.Trace(), Options{Policy: p})
+	if !c2.Cooperable() {
+		t.Fatalf("volatile-as-yield should accept: %v", c2.Violations())
+	}
+}
+
+func BenchmarkCheckerLockedTrace(b *testing.B) {
+	bld := trace.NewBuilder()
+	bld.On(0).Begin().Fork(1)
+	bld.On(1).Begin()
+	for i := 0; i < 300; i++ {
+		tid := trace.TID(i % 2)
+		bld.On(tid).Acq(10).Read(1).Write(1).Rel(10).Yield()
+	}
+	bld.On(1).End()
+	bld.On(0).Join(1).End()
+	tr := bld.Trace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tr, Options{Policy: movers.DefaultPolicy()})
+	}
+}
+
+// The checker must behave identically attached live to the runtime
+// (sched.Observer) and replayed over the recorded trace — the overhead
+// experiments rely on this equivalence.
+func TestOnlineObserverMatchesPostHoc(t *testing.T) {
+	// Build a workload-like program inline to avoid an import cycle with
+	// internal/workloads.
+	build := func() *sched.Program {
+		p := sched.NewProgram("obs")
+		x := p.Var("x")
+		m := p.Mutex("m")
+		p.SetMain(func(tt *sched.T) {
+			h := tt.Fork("w", func(tt *sched.T) {
+				for i := 0; i < 3; i++ {
+					tt.Acquire(m)
+					tt.Write(x, tt.Read(x)+1)
+					tt.Release(m)
+					// no yield: violations expected
+				}
+			})
+			tt.Acquire(m)
+			tt.Write(x, tt.Read(x)+1)
+			tt.Release(m)
+			tt.Join(h)
+		})
+		return p
+	}
+	live := New(Options{Policy: movers.DefaultPolicy()})
+	res, err := sched.Run(build(), sched.Options{
+		Strategy:    sched.NewRandom(3),
+		RecordTrace: true,
+		Observers:   []sched.Observer{live},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := Analyze(res.Trace, Options{Policy: movers.DefaultPolicy()})
+	if len(live.Violations()) != len(post.Violations()) {
+		t.Fatalf("live %d violations, post-hoc %d", len(live.Violations()), len(post.Violations()))
+	}
+	for i := range live.Violations() {
+		if live.Violations()[i].Event != post.Violations()[i].Event {
+			t.Fatalf("violation %d differs: %+v vs %+v", i, live.Violations()[i], post.Violations()[i])
+		}
+	}
+	if live.Stats() != post.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", live.Stats(), post.Stats())
+	}
+}

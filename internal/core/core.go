@@ -1,0 +1,11 @@
+package core
+
+import (
+	"repro/internal/race"
+	"repro/internal/trace"
+)
+
+// knownRacesOf computes the racy-variable set of a trace for two-pass mode.
+func knownRacesOf(tr *trace.Trace) map[uint64]bool {
+	return race.RacyVarsOf(tr)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Witness explains one violation concretely: the interference that makes
+// the broken transaction non-serializable in the observed trace, phrased
+// as the events of other threads that conflict with the transaction's
+// events between its start and the offending operation.
+type Witness struct {
+	// Violation is the explained report.
+	Violation Violation
+	// Interferers are events by other threads, within the transaction's
+	// span, that conflict with transaction events.
+	Interferers []trace.Event
+	// ConflictsWith maps each interferer (by index in Interferers) to the
+	// transaction event it conflicts with.
+	ConflictsWith []trace.Event
+}
+
+// Explain reconstructs a witness for v against the trace it was found in.
+// When the violating transaction's span contains no interference (the
+// violation is structural — the pattern would break under *some* schedule,
+// not this one), Interferers is empty and the witness says so.
+func Explain(tr *trace.Trace, v Violation) *Witness {
+	w := &Witness{Violation: v}
+	lo := v.TxStart
+	hi := v.Event.Idx
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(tr.Events) {
+		hi = len(tr.Events)
+	}
+	// Transaction events of the violating thread in [lo, hi].
+	var txEvents []trace.Event
+	for i := lo; i <= hi && i < len(tr.Events); i++ {
+		if tr.Events[i].Tid == v.Event.Tid {
+			txEvents = append(txEvents, tr.Events[i])
+		}
+	}
+	for i := lo; i <= hi && i < len(tr.Events); i++ {
+		e := tr.Events[i]
+		if e.Tid == v.Event.Tid {
+			continue
+		}
+		for _, te := range txEvents {
+			if trace.Conflict(e, te) {
+				w.Interferers = append(w.Interferers, e)
+				w.ConflictsWith = append(w.ConflictsWith, te)
+				break
+			}
+		}
+	}
+	return w
+}
+
+// Format renders the witness for humans, resolving locations through the
+// trace's string table.
+func (w *Witness) Format(tr *trace.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", w.Violation)
+	loc := tr.Strings.Name(w.Violation.Event.Loc)
+	if loc != "" {
+		fmt.Fprintf(&b, "  offending operation at %s\n", loc)
+	}
+	if len(w.Interferers) == 0 {
+		b.WriteString("  no interference observed in this schedule: the transaction's\n")
+		b.WriteString("  shape (a lock-protected region already committed) would admit\n")
+		b.WriteString("  interference under another schedule — the yield documents that.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  observed interference inside the transaction (events #%d..#%d):\n",
+		w.Violation.TxStart, w.Violation.Event.Idx)
+	for i, e := range w.Interferers {
+		te := w.ConflictsWith[i]
+		fmt.Fprintf(&b, "    %s conflicts with %s\n", tr.Format(e), tr.Format(te))
+	}
+	return b.String()
+}

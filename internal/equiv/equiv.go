@@ -1,0 +1,275 @@
+// Package equiv implements the semantic ground truth behind cooperability:
+// trace equivalence up to commuting adjacent non-conflicting operations, and
+// reducibility of a preemptive trace to a yield-respecting cooperative form.
+//
+// Two events conflict when reordering them could change behaviour: they are
+// by the same thread (program order), they operate on the same lock, they
+// access the same variable and at least one writes, or they are related by
+// fork/join edges. Two traces are equivalent when they contain the same
+// per-thread event sequences and order every conflicting pair identically.
+// A trace is *reducible to cooperative form* when some equivalent trace
+// executes every yield-delimited transaction contiguously — i.e. a
+// cooperative scheduler could have produced an equivalent execution.
+//
+// The cooperability checker in internal/core is a linear-time conservative
+// approximation of reducibility; property tests use this package's exact
+// (exponential, memoized) decision procedure as the oracle.
+package equiv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Conflicts precomputes, for every event, the indices of earlier events it
+// conflicts with (its order-predecessors under equivalence).
+type Conflicts struct {
+	tr    *trace.Trace
+	preds [][]int32
+}
+
+// Conflict reports whether two events (in either order) conflict. It is
+// trace.Conflict, re-exported because equivalence is where the relation is
+// specified and tested.
+func Conflict(a, b trace.Event) bool { return trace.Conflict(a, b) }
+
+// Build computes the conflict predecessors of every event in tr (O(n²)).
+func Build(tr *trace.Trace) *Conflicts {
+	c := &Conflicts{tr: tr, preds: make([][]int32, len(tr.Events))}
+	for j := range tr.Events {
+		ej := tr.Events[j]
+		for i := 0; i < j; i++ {
+			if Conflict(tr.Events[i], ej) {
+				c.preds[j] = append(c.preds[j], int32(i))
+			}
+		}
+	}
+	return c
+}
+
+// Preds returns the conflict predecessors of event i.
+func (c *Conflicts) Preds(i int) []int32 { return c.preds[i] }
+
+// Equivalent reports whether two traces are equivalent: identical
+// per-thread event sequences (ignoring Idx) and identical relative order of
+// every conflicting pair.
+func Equivalent(a, b *trace.Trace) bool {
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	// Per-thread sequences must match; build the induced event mapping.
+	seen := map[trace.TID]int{}
+	// posB[tid][k] = index in b of thread tid's k-th event.
+	posB := map[trace.TID][]int{}
+	for i, e := range b.Events {
+		posB[e.Tid] = append(posB[e.Tid], i)
+	}
+	mapped := make([]int, len(a.Events)) // a-index -> b-index
+	for i, e := range a.Events {
+		k := seen[e.Tid]
+		seen[e.Tid] = k + 1
+		bl := posB[e.Tid]
+		if k >= len(bl) {
+			return false
+		}
+		be := b.Events[bl[k]]
+		if be.Op != e.Op || be.Target != e.Target {
+			return false
+		}
+		mapped[i] = bl[k]
+	}
+	// Conflicting pairs must keep their order.
+	for j := range a.Events {
+		for i := 0; i < j; i++ {
+			if Conflict(a.Events[i], a.Events[j]) && mapped[i] > mapped[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// boundaryAfter mirrors the default mover policy's release-like cooperative
+// scheduling points: a transaction ends at (and includes) these operations.
+func boundaryAfter(o trace.Op) bool {
+	switch o {
+	case trace.OpBegin, trace.OpEnd, trace.OpYield, trace.OpWait, trace.OpFork:
+		return true
+	}
+	return false
+}
+
+// boundaryBefore marks acquire-like scheduling points: the thread blocks
+// first (context switch) and the operation opens the next transaction.
+// Join is the canonical case — the joined thread's final events must be
+// allowed to execute between the previous transaction and the join.
+func boundaryBefore(o trace.Op) bool { return o == trace.OpJoin }
+
+// ErrStateBudget reports that the reducibility search exceeded its budget
+// without a definite answer.
+var ErrStateBudget = errors.New("equiv: state budget exceeded")
+
+// Reducible decides whether tr is equivalent to a cooperative execution:
+// one that runs every yield-delimited transaction to completion before
+// switching threads. maxStates bounds the memoized search (0 means 1<<20).
+//
+// The search schedules whole transactions: it repeatedly picks a thread and
+// attempts to place its next transaction's events consecutively, requiring
+// every conflict predecessor of each event to be already placed. This is
+// exactly "some equivalent trace is yield-respecting".
+func Reducible(tr *trace.Trace, maxStates int) (bool, error) {
+	ok, _, err := reduce(tr, maxStates, false)
+	return ok, err
+}
+
+// CooperativeWitness returns an equivalent cooperative reordering of tr —
+// a trace a cooperative scheduler could have produced — or nil when tr is
+// not reducible. The witness satisfies Equivalent(tr, witness) and
+// switches threads only at scheduling points; callers can verify both
+// independently, making the oracle's positive answers checkable artifacts.
+func CooperativeWitness(tr *trace.Trace, maxStates int) (*trace.Trace, error) {
+	ok, order, err := reduce(tr, maxStates, true)
+	if err != nil || !ok {
+		return nil, err
+	}
+	w := &trace.Trace{Meta: tr.Meta, Strings: tr.Strings}
+	for _, idx := range order {
+		e := tr.Events[idx]
+		// Keep the original index visible for cross-referencing; the
+		// witness's own order is its slice position.
+		w.Events = append(w.Events, e)
+	}
+	return w, nil
+}
+
+func reduce(tr *trace.Trace, maxStates int, wantOrder bool) (bool, []int, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	c := Build(tr)
+
+	// Split each thread's events into transactions (boundary-inclusive).
+	byThread := map[trace.TID][]int{}
+	var tids []trace.TID
+	for i, e := range tr.Events {
+		if _, ok := byThread[e.Tid]; !ok {
+			tids = append(tids, e.Tid)
+		}
+		byThread[e.Tid] = append(byThread[e.Tid], i)
+	}
+	type tx struct{ events []int }
+	txs := map[trace.TID][]tx{}
+	for tid, evs := range byThread {
+		var cur []int
+		for _, idx := range evs {
+			op := tr.Events[idx].Op
+			if boundaryBefore(op) && len(cur) > 0 {
+				txs[tid] = append(txs[tid], tx{events: cur})
+				cur = nil
+			}
+			cur = append(cur, idx)
+			if boundaryAfter(op) {
+				txs[tid] = append(txs[tid], tx{events: cur})
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			txs[tid] = append(txs[tid], tx{events: cur})
+		}
+	}
+
+	placed := make([]bool, len(tr.Events))
+	pos := make(map[trace.TID]int, len(tids))
+	for _, tid := range tids {
+		pos[tid] = 0
+	}
+	total := 0
+	for _, l := range txs {
+		total += len(l)
+	}
+
+	memo := map[string]bool{}
+	states := 0
+	key := func() string {
+		b := make([]byte, 0, len(tids)*3)
+		for _, tid := range tids {
+			b = append(b, byte(pos[tid]), byte(pos[tid]>>8), ',')
+		}
+		return string(b)
+	}
+
+	canPlace := func(idx int) bool {
+		for _, p := range c.preds[idx] {
+			if !placed[p] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var order []int
+	var dfs func(done int) (bool, error)
+	dfs = func(done int) (bool, error) {
+		if done == total {
+			return true, nil
+		}
+		k := key()
+		if v, ok := memo[k]; ok {
+			return v, nil
+		}
+		states++
+		if states > maxStates {
+			return false, ErrStateBudget
+		}
+		for _, tid := range tids {
+			i := pos[tid]
+			if i >= len(txs[tid]) {
+				continue
+			}
+			t := txs[tid][i]
+			ok := true
+			n := 0
+			for _, idx := range t.events {
+				if !canPlace(idx) {
+					ok = false
+					break
+				}
+				placed[idx] = true
+				n++
+			}
+			if ok {
+				pos[tid] = i + 1
+				if wantOrder {
+					order = append(order, t.events...)
+				}
+				r, err := dfs(done + 1)
+				if err != nil {
+					return false, err
+				}
+				if r {
+					return true, nil
+				}
+				pos[tid] = i
+				if wantOrder {
+					order = order[:len(order)-len(t.events)]
+				}
+			}
+			for j := 0; j < n; j++ {
+				placed[t.events[j]] = false
+			}
+		}
+		memo[k] = false
+		return false, nil
+	}
+
+	ok, err := dfs(0)
+	if err != nil {
+		return false, nil, fmt.Errorf("reducibility undecided: %w", err)
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, order, nil
+}

@@ -1,0 +1,513 @@
+package equiv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/trace"
+)
+
+func TestConflictRelation(t *testing.T) {
+	ev := func(tid trace.TID, op trace.Op, target uint64) trace.Event {
+		return trace.Event{Tid: tid, Op: op, Target: target}
+	}
+	cases := []struct {
+		name string
+		a, b trace.Event
+		want bool
+	}{
+		{"same thread", ev(1, trace.OpRead, 1), ev(1, trace.OpYield, 0), true},
+		{"rd/rd same var", ev(0, trace.OpRead, 1), ev(1, trace.OpRead, 1), false},
+		{"rd/wr same var", ev(0, trace.OpRead, 1), ev(1, trace.OpWrite, 1), true},
+		{"wr/wr same var", ev(0, trace.OpWrite, 1), ev(1, trace.OpWrite, 1), true},
+		{"wr/wr diff var", ev(0, trace.OpWrite, 1), ev(1, trace.OpWrite, 2), false},
+		{"acq/acq same lock", ev(0, trace.OpAcquire, 5), ev(1, trace.OpAcquire, 5), true},
+		{"acq/rel diff lock", ev(0, trace.OpAcquire, 5), ev(1, trace.OpRelease, 6), false},
+		{"wait/notify same lock", ev(0, trace.OpWait, 5), ev(1, trace.OpNotify, 5), true},
+		{"fork/child op", ev(0, trace.OpFork, 2), ev(2, trace.OpBegin, 0), true},
+		{"fork/other op", ev(0, trace.OpFork, 2), ev(1, trace.OpRead, 1), false},
+		{"join/child op", ev(0, trace.OpJoin, 2), ev(2, trace.OpEnd, 0), true},
+		{"volatile wr/rd", ev(0, trace.OpVolWrite, 9), ev(1, trace.OpVolRead, 9), true},
+		{"volatile rd/rd", ev(0, trace.OpVolRead, 9), ev(1, trace.OpVolRead, 9), false},
+		{"lock vs access", ev(0, trace.OpAcquire, 1), ev(1, trace.OpWrite, 1), false},
+	}
+	for _, c := range cases {
+		if got := Conflict(c.a, c.b); got != c.want {
+			t.Errorf("%s: Conflict = %v, want %v", c.name, got, c.want)
+		}
+		if got := Conflict(c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): Conflict = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildPreds(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Write(1) // 0,1
+	b.On(1).Begin().Read(1)  // 2,3
+	c := Build(b.Trace())
+	// Event 3 (T1 read) conflicts with event 1 (T0 write) and event 2 (PO).
+	got := c.Preds(3)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Preds(3) = %v", got)
+	}
+}
+
+func TestEquivalentIdentity(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(1).Write(2).Rel(1).End()
+	tr := b.Trace()
+	if !Equivalent(tr, tr) {
+		t.Fatal("trace not equivalent to itself")
+	}
+}
+
+func TestEquivalentCommutedIndependentOps(t *testing.T) {
+	mk := func(first trace.TID) *trace.Trace {
+		b := trace.NewBuilder()
+		b.On(0).Begin()
+		b.On(1).Begin()
+		if first == 0 {
+			b.On(0).Write(1)
+			b.On(1).Write(2)
+		} else {
+			b.On(1).Write(2)
+			b.On(0).Write(1)
+		}
+		b.On(0).End()
+		b.On(1).End()
+		return b.Trace()
+	}
+	if !Equivalent(mk(0), mk(1)) {
+		t.Fatal("independent writes should commute")
+	}
+}
+
+func TestNotEquivalentConflictingReorder(t *testing.T) {
+	mk := func(first trace.TID) *trace.Trace {
+		b := trace.NewBuilder()
+		b.On(0).Begin()
+		b.On(1).Begin()
+		if first == 0 {
+			b.On(0).Write(1)
+			b.On(1).Write(1)
+		} else {
+			b.On(1).Write(1)
+			b.On(0).Write(1)
+		}
+		b.On(0).End()
+		b.On(1).End()
+		return b.Trace()
+	}
+	if Equivalent(mk(0), mk(1)) {
+		t.Fatal("conflicting writes must not commute")
+	}
+}
+
+func TestNotEquivalentDifferentEvents(t *testing.T) {
+	a := trace.NewBuilder()
+	a.On(0).Begin().Write(1).End()
+	b := trace.NewBuilder()
+	b.On(0).Begin().Read(1).End()
+	if Equivalent(a.Trace(), b.Trace()) {
+		t.Fatal("different ops should not be equivalent")
+	}
+	c := trace.NewBuilder()
+	c.On(0).Begin().End()
+	if Equivalent(a.Trace(), c.Trace()) {
+		t.Fatal("different lengths should not be equivalent")
+	}
+}
+
+func TestReducibleSerialTrace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(1).Write(2).Rel(1).End()
+	ok, err := Reducible(b.Trace(), 0)
+	if err != nil || !ok {
+		t.Fatalf("serial trace: ok=%v err=%v", ok, err)
+	}
+}
+
+// Interleaved lock-protected critical sections: reducible (each acq..rel
+// transaction can be serialized).
+func TestReducibleInterleavedCriticalSections(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	b.On(0).Acq(1).Read(2)
+	// T1's critical section cannot start until T0 releases, so the raw
+	// trace interleaves only race-free reads here.
+	b.On(0).Write(2).Rel(1)
+	b.On(1).Acq(1).Read(2).Write(2).Rel(1)
+	b.On(1).End()
+	b.On(0).Join(1).End()
+	ok, err := Reducible(b.Trace(), 0)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+// A truly interleaved pair of racy read-modify-writes is NOT reducible:
+// T0 reads, T1 reads, T0 writes, T1 writes (the lost-update interleaving).
+func TestNotReducibleLostUpdate(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	b.On(0).Read(5)
+	b.On(1).Read(5)
+	b.On(0).Write(5)
+	b.On(1).Write(5)
+	b.On(1).End()
+	b.On(0).Join(1).End()
+	ok, err := Reducible(b.Trace(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("lost-update interleaving should not be reducible")
+	}
+}
+
+// The same lost-update shape with yields between read and write IS
+// reducible: each access is its own transaction.
+func TestYieldsMakeLostUpdateReducible(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	b.On(0).Read(5).Yield()
+	b.On(1).Read(5).Yield()
+	b.On(0).Write(5).Yield()
+	b.On(1).Write(5).Yield()
+	b.On(1).End()
+	b.On(0).Join(1).End()
+	ok, err := Reducible(b.Trace(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("yield-separated accesses should be reducible")
+	}
+}
+
+func TestReducibleBudget(t *testing.T) {
+	// A modestly interleaved trace with a budget of 1 state must report
+	// the budget error rather than answering.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	for i := 0; i < 6; i++ {
+		b.On(0).Write(1).Yield()
+		b.On(1).Write(1).Yield()
+	}
+	b.On(1).End()
+	b.On(0).Join(1).End()
+	_, err := Reducible(b.Trace(), 1)
+	if !errors.Is(err, ErrStateBudget) {
+		t.Fatalf("err = %v, want ErrStateBudget", err)
+	}
+}
+
+// randomYieldyTrace builds small feasible traces mixing locking, yields,
+// and racy accesses for the soundness property test.
+func randomYieldyTrace(r *rand.Rand) *trace.Trace {
+	b := trace.NewBuilder()
+	nthreads := 2 + r.Intn(2)
+	b.On(0).Begin()
+	for tid := 1; tid < nthreads; tid++ {
+		b.On(0).Fork(trace.TID(tid))
+		b.On(trace.TID(tid)).Begin()
+	}
+	held := make([]int, nthreads) // depth on the single lock 10
+	owner := -1
+	steps := 6 + r.Intn(24)
+	for i := 0; i < steps; i++ {
+		tid := r.Intn(nthreads)
+		b.On(trace.TID(tid))
+		switch r.Intn(7) {
+		case 0:
+			b.Read(uint64(1 + r.Intn(2)))
+		case 1:
+			b.Write(uint64(1 + r.Intn(2)))
+		case 2:
+			b.Yield()
+		case 3, 4:
+			if owner == -1 || owner == tid {
+				b.Acq(10)
+				owner = tid
+				held[tid]++
+			}
+		case 5:
+			if owner == tid && held[tid] > 0 {
+				b.Rel(10)
+				held[tid]--
+				if held[tid] == 0 {
+					owner = -1
+				}
+			}
+		case 6:
+			b.Yield()
+		}
+	}
+	for tid := nthreads - 1; tid >= 0; tid-- {
+		b.On(trace.TID(tid))
+		for ; held[tid] > 0; held[tid]-- {
+			b.Rel(10)
+		}
+		if tid != 0 {
+			b.End()
+			b.On(0).Join(trace.TID(tid))
+		}
+	}
+	b.On(0).End()
+	return b.Trace()
+}
+
+// TestPropCheckerSoundWrtReducibility is the key validation of the core
+// contribution: whenever the two-pass cooperability checker accepts a
+// trace, the trace is genuinely reducible to a cooperative execution.
+func TestPropCheckerSoundWrtReducibility(t *testing.T) {
+	accepted, rejected := 0, 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomYieldyTrace(r)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid generated trace: %v", err)
+		}
+		c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy()})
+		if !c.Cooperable() {
+			rejected++
+			return true // conservative rejection is allowed
+		}
+		accepted++
+		ok, err := Reducible(tr, 1<<22)
+		if err != nil {
+			t.Logf("seed %d: %v (skipping)", seed, err)
+			return true
+		}
+		if !ok {
+			t.Logf("seed %d: checker accepted a non-reducible trace", seed)
+			for _, e := range tr.Events {
+				t.Log(tr.Format(e))
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if accepted == 0 {
+		t.Error("property vacuous: checker accepted nothing")
+	}
+	if rejected == 0 {
+		t.Error("property weak: checker rejected nothing")
+	}
+}
+
+func BenchmarkReducibleMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	tr := randomYieldyTrace(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reducible(tr, 1<<22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPropCommutingSwapPreservesEquivalence: swapping two adjacent
+// non-conflicting events yields an equivalent trace; swapping conflicting
+// ones does not.
+func TestPropCommutingSwapPreservesEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomYieldyTrace(r)
+		// Pick a random adjacent pair of different threads.
+		for attempt := 0; attempt < 20; attempt++ {
+			i := r.Intn(tr.Len() - 1)
+			a, b := tr.Events[i], tr.Events[i+1]
+			if a.Tid == b.Tid {
+				continue
+			}
+			swapped := &trace.Trace{Meta: tr.Meta, Strings: tr.Strings}
+			swapped.Events = append([]trace.Event(nil), tr.Events...)
+			swapped.Events[i], swapped.Events[i+1] = swapped.Events[i+1], swapped.Events[i]
+			for k := range swapped.Events {
+				swapped.Events[k].Idx = k
+			}
+			want := !Conflict(a, b)
+			if got := Equivalent(tr, swapped); got != want {
+				t.Logf("seed %d idx %d: Equivalent=%v want %v (%v | %v)",
+					seed, i, got, want, tr.Format(a), tr.Format(b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropReducibleInvariantUnderCommutingSwaps: equivalence preserves
+// reducibility (the property is defined on equivalence classes).
+func TestPropReducibleInvariantUnderCommutingSwaps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomYieldyTrace(r)
+		if tr.Len() > 40 {
+			return true // keep the oracle cheap
+		}
+		orig, err := Reducible(tr, 1<<21)
+		if err != nil {
+			return true
+		}
+		for attempt := 0; attempt < 10; attempt++ {
+			i := r.Intn(tr.Len() - 1)
+			a, b := tr.Events[i], tr.Events[i+1]
+			if a.Tid == b.Tid || Conflict(a, b) {
+				continue
+			}
+			swapped := &trace.Trace{Meta: tr.Meta, Strings: tr.Strings}
+			swapped.Events = append([]trace.Event(nil), tr.Events...)
+			swapped.Events[i], swapped.Events[i+1] = swapped.Events[i+1], swapped.Events[i]
+			for k := range swapped.Events {
+				swapped.Events[k].Idx = k
+			}
+			got, err := Reducible(swapped, 1<<21)
+			if err != nil {
+				return true
+			}
+			if got != orig {
+				t.Logf("seed %d: reducibility changed under commuting swap at %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isCooperativeOrder checks the witness property directly: every context
+// switch away from a thread with remaining events happens right after one
+// of its scheduling-point events.
+func isCooperativeOrder(tr *trace.Trace) bool {
+	remaining := map[trace.TID]int{}
+	for _, e := range tr.Events {
+		remaining[e.Tid]++
+	}
+	for i := 0; i < len(tr.Events)-1; i++ {
+		a, b := tr.Events[i], tr.Events[i+1]
+		remaining[a.Tid]--
+		if a.Tid == b.Tid {
+			continue
+		}
+		if remaining[a.Tid] == 0 {
+			continue // a's thread finished; switching is free
+		}
+		// A switch away from a live thread: a must be a scheduling point,
+		// or a's thread must be blocked — conservatively, allow switches
+		// when the thread's NEXT event is an acquire-like op (it may be
+		// blocked on it) or a join.
+		if boundaryAfter(a.Op) {
+			continue
+		}
+		// Find a's thread's next event.
+		var next trace.Event
+		for j := i + 1; j < len(tr.Events); j++ {
+			if tr.Events[j].Tid == a.Tid {
+				next = tr.Events[j]
+				break
+			}
+		}
+		if boundaryBefore(next.Op) || next.Op == trace.OpAcquire {
+			continue // blocked-style switch
+		}
+		return false
+	}
+	return true
+}
+
+func TestCooperativeWitnessProperties(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	b.On(0).Acq(1).Read(2)
+	b.On(1).Acq(3).Write(4) // interleaves T0's transaction, commutes out
+	b.On(0).Write(2).Rel(1)
+	b.On(1).Rel(3).End()
+	b.On(0).Join(1).End()
+	tr := b.Trace()
+	w, err := CooperativeWitness(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("reducible trace has no witness")
+	}
+	if !Equivalent(tr, w) {
+		t.Fatal("witness not equivalent to original")
+	}
+	if !isCooperativeOrder(w) {
+		for _, e := range w.Events {
+			t.Log(w.Format(e))
+		}
+		t.Fatal("witness is not a cooperative order")
+	}
+}
+
+func TestCooperativeWitnessNilForIrreducible(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin()
+	b.On(0).Read(5)
+	b.On(1).Read(5)
+	b.On(0).Write(5)
+	b.On(1).Write(5)
+	b.On(1).End()
+	b.On(0).Join(1).End()
+	w, err := CooperativeWitness(b.Trace(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatal("irreducible trace produced a witness")
+	}
+}
+
+// TestPropWitnessAlwaysValid: for every reducible random trace, the
+// returned witness is equivalent and cooperative.
+func TestPropWitnessAlwaysValid(t *testing.T) {
+	valid := 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomYieldyTrace(r)
+		w, err := CooperativeWitness(tr, 1<<21)
+		if err != nil || w == nil {
+			return true
+		}
+		if !Equivalent(tr, w) {
+			t.Logf("seed %d: witness not equivalent", seed)
+			return false
+		}
+		if !isCooperativeOrder(w) {
+			t.Logf("seed %d: witness not cooperative", seed)
+			return false
+		}
+		valid++
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if valid == 0 {
+		t.Error("property vacuous")
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// ablationPolicies enumerates the design choices DESIGN.md calls out: how
+// fork/join/volatile operations are classified, and online vs two-pass
+// race knowledge. Each cell of Table 5 is the count of distinct violation
+// locations across the schedule battery under that choice.
+var ablationPolicies = []struct {
+	name    string
+	policy  movers.Policy
+	twoPass bool
+}{
+	{"default", movers.DefaultPolicy(), true},
+	{"online", movers.DefaultPolicy(), false},
+	{"vol-yield", func() movers.Policy {
+		p := movers.DefaultPolicy()
+		p.VolatileIsYield = true
+		return p
+	}(), true},
+	{"fork-left", func() movers.Policy {
+		p := movers.DefaultPolicy()
+		p.ForkIsBoundary = false
+		return p
+	}(), true},
+	{"join-right", func() movers.Policy {
+		p := movers.DefaultPolicy()
+		p.JoinIsBoundary = false
+		return p
+	}(), true},
+	{"lipton", movers.Policy{}, true}, // pure Lipton: nothing is a boundary but yields
+}
+
+// Table5 regenerates the policy-ablation table: violation-location counts
+// per benchmark under each classification choice.
+func Table5(cfg Config) (*report.Table, error) {
+	cols := []string{"benchmark"}
+	for _, ap := range ablationPolicies {
+		cols = append(cols, ap.name)
+	}
+	t := report.NewTable("Table 5 (ablation): violation sites by mover-policy choice", cols...)
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, ap := range ablationPolicies {
+			locs := map[trace.LocID]bool{}
+			for _, tr := range col.Traces {
+				var c *core.Checker
+				opts := core.Options{Policy: ap.policy}
+				if ap.twoPass {
+					c = core.AnalyzeTwoPass(tr, opts)
+				} else {
+					c = core.Analyze(tr, opts)
+				}
+				for _, v := range c.Violations() {
+					locs[v.Event.Loc] = true
+				}
+			}
+			row = append(row, report.Itoa(len(locs)))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.AddNote("default = fork/join boundaries, volatiles non-movers, two-pass race knowledge")
+	t.AddNote("online omits the second race pass; lipton = no implicit boundaries at all")
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Fig2 measures thread scaling: analyzed events per second as the worker
+// count grows, for three structurally different workloads (barrier-bound
+// sor, queue-bound tsp, lock-bound philo).
+func Fig2(cfg Config) (*report.Table, *report.Chart, error) {
+	threadCounts := []int{2, 4, 8}
+	if !cfg.Quick {
+		threadCounts = append(threadCounts, 16)
+	}
+	names := []string{"sor", "tsp", "philo"}
+	t := report.NewTable("Figure 2 (data): thread scaling of the online cooperability pipeline",
+		"benchmark", "threads", "events", "time(µs)", "events/ms")
+	c := report.NewChart("Figure 2: analyzed events/ms by thread count", "events per millisecond")
+	for _, name := range names {
+		spec, ok := workloads.Get(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("harness: missing workload %s", name)
+		}
+		for _, n := range threadCounts {
+			size := spec.DefaultSize
+			if name == "sor" {
+				size = 2 * n // keep rows >= threads
+			}
+			reps := 3
+			if cfg.Quick {
+				reps = 1
+			}
+			best := time.Duration(1<<62 - 1)
+			events := 0
+			for r := 0; r < reps; r++ {
+				checker := core.New(core.Options{Policy: movers.DefaultPolicy()})
+				start := time.Now()
+				res, err := sched.Run(spec.New(n, size), sched.Options{
+					Strategy:  sched.NewRandom(1),
+					Observers: []sched.Observer{checker},
+				})
+				if err != nil {
+					return nil, nil, fmt.Errorf("harness: fig2 %s/%d: %w", name, n, err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				events = res.Events
+			}
+			rate := float64(events) / (float64(best.Microseconds()) / 1000.0)
+			t.AddRow(name, report.Itoa(n), report.Itoa(events),
+				report.I64(best.Microseconds()), report.F1(rate))
+			c.AddWithText(fmt.Sprintf("%s/t=%d", name, n), rate, report.F1(rate))
+		}
+	}
+	t.AddNote("online cooperability checker attached; seeded-random schedule")
+	return t, c, nil
+}
+
+// Fig3 measures schedule-coverage convergence on the buggy variants: how
+// many distinct violation sites are known after k schedules, k = 1..N.
+func Fig3(cfg Config) (*report.Table, *report.Chart, error) {
+	n := 24
+	if cfg.Quick {
+		n = 8
+	}
+	t := report.NewTable("Figure 3 (data): violation sites found vs schedules explored",
+		"benchmark", "schedules", "sites", "first-hit")
+	c := report.NewChart("Figure 3: distinct violation sites after N seeded schedules", "sites")
+	for _, spec := range workloads.BuggyOnes() {
+		seen := map[trace.LocID]bool{}
+		firstHit := 0
+		var counts []int
+		for seed := 1; seed <= n; seed++ {
+			res, err := sched.Run(spec.New(cfg.Threads, cfg.Size), sched.Options{
+				Strategy:    sched.NewRandom(int64(seed)),
+				RecordTrace: true,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("harness: fig3 %s seed %d: %w", spec.Name, seed, err)
+			}
+			ck := core.AnalyzeTwoPass(res.Trace, core.Options{Policy: movers.DefaultPolicy()})
+			for _, v := range ck.Violations() {
+				seen[v.Event.Loc] = true
+			}
+			if firstHit == 0 && len(seen) > 0 {
+				firstHit = seed
+			}
+			counts = append(counts, len(seen))
+		}
+		for _, k := range []int{1, n / 4, n / 2, n} {
+			if k < 1 {
+				k = 1
+			}
+			t.AddRow(spec.Name, report.Itoa(k), report.Itoa(counts[k-1]), report.Itoa(firstHit))
+		}
+		c.AddWithText(spec.Name, float64(counts[n-1]),
+			fmt.Sprintf("%d sites (first at seed %d)", counts[n-1], firstHit))
+	}
+	t.AddNote("sites = distinct source locations of cooperability violations (two-pass) across seeds so far")
+	return t, c, nil
+}

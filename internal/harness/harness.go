@@ -1,0 +1,89 @@
+// Package harness drives the reproduction experiments: it runs the
+// workload suite under controlled schedules, feeds the traces to the
+// checkers, and regenerates every table and figure of the evaluation (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded output).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Seeds is the number of seeded-random schedules per workload on top
+	// of the deterministic cooperative and round-robin ones (default 4).
+	Seeds int
+	// Threads/Size override workload defaults when positive.
+	Threads int
+	Size    int
+	// Workloads restricts the suite (nil = all registered).
+	Workloads []string
+	// Quick shrinks the overhead/scaling experiments for test runs.
+	Quick bool
+	// Parallel bounds how many workloads are collected and analyzed
+	// concurrently (real OS parallelism; each workload's virtual runs stay
+	// deterministic). 0 means GOMAXPROCS; 1 forces sequential. The timing
+	// experiments (Table 4, Figure 2) always run sequentially.
+	Parallel int
+}
+
+func (c Config) seeds() int {
+	if c.Seeds <= 0 {
+		return 4
+	}
+	return c.Seeds
+}
+
+// specs resolves the configured workload subset.
+func (c Config) specs() ([]workloads.Spec, error) {
+	if len(c.Workloads) == 0 {
+		return workloads.All(), nil
+	}
+	var out []workloads.Spec
+	for _, name := range c.Workloads {
+		s, ok := workloads.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q (have %v)", name, workloads.Names())
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Collected bundles the traces of one workload across schedules.
+type Collected struct {
+	Spec    workloads.Spec
+	Traces  []*trace.Trace
+	Results []*sched.Result
+}
+
+// Collect executes the workload under the standard schedule battery —
+// cooperative, round-robin quantum 1 and 5, and cfg.Seeds random seeds —
+// recording full traces.
+func Collect(spec workloads.Spec, cfg Config) (*Collected, error) {
+	strategies := []sched.Strategy{
+		sched.Cooperative{},
+		&sched.RoundRobin{Quantum: 1},
+		&sched.RoundRobin{Quantum: 5},
+	}
+	for s := 1; s <= cfg.seeds(); s++ {
+		strategies = append(strategies, sched.NewRandom(int64(s)))
+	}
+	col := &Collected{Spec: spec}
+	for _, strat := range strategies {
+		res, err := sched.Run(spec.New(cfg.Threads, cfg.Size), sched.Options{
+			Strategy:    strat,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s under %s: %w", spec.Name, strat.Name(), err)
+		}
+		col.Traces = append(col.Traces, res.Trace)
+		col.Results = append(col.Results, res)
+	}
+	return col, nil
+}

@@ -1,0 +1,336 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func quickCfg(names ...string) Config {
+	return Config{Seeds: 2, Quick: true, Workloads: names}
+}
+
+func TestCollectRunsBattery(t *testing.T) {
+	spec, _ := workloads.Get("bank")
+	col, err := Collect(spec, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cooperative + rr1 + rr5 + 2 random seeds
+	if len(col.Traces) != 5 || len(col.Results) != 5 {
+		t.Fatalf("traces = %d, results = %d", len(col.Traces), len(col.Results))
+	}
+	for _, tr := range col.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigUnknownWorkload(t *testing.T) {
+	if _, err := Table1(quickCfg("nope")); err == nil {
+		t.Fatal("Table1 accepted unknown workload")
+	}
+}
+
+func findRow(t *testing.T, rows [][]string, name string) []string {
+	t.Helper()
+	for _, r := range rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q missing", name)
+	return nil
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(quickCfg("series", "bank", "tsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := findRow(t, tab.Rows, "series")
+	if atoi(t, row[1]) < 2 || atoi(t, row[2]) < 10 {
+		t.Fatalf("series row implausible: %v", row)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "benchmark") || !strings.Contains(out, "series") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestTable2HeadlineClaims(t *testing.T) {
+	tab, err := Table2(quickCfg("series", "sparse", "philo", "crawler", "tsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// series/sparse: fully partitioned, zero yields of any kind.
+	for _, name := range []string{"series", "sparse"} {
+		row := findRow(t, tab.Rows, name)
+		if atoi(t, row[2]) != 0 || atoi(t, row[3]) != 0 {
+			t.Errorf("%s should need no yields: %v", name, row)
+		}
+		if row[6] != "100.0%" {
+			t.Errorf("%s yield-free = %s, want 100.0%%", name, row[6])
+		}
+	}
+	// philo is fully annotated: explicit yields > 0, inferred == 0.
+	philo := findRow(t, tab.Rows, "philo")
+	if atoi(t, philo[2]) == 0 {
+		t.Errorf("philo explicit yields = %v", philo)
+	}
+	if atoi(t, philo[3]) != 0 {
+		t.Errorf("philo should infer nothing: %v", philo)
+	}
+	// crawler and tsp need a small number of inferred yields.
+	for _, name := range []string{"crawler", "tsp"} {
+		row := findRow(t, tab.Rows, name)
+		inferred := atoi(t, row[3])
+		if inferred < 1 || inferred > 6 {
+			t.Errorf("%s inferred yields = %d, want a small positive count", name, inferred)
+		}
+	}
+	// Residual must be zero everywhere (all events carry locations).
+	for _, row := range tab.Rows {
+		if atoi(t, row[4]) != 0 {
+			t.Errorf("%s residual = %s", row[0], row[4])
+		}
+	}
+}
+
+func TestTable3CheckerRelationships(t *testing.T) {
+	tab, err := Table3(quickCfg("bank", "bank-buggy", "stringbuffer-buggy", "raytracer", "raytracer-racy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct bank: no races, cooperable after inference.
+	bank := findRow(t, tab.Rows, "bank")
+	if atoi(t, bank[1]) != 0 {
+		t.Errorf("bank ft-races = %s", bank[1])
+	}
+	// Buggy bank: the TOCTOU read races.
+	bankBuggy := findRow(t, tab.Rows, "bank-buggy")
+	if atoi(t, bankBuggy[1]) == 0 {
+		t.Errorf("bank-buggy should race: %v", bankBuggy)
+	}
+	// stringbuffer: race-free but NOT atomic and NOT cooperable without a
+	// yield — the key separation the paper draws.
+	sb := findRow(t, tab.Rows, "stringbuffer-buggy")
+	if atoi(t, sb[1]) != 0 {
+		t.Errorf("stringbuffer-buggy should be race-free: %v", sb)
+	}
+	if atoi(t, sb[5]) == 0 {
+		t.Errorf("stringbuffer-buggy should violate cooperability: %v", sb)
+	}
+	// raytracer-racy: the planted checksum race is seen by both detectors.
+	rr := findRow(t, tab.Rows, "raytracer-racy")
+	if atoi(t, rr[1]) == 0 || atoi(t, rr[2]) == 0 {
+		t.Errorf("raytracer-racy should warn in both race detectors: %v", rr)
+	}
+	// After inference every workload is cooperable.
+	for _, row := range tab.Rows {
+		if atoi(t, row[6]) != 0 {
+			t.Errorf("%s coop-after = %s, want 0", row[0], row[6])
+		}
+	}
+	// Velodrome (precise) never exceeds Atomizer's need to warn where both
+	// apply, but must catch the genuinely unserializable buggy runs.
+	if atoi(t, findRow(t, tab.Rows, "bank-buggy")[4]) == 0 {
+		t.Error("velodrome should flag bank-buggy's unserializable transfers")
+	}
+}
+
+func TestTable4AndFig1(t *testing.T) {
+	cfg := quickCfg()
+	tab, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if atoi(t, row[1]) < 100 {
+			t.Errorf("%s events = %s, too small to time", row[0], row[1])
+		}
+		for _, cell := range row[3:] {
+			if !strings.HasSuffix(cell, "x") {
+				t.Errorf("slowdown cell %q not a ratio", cell)
+			}
+		}
+	}
+	c, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bars) != 5 || !strings.Contains(c.String(), "Figure 1") {
+		t.Fatalf("chart wrong:\n%s", c.String())
+	}
+}
+
+func TestFig2Scaling(t *testing.T) {
+	tab, chart, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 { // 3 workloads x 3 thread counts (quick)
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(chart.Bars) != 9 {
+		t.Fatalf("bars = %d", len(chart.Bars))
+	}
+}
+
+func TestFig3Convergence(t *testing.T) {
+	tab, chart, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads.BuggyOnes())*4 != len(tab.Rows) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every buggy workload must have at least one violation site found.
+	for _, b := range chart.Bars {
+		if b.Value < 1 {
+			t.Errorf("%s found no violation sites", b.Label)
+		}
+	}
+}
+
+func TestTable5Ablation(t *testing.T) {
+	tab, err := Table5(quickCfg("series", "philo", "tsp", "stringbuffer-buggy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Columns) != 7 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// series: zero violations under every policy with fork/join boundaries;
+	// pure Lipton (last column) flags main's fork-commit-then-join shape,
+	// which is exactly why the default treats them as scheduling points.
+	series := findRow(t, tab.Rows, "series")
+	for i, cell := range series[1 : len(series)-1] {
+		if atoi(t, cell) != 0 {
+			t.Errorf("series col %d = %s, want 0", i+1, cell)
+		}
+	}
+	if atoi(t, series[6]) == 0 {
+		t.Error("pure lipton should flag series' join-after-fork in main")
+	}
+	// philo: cooperable under default but the pure-lipton column (no
+	// implicit boundaries) must flag at least as many sites as default.
+	philo := findRow(t, tab.Rows, "philo")
+	if atoi(t, philo[6]) < atoi(t, philo[1]) {
+		t.Errorf("lipton (%s) should be >= default (%s)", philo[6], philo[1])
+	}
+	// online never finds more distinct sites than two-pass default.
+	for _, row := range tab.Rows {
+		if atoi(t, row[2]) > atoi(t, row[1]) {
+			t.Errorf("%s: online (%s) > two-pass (%s)", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestTable6TransactionStructure(t *testing.T) {
+	tab, err := Table6(quickCfg("series", "sor", "bank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// sor's compute sweeps are long serial regions: max tx well above 10.
+	sor := findRow(t, tab.Rows, "sor")
+	if atoi(t, sor[5]) < 10 {
+		t.Errorf("sor max tx = %s, want long compute transactions", sor[5])
+	}
+	for _, row := range tab.Rows {
+		if atoi(t, row[1]) < 2 {
+			t.Errorf("%s txs = %s", row[0], row[1])
+		}
+		if !strings.HasSuffix(row[6], "%") {
+			t.Errorf("%s fraction cell %q", row[0], row[6])
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s, err := ComputeSummary(quickCfg("series", "philo", "tsp", "bank-buggy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workloads != 4 || s.Buggy != 1 || s.CorrectTotal != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.CooperableAfterInf != 4 {
+		t.Fatalf("cooperable after inference = %d, want all", s.CooperableAfterInf)
+	}
+	// tsp has a benign race; series/philo are race-free.
+	if s.RaceFreeCorrect != 2 {
+		t.Fatalf("race-free correct = %d, want 2", s.RaceFreeCorrect)
+	}
+	out := s.Render()
+	for _, want := range []string{"Suite summary", "annotation burden", "yield-free methods"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Parallel execution must be a pure performance knob: identical tables
+// regardless of worker count.
+func TestParallelDeterminism(t *testing.T) {
+	seq := quickCfg("series", "philo", "tsp", "bank", "crawler")
+	seq.Parallel = 1
+	par := seq
+	par.Parallel = 8
+	a, err := Table2(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("parallel table differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	s1, err := ComputeSummary(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ComputeSummary(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *s1 != *s2 {
+		t.Fatalf("parallel summary differs: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestMapSpecsErrorPropagation(t *testing.T) {
+	cfg := quickCfg("nope")
+	if _, err := Table5(cfg); err == nil {
+		t.Fatal("Table5 accepted unknown workload")
+	}
+	if _, err := Table6(cfg); err == nil {
+		t.Fatal("Table6 accepted unknown workload")
+	}
+	if _, err := ComputeSummary(cfg); err == nil {
+		t.Fatal("summary accepted unknown workload")
+	}
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/workloads"
+)
+
+// mapSpecs runs fn over the specs with bounded real parallelism, returning
+// results in spec order. Each fn call owns its programs, runtimes, and
+// checkers end to end (nothing in the analysis pipeline is shared between
+// workloads), so this is safe, and it is where the harness uses actual Go
+// concurrency — everything under test runs on the deterministic *virtual*
+// scheduler inside each call. The first error wins and is returned after
+// all workers drain.
+func mapSpecs[T any](specs []workloads.Spec, parallel int, fn func(workloads.Spec) (T, error)) ([]T, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	if parallel <= 1 {
+		out := make([]T, len(specs))
+		for i, s := range specs {
+			r, err := fn(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	out := make([]T, len(specs))
+	errs := make([]error, len(specs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

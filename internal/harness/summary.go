@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/race"
+	"repro/internal/report"
+	"repro/internal/workloads"
+	"repro/internal/yield"
+)
+
+// Summary aggregates the headline numbers across the whole suite — the
+// paragraph-level claims of the paper, computed rather than asserted.
+type Summary struct {
+	Workloads          int
+	Buggy              int
+	TotalEvents        int
+	TotalYieldSites    int // explicit + inferred, distinct per workload
+	MedianYieldSites   int
+	MaxYieldSites      int
+	CooperableAfterInf int // workloads fully cooperable after inference
+	RaceFreeCorrect    int // correct workloads with zero races
+	CorrectTotal       int
+	YieldFreeMethodPct float64 // weighted by methods
+}
+
+// ComputeSummary runs the battery over the configured workloads and
+// aggregates.
+func ComputeSummary(cfg Config) (*Summary, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{Workloads: len(specs)}
+	type part struct {
+		buggy, raceFree, clean           bool
+		events, sites, methods, yielding int
+	}
+	parts, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) (part, error) {
+		var pt part
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			return pt, err
+		}
+		pt.buggy = spec.Buggy
+		pt.raceFree = true
+		for _, tr := range col.Traces {
+			if len(race.Analyze(tr).Races()) > 0 {
+				pt.raceFree = false
+			}
+			pt.events += tr.Len()
+		}
+		inf := yield.Infer(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+		explicit := map[string]bool{}
+		for _, tr := range col.Traces {
+			for _, e := range tr.Events {
+				if e.Op.String() == "yield" && e.Loc != 0 {
+					explicit[tr.Strings.Name(e.Loc)] = true
+				}
+			}
+		}
+		pt.sites = inf.Count() + len(explicit)
+		pt.clean = true
+		for _, tr := range col.Traces {
+			c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: inf.Yields})
+			if !c.Cooperable() {
+				pt.clean = false
+			}
+		}
+		pt.methods = inf.MethodsSeen
+		pt.yielding = inf.YieldingMethods
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var perWorkloadYields []int
+	methodsTotal, methodsYielding := 0, 0
+	for _, pt := range parts {
+		if pt.buggy {
+			s.Buggy++
+		} else {
+			s.CorrectTotal++
+			if pt.raceFree {
+				s.RaceFreeCorrect++
+			}
+		}
+		s.TotalEvents += pt.events
+		perWorkloadYields = append(perWorkloadYields, pt.sites)
+		s.TotalYieldSites += pt.sites
+		if pt.sites > s.MaxYieldSites {
+			s.MaxYieldSites = pt.sites
+		}
+		if pt.clean {
+			s.CooperableAfterInf++
+		}
+		methodsTotal += pt.methods
+		methodsYielding += pt.yielding
+	}
+	sort.Ints(perWorkloadYields)
+	if n := len(perWorkloadYields); n > 0 {
+		s.MedianYieldSites = perWorkloadYields[n/2]
+	}
+	if methodsTotal > 0 {
+		s.YieldFreeMethodPct = float64(methodsTotal-methodsYielding) / float64(methodsTotal)
+	}
+	return s, nil
+}
+
+// Render prints the summary as prose, matching EXPERIMENTS.md's headline
+// section.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Suite summary (%d workloads, %d with planted bugs, %d events analyzed)\n",
+		s.Workloads, s.Buggy, s.TotalEvents)
+	fmt.Fprintf(&b, "  annotation burden: %d yield sites total; median %d, max %d per workload\n",
+		s.TotalYieldSites, s.MedianYieldSites, s.MaxYieldSites)
+	fmt.Fprintf(&b, "  cooperable after inference: %d/%d workloads\n",
+		s.CooperableAfterInf, s.Workloads)
+	fmt.Fprintf(&b, "  race-free correct workloads: %d/%d (the rest have documented benign races)\n",
+		s.RaceFreeCorrect, s.CorrectTotal)
+	fmt.Fprintf(&b, "  yield-free methods: %s\n", report.Pct(s.YieldFreeMethodPct))
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"sort"
+
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/lockset"
+	"repro/internal/movers"
+	"repro/internal/race"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/velodrome"
+	"repro/internal/workloads"
+	"repro/internal/yield"
+)
+
+// Table1 regenerates the benchmark-characteristics table: structural
+// numbers for every workload under a representative preemptive schedule.
+func Table1(cfg Config) (*report.Table, error) {
+	t := report.NewTable("Table 1: benchmark characteristics",
+		"benchmark", "threads", "events", "vars", "locks", "methods", "accesses", "syncs", "yields")
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Representative trace: the first seeded-random one (index 3).
+		tr := col.Traces[3]
+		res := col.Results[3]
+		methods := map[uint64]bool{}
+		accesses, syncs, yields := 0, 0, 0
+		for _, e := range tr.Events {
+			switch {
+			case e.Op == trace.OpEnter:
+				methods[e.Target] = true
+			case e.Op.IsAccess() || e.Op.IsVolatile():
+				accesses++
+			case e.Op.IsLockOp() || e.Op == trace.OpWait || e.Op == trace.OpNotify:
+				syncs++
+			case e.Op == trace.OpYield:
+				yields++
+			}
+		}
+		return []string{spec.Name,
+			report.Itoa(res.Threads),
+			report.Itoa(tr.Len()),
+			report.Itoa(len(tr.Vars())),
+			report.Itoa(len(tr.Locks())),
+			report.Itoa(len(methods)),
+			report.Itoa(accesses),
+			report.Itoa(syncs),
+			report.Itoa(yields),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.AddNote("one seeded-random schedule per benchmark; vars counts plain+volatile targets")
+	return t, nil
+}
+
+// Table2 regenerates the annotation-burden table — the paper's headline:
+// how many yields each benchmark needs and what fraction of its methods
+// stays yield-free.
+func Table2(cfg Config) (*report.Table, error) {
+	t := report.NewTable("Table 2: cooperability annotation burden",
+		"benchmark", "traces", "explicit", "inferred", "residual", "methods", "yield-free", "minimal")
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := yield.Infer(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+		explicit := map[trace.LocID]bool{}
+		for _, tr := range col.Traces {
+			for _, e := range tr.Events {
+				if e.Op == trace.OpYield {
+					explicit[e.Loc] = true
+				}
+			}
+		}
+		minimal := res.Count()
+		if res.Converged {
+			minimal = len(yield.Minimize(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, res.Yields))
+		}
+		return []string{spec.Name,
+			report.Itoa(len(col.Traces)),
+			report.Itoa(len(explicit)),
+			report.Itoa(res.Count()),
+			report.Itoa(res.Residual),
+			report.Itoa(res.MethodsSeen),
+			report.Pct(res.YieldFreeFraction()),
+			report.Itoa(minimal),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.AddNote("explicit = distinct yield annotation sites in the source; inferred = additional sites the checker requires")
+	t.AddNote("yield-free = fraction of observed methods with no yield point (paper's headline metric)")
+	t.AddNote("minimal = inferred set after greedy minimization (the honest burden number)")
+	return t, nil
+}
+
+// distinctViolationLocs unions cooperability violation locations (two-pass)
+// across traces.
+func distinctViolationLocs(traces []*trace.Trace, opts core.Options) map[trace.LocID]bool {
+	out := map[trace.LocID]bool{}
+	for _, tr := range traces {
+		c := core.AnalyzeTwoPass(tr, opts)
+		for _, v := range c.Violations() {
+			out[v.Event.Loc] = true
+		}
+	}
+	return out
+}
+
+// Table3 regenerates the checker-comparison table: warning counts and
+// specification burden for race freedom (happens-before and lockset),
+// atomicity, and cooperability before/after yield inference.
+func Table3(cfg Config) (*report.Table, error) {
+	t := report.NewTable("Table 3: checker comparison",
+		"benchmark", "ft-races", "ls-warn", "atom-viol", "velo-viol", "coop-before", "coop-after", "yields", "atomic-blocks")
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		racyVars := map[uint64]bool{}
+		lsVars := map[uint64]bool{}
+		atomLocs := map[trace.LocID]bool{}
+		blocks := 0
+		velo := 0
+		for _, tr := range col.Traces {
+			d := race.Analyze(tr)
+			for _, v := range d.RacyVars() {
+				racyVars[v] = true
+			}
+			ls := lockset.Analyze(tr)
+			for _, v := range ls.WarnedVars() {
+				lsVars[v] = true
+			}
+			ac := atom.Analyze(tr, atom.Options{MethodsAtomic: true})
+			for _, v := range ac.Violations() {
+				atomLocs[v.Event.Loc] = true
+			}
+			if ac.Blocks() > blocks {
+				blocks = ac.Blocks()
+			}
+			if n := len(velodrome.Analyze(tr, velodrome.Options{MethodsAtomic: true})); n > velo {
+				velo = n
+			}
+		}
+		before := distinctViolationLocs(col.Traces, core.Options{Policy: movers.DefaultPolicy()})
+		inf := yield.Infer(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+		after := 0
+		for _, tr := range col.Traces {
+			c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: inf.Yields})
+			after += len(c.Violations())
+		}
+		return []string{spec.Name,
+			report.Itoa(len(racyVars)),
+			report.Itoa(len(lsVars)),
+			report.Itoa(len(atomLocs)),
+			report.Itoa(velo),
+			report.Itoa(len(before)),
+			report.Itoa(after),
+			report.Itoa(inf.Count()),
+			report.Itoa(blocks),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	t.AddNote("ft-races/ls-warn = distinct warned variables across all traces; atom-viol under methods-atomic assumption")
+	t.AddNote("velo-viol = max unserializable transactions in any single trace (Velodrome, methods-atomic)")
+	t.AddNote("coop-after = violations remaining once the inferred yield set is applied (0 = cooperable)")
+	t.AddNote("yields vs atomic-blocks compares specification burden (paper: few yields vs one block per method)")
+	return t, nil
+}
+
+// SortedLocs renders a location set against a string table (debug helper
+// shared with cmd/yieldinfer).
+func SortedLocs(locs map[trace.LocID]bool, strs *trace.Strings) []string {
+	out := make([]string, 0, len(locs))
+	for l := range locs {
+		out = append(out, strs.Name(l))
+	}
+	sort.Strings(out)
+	return out
+}

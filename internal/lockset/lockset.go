@@ -1,0 +1,196 @@
+// Package lockset implements an Eraser-style lockset race detector
+// (Savage et al., SOSP 1997) — the second race-detection baseline of the
+// checker-comparison experiment. Unlike the happens-before detector in
+// internal/race it is flow-insensitive: it warns whenever a shared-modified
+// variable's candidate lockset becomes empty, which catches races that a
+// particular interleaving hides but also produces the false positives
+// (e.g. fork/join transfer, publication idioms) the paper-era literature
+// documents.
+package lockset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// State is a variable's position in Eraser's ownership state machine.
+type State uint8
+
+const (
+	// Virgin: never accessed.
+	Virgin State = iota
+	// Exclusive: accessed by a single thread so far.
+	Exclusive
+	// Shared: read (but not written) by multiple threads.
+	Shared
+	// SharedModified: written by multiple threads or written after sharing;
+	// the only state in which an empty lockset warns.
+	SharedModified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Virgin:
+		return "virgin"
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case SharedModified:
+		return "shared-modified"
+	}
+	return "invalid"
+}
+
+// Warning reports a variable whose candidate lockset became empty while
+// shared-modified.
+type Warning struct {
+	// Var is the unprotected variable.
+	Var uint64
+	// Event is the access that emptied the lockset (or accessed with an
+	// already-empty set).
+	Event trace.Event
+}
+
+// String renders a compact description.
+func (w Warning) String() string {
+	return fmt.Sprintf("lockset warning: var %d accessed with empty lockset by T%d (%s) at #%d",
+		w.Var, w.Event.Tid, w.Event.Op, w.Event.Idx)
+}
+
+type varState struct {
+	state    State
+	owner    trace.TID
+	set      map[uint64]bool // candidate lockset; nil = "all locks" (virgin)
+	reported bool
+}
+
+// Checker is a streaming Eraser analysis; it implements sched.Observer.
+type Checker struct {
+	vars     map[uint64]*varState
+	held     map[trace.TID]map[uint64]int
+	warnings []Warning
+	events   int
+}
+
+// New returns an empty lockset checker.
+func New() *Checker {
+	return &Checker{
+		vars: make(map[uint64]*varState),
+		held: make(map[trace.TID]map[uint64]int),
+	}
+}
+
+func (c *Checker) locksOf(t trace.TID) map[uint64]int {
+	m, ok := c.held[t]
+	if !ok {
+		m = make(map[uint64]int)
+		c.held[t] = m
+	}
+	return m
+}
+
+// Event processes one event in trace order.
+func (c *Checker) Event(e trace.Event) {
+	c.events++
+	switch e.Op {
+	case trace.OpAcquire:
+		c.locksOf(e.Tid)[e.Target]++
+	case trace.OpRelease:
+		m := c.locksOf(e.Tid)
+		if m[e.Target] > 0 {
+			m[e.Target]--
+		}
+	case trace.OpWait:
+		// Wait releases the guarding lock entirely; the reacquisition
+		// arrives as a separate acquire event.
+		delete(c.locksOf(e.Tid), e.Target)
+	case trace.OpRead, trace.OpWrite:
+		c.access(e)
+	}
+}
+
+func (c *Checker) access(e trace.Event) {
+	s, ok := c.vars[e.Target]
+	if !ok {
+		s = &varState{state: Virgin}
+		c.vars[e.Target] = s
+	}
+	isWrite := e.Op == trace.OpWrite
+	switch s.state {
+	case Virgin:
+		s.state = Exclusive
+		s.owner = e.Tid
+		return
+	case Exclusive:
+		if e.Tid == s.owner {
+			return
+		}
+		// First access by a second thread: initialize the candidate set to
+		// the locks held now, then fall through to refinement semantics.
+		if isWrite {
+			s.state = SharedModified
+		} else {
+			s.state = Shared
+		}
+		s.set = c.heldSet(e.Tid)
+	case Shared:
+		if isWrite {
+			s.state = SharedModified
+		}
+		c.refine(s, e)
+	case SharedModified:
+		c.refine(s, e)
+	}
+	if s.state == SharedModified && len(s.set) == 0 && !s.reported {
+		s.reported = true
+		c.warnings = append(c.warnings, Warning{Var: e.Target, Event: e})
+	}
+}
+
+func (c *Checker) heldSet(t trace.TID) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for l, n := range c.locksOf(t) {
+		if n > 0 {
+			out[l] = true
+		}
+	}
+	return out
+}
+
+func (c *Checker) refine(s *varState, e trace.Event) {
+	held := c.locksOf(e.Tid)
+	for l := range s.set {
+		if held[l] == 0 {
+			delete(s.set, l)
+		}
+	}
+}
+
+// Warnings returns the per-variable warnings in detection order.
+func (c *Checker) Warnings() []Warning { return c.warnings }
+
+// WarnedVars returns the warned variable ids in ascending order.
+func (c *Checker) WarnedVars() []uint64 {
+	out := make([]uint64, 0, len(c.warnings))
+	for _, w := range c.warnings {
+		out = append(out, w.Var)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Events returns the number of events processed.
+func (c *Checker) Events() int { return c.events }
+
+// Analyze runs a fresh checker over a complete trace.
+func Analyze(tr *trace.Trace) *Checker {
+	c := New()
+	for _, e := range tr.Events {
+		c.Event(e)
+	}
+	return c
+}

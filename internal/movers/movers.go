@@ -1,0 +1,172 @@
+// Package movers classifies instrumented events according to Lipton's
+// theory of reduction (Lipton, CACM 1975), the substrate of the
+// cooperability checker.
+//
+// A *right mover* commutes later past adjacent operations of other threads
+// (lock acquires: once acquired, no other thread can touch the lock until
+// the release). A *left mover* commutes earlier (lock releases). A *both
+// mover* commutes either way (race-free accesses: no concurrent conflicting
+// operation exists). A *non mover* commutes neither way (racy accesses,
+// volatile accesses). A yield-delimited transaction is reducible — i.e.
+// equivalent to executing serially — when it matches the pattern
+// (right|both)* [non] (left|both)*.
+//
+// Fork and join are cooperative scheduling points by default: spawning a
+// thread begins interference and joining one blocks, so cooperative
+// semantics switches there, exactly like explicit yields and condition
+// waits. A policy flag instead classifies fork as a left mover (it only
+// conflicts with operations of the created thread, which cannot precede
+// it, so it commutes earlier — release-like) and join as a right mover
+// (acquire-like), the pure Lipton treatment.
+package movers
+
+import (
+	"repro/internal/race"
+	"repro/internal/trace"
+)
+
+// Mover is an event's commutativity class.
+type Mover uint8
+
+const (
+	// None marks events with no mover relevance (method spans, atomic-spec
+	// markers, notify under the guarding lock).
+	None Mover = iota
+	// Both commutes in either direction.
+	Both
+	// Right commutes later (pre-commit actions).
+	Right
+	// Left commutes earlier (post-commit actions).
+	Left
+	// Non commutes in neither direction (the commit action).
+	Non
+	// Boundary is not a mover: the event is a cooperative scheduling point
+	// (yield, wait, thread begin/end, join) that delimits transactions.
+	Boundary
+)
+
+// String names the mover class.
+func (m Mover) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Both:
+		return "both"
+	case Right:
+		return "right"
+	case Left:
+		return "left"
+	case Non:
+		return "non"
+	case Boundary:
+		return "boundary"
+	}
+	return "invalid"
+}
+
+// Policy configures classification choices the paper leaves to the tool.
+type Policy struct {
+	// VolatileIsYield treats volatile accesses as yield points rather than
+	// non-movers. Off by default: a volatile access is the commit action of
+	// its transaction, which matches treating volatiles as the lone
+	// permitted interference in lock-free code.
+	VolatileIsYield bool
+	// JoinIsBoundary treats join as a cooperative scheduling point (it
+	// blocks). On in the defaults; turning it off classifies join as a
+	// plain right mover, making post-commit joins violations.
+	JoinIsBoundary bool
+	// ForkIsBoundary treats fork as a cooperative scheduling point (the
+	// spawned thread begins interfering). On in the defaults; turning it
+	// off classifies fork as a left mover, which commits the enclosing
+	// transaction instead of ending it.
+	ForkIsBoundary bool
+}
+
+// DefaultPolicy matches the semantics described in DESIGN.md.
+func DefaultPolicy() Policy {
+	return Policy{JoinIsBoundary: true, ForkIsBoundary: true}
+}
+
+// Classifier assigns mover classes to a stream of events. Classification of
+// plain accesses depends on race knowledge:
+//
+//   - In online mode (NewOnline) an embedded FastTrack detector runs along;
+//     an access is a non-mover if its variable has raced so far. The first
+//     access of the first racy pair is classified Both (the race is not yet
+//     visible) — a deliberate under-approximation, repaired by two-pass mode.
+//   - In two-pass mode (NewWithKnownRaces) the racy-variable set comes from
+//     a prior full pass, so every access of a racy variable is a non-mover.
+//
+// Classify must be called exactly once per event, in trace order.
+type Classifier struct {
+	policy   Policy
+	detector *race.Detector  // nil in two-pass mode
+	racy     map[uint64]bool // known racy vars (two-pass), or nil
+}
+
+// NewOnline returns a streaming classifier with an embedded race detector.
+func NewOnline(policy Policy) *Classifier {
+	return &Classifier{policy: policy, detector: race.New()}
+}
+
+// NewWithKnownRaces returns a two-pass classifier that uses a precomputed
+// racy-variable set (e.g. race.RacyVarsOf of the same trace).
+func NewWithKnownRaces(policy Policy, racy map[uint64]bool) *Classifier {
+	if racy == nil {
+		racy = map[uint64]bool{}
+	}
+	return &Classifier{policy: policy, racy: racy}
+}
+
+// Detector exposes the embedded race detector in online mode (nil in
+// two-pass mode); the harness reads its race reports after a run.
+func (c *Classifier) Detector() *race.Detector { return c.detector }
+
+// Classify consumes one event and returns its mover class.
+func (c *Classifier) Classify(e trace.Event) Mover {
+	if c.detector != nil {
+		c.detector.Event(e)
+	}
+	switch e.Op {
+	case trace.OpYield, trace.OpWait, trace.OpBegin, trace.OpEnd:
+		return Boundary
+	case trace.OpJoin:
+		if c.policy.JoinIsBoundary {
+			return Boundary
+		}
+		return Right
+	case trace.OpAcquire:
+		return Right
+	case trace.OpRelease:
+		return Left
+	case trace.OpFork:
+		if c.policy.ForkIsBoundary {
+			return Boundary
+		}
+		return Left
+	case trace.OpVolRead, trace.OpVolWrite:
+		if c.policy.VolatileIsYield {
+			return Boundary
+		}
+		return Non
+	case trace.OpRead, trace.OpWrite:
+		if c.isRacy(e) {
+			return Non
+		}
+		return Both
+	case trace.OpNotify:
+		// Notify requires holding the guarding lock, so it cannot execute
+		// concurrently with a conflicting monitor operation.
+		return None
+	default:
+		// Enter/Exit/AtomicBegin/AtomicEnd are analysis markers.
+		return None
+	}
+}
+
+func (c *Classifier) isRacy(e trace.Event) bool {
+	if c.racy != nil {
+		return c.racy[e.Target]
+	}
+	return c.detector.LastRaced() || c.detector.IsRacyVar(e.Target)
+}

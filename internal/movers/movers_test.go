@@ -1,0 +1,133 @@
+package movers
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func classifyAll(t *testing.T, c *Classifier, tr *trace.Trace) []Mover {
+	t.Helper()
+	out := make([]Mover, tr.Len())
+	for i, e := range tr.Events {
+		out[i] = c.Classify(e)
+	}
+	return out
+}
+
+func TestFixedClassifications(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Begin().Acq(1).Rel(1).Yield().Fork(1).Enter(5).Exit(5).Notify(1).End()
+	tr := b.Trace()
+	got := classifyAll(t, NewOnline(DefaultPolicy()), tr)
+	want := []Mover{Boundary, Right, Left, Boundary, Boundary, None, None, None, Boundary}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d (%v): mover %v, want %v", i, tr.Events[i].Op, got[i], want[i])
+		}
+	}
+}
+
+func TestJoinPolicy(t *testing.T) {
+	e := trace.Event{Op: trace.OpJoin, Target: 1}
+	if got := NewOnline(DefaultPolicy()).Classify(e); got != Boundary {
+		t.Errorf("join default = %v, want Boundary", got)
+	}
+	if got := NewOnline(Policy{JoinIsBoundary: false}).Classify(e); got != Right {
+		t.Errorf("join non-boundary = %v, want Right", got)
+	}
+}
+
+func TestVolatilePolicy(t *testing.T) {
+	e := trace.Event{Op: trace.OpVolWrite, Target: 100}
+	if got := NewOnline(DefaultPolicy()).Classify(e); got != Non {
+		t.Errorf("volatile default = %v, want Non", got)
+	}
+	p := DefaultPolicy()
+	p.VolatileIsYield = true
+	if got := NewOnline(p).Classify(e); got != Boundary {
+		t.Errorf("volatile-as-yield = %v, want Boundary", got)
+	}
+}
+
+func TestRaceFreeAccessesAreBothMovers(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Acq(10).Read(1).Write(1).Rel(10)
+	b.On(1).Begin().Acq(10).Read(1).Rel(10).End()
+	b.On(0).Join(1).End()
+	tr := b.Trace()
+	c := NewOnline(DefaultPolicy())
+	for _, e := range tr.Events {
+		m := c.Classify(e)
+		if e.Op.IsAccess() && m != Both {
+			t.Errorf("lock-protected access at #%d classified %v", e.Idx, m)
+		}
+	}
+}
+
+func TestOnlineRacyAccessBecomesNonMover(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1)
+	b.On(1).Begin().Write(1) // races with T0's write
+	b.On(1).Write(1)         // var already known racy
+	b.On(1).End()
+	b.On(0).End()
+	tr := b.Trace()
+	c := NewOnline(DefaultPolicy())
+	var got []Mover
+	for _, e := range tr.Events {
+		m := c.Classify(e)
+		if e.Op.IsAccess() {
+			got = append(got, m)
+		}
+	}
+	// First write: race not yet visible -> Both (documented blind spot).
+	// Second write: races now -> Non. Third: var known racy -> Non.
+	want := []Mover{Both, Non, Non}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("access %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(c.Detector().Races()) == 0 {
+		t.Error("embedded detector should have seen the race")
+	}
+}
+
+func TestTwoPassClassifierUsesKnownSet(t *testing.T) {
+	c := NewWithKnownRaces(DefaultPolicy(), map[uint64]bool{7: true})
+	if got := c.Classify(trace.Event{Op: trace.OpWrite, Target: 7}); got != Non {
+		t.Errorf("known-racy write = %v, want Non", got)
+	}
+	if got := c.Classify(trace.Event{Op: trace.OpRead, Target: 8}); got != Both {
+		t.Errorf("race-free read = %v, want Both", got)
+	}
+	if c.Detector() != nil {
+		t.Error("two-pass classifier should have no embedded detector")
+	}
+	// Nil map is tolerated.
+	c2 := NewWithKnownRaces(DefaultPolicy(), nil)
+	if got := c2.Classify(trace.Event{Op: trace.OpWrite, Target: 7}); got != Both {
+		t.Errorf("nil-set write = %v, want Both", got)
+	}
+}
+
+func TestMoverString(t *testing.T) {
+	cases := map[Mover]string{
+		None: "none", Both: "both", Right: "right",
+		Left: "left", Non: "non", Boundary: "boundary", Mover(99): "invalid",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestWaitIsBoundary(t *testing.T) {
+	c := NewOnline(DefaultPolicy())
+	if got := c.Classify(trace.Event{Op: trace.OpWait, Target: 1}); got != Boundary {
+		t.Errorf("wait = %v, want Boundary", got)
+	}
+}

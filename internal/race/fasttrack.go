@@ -1,0 +1,293 @@
+// Package race implements a FastTrack-style happens-before race detector
+// (Flanagan & Freund, PLDI 2009) over the module's event model, plus a
+// slower full-vector-clock reference detector used as a testing oracle.
+//
+// The detector serves two roles in the reproduction: it is Baseline 1 in the
+// checker-comparison experiment (race-freedom warnings vs cooperability
+// warnings), and it supplies the mover classification substrate — an access
+// is a both-mover exactly when it is race-free, which is what Lipton
+// reduction and therefore the cooperability checker consume.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Kind classifies a race by the order of the conflicting accesses.
+type Kind uint8
+
+const (
+	// WriteWrite is a write racing with an earlier write.
+	WriteWrite Kind = iota
+	// WriteRead is a read racing with an earlier write.
+	WriteRead
+	// ReadWrite is a write racing with an earlier read.
+	ReadWrite
+)
+
+// String names the race kind.
+func (k Kind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	case ReadWrite:
+		return "read-write"
+	}
+	return "unknown"
+}
+
+// Race reports one data race: the current access and what it raced with.
+type Race struct {
+	Kind Kind
+	// Var is the shared-variable id both accesses touched.
+	Var uint64
+	// Access is the second (detecting) access.
+	Access trace.Event
+	// PrevTid is the thread of the earlier conflicting access.
+	PrevTid trace.TID
+	// PrevLoc is the source location of the earlier access when known.
+	PrevLoc trace.LocID
+}
+
+// String renders a compact description; resolve locations via the trace's
+// string table for full reports.
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on var %d: T%d %s at #%d vs T%d",
+		r.Kind, r.Var, r.Access.Tid, r.Access.Op, r.Access.Idx, r.PrevTid)
+}
+
+type varState struct {
+	w      vc.Epoch // last write
+	r      vc.Epoch // last read when unshared
+	rvc    vc.VC    // read clocks when shared
+	shared bool
+	wLoc   trace.LocID
+	wTid   trace.TID
+	rLoc   trace.LocID
+	rTid   trace.TID
+}
+
+// Detector is a streaming FastTrack race detector. Feed it every event of a
+// trace in order via Event; it implements sched.Observer.
+// The zero value is not usable; call New.
+type Detector struct {
+	threads map[trace.TID]vc.VC
+	locks   map[uint64]vc.VC
+	vols    map[uint64]vc.VC
+	vars    map[uint64]*varState
+
+	races     []Race
+	seen      map[raceKey]bool
+	racyVars  map[uint64]bool
+	lastRaced bool
+	events    int
+}
+
+type raceKey struct {
+	v        uint64
+	kind     Kind
+	loc      trace.LocID
+	prevLoc  trace.LocID
+	tidPair  uint64
+	accessOp trace.Op
+}
+
+// New returns an empty detector.
+func New() *Detector {
+	return &Detector{
+		threads:  make(map[trace.TID]vc.VC),
+		locks:    make(map[uint64]vc.VC),
+		vols:     make(map[uint64]vc.VC),
+		vars:     make(map[uint64]*varState),
+		seen:     make(map[raceKey]bool),
+		racyVars: make(map[uint64]bool),
+	}
+}
+
+func (d *Detector) clock(t trace.TID) vc.VC {
+	c, ok := d.threads[t]
+	if !ok {
+		c = vc.New(int(t)+1).Set(int(t), 1)
+		d.threads[t] = c
+	}
+	return c
+}
+
+func (d *Detector) epoch(t trace.TID) vc.Epoch {
+	return vc.MakeEpoch(int(t), d.clock(t).Get(int(t)))
+}
+
+func (d *Detector) vs(x uint64) *varState {
+	s, ok := d.vars[x]
+	if !ok {
+		s = &varState{w: vc.NoEpoch, r: vc.NoEpoch, wTid: -1, rTid: -1}
+		d.vars[x] = s
+	}
+	return s
+}
+
+// Event processes one instrumented event. Events must arrive in trace order.
+func (d *Detector) Event(e trace.Event) {
+	d.events++
+	d.lastRaced = false
+	t := e.Tid
+	switch e.Op {
+	case trace.OpBegin, trace.OpEnd, trace.OpNotify,
+		trace.OpYield, trace.OpEnter, trace.OpExit,
+		trace.OpAtomicBegin, trace.OpAtomicEnd:
+		// No happens-before effect. Begin still materializes the clock so
+		// epochs are well-defined.
+		d.clock(t)
+	case trace.OpFork:
+		child := trace.TID(e.Target)
+		cc := d.clock(child).Join(d.clock(t))
+		d.threads[child] = cc
+		d.threads[t] = d.clock(t).Tick(int(t))
+	case trace.OpJoin:
+		child := trace.TID(e.Target)
+		d.threads[t] = d.clock(t).Join(d.clock(child))
+	case trace.OpAcquire:
+		d.threads[t] = d.clock(t).Join(d.locks[e.Target])
+	case trace.OpRelease, trace.OpWait:
+		// Wait's release half; its reacquire arrives as a normal acquire.
+		d.locks[e.Target] = d.clock(t).Copy()
+		d.threads[t] = d.clock(t).Tick(int(t))
+	case trace.OpVolWrite:
+		d.vols[e.Target] = d.clock(t).Copy()
+		d.threads[t] = d.clock(t).Tick(int(t))
+	case trace.OpVolRead:
+		d.threads[t] = d.clock(t).Join(d.vols[e.Target])
+	case trace.OpRead:
+		d.read(e)
+	case trace.OpWrite:
+		d.write(e)
+	}
+}
+
+// read applies FastTrack's read rules.
+func (d *Detector) read(e trace.Event) {
+	t := e.Tid
+	c := d.clock(t)
+	s := d.vs(e.Target)
+	ep := d.epoch(t)
+
+	if !s.shared && s.r == ep {
+		// Same-epoch read; nothing to do, not even a write check (already
+		// performed at the first read of this epoch).
+		return
+	}
+	if !s.w.LeqVC(c) {
+		d.report(Race{Kind: WriteRead, Var: e.Target, Access: e, PrevTid: s.wTid, PrevLoc: s.wLoc})
+	}
+	if s.shared {
+		s.rvc = s.rvc.Set(int(t), c.Get(int(t)))
+	} else if s.r == vc.NoEpoch || s.r.LeqVC(c) {
+		// Exclusive read that supersedes the previous one.
+		s.r = ep
+	} else {
+		// Concurrent reads: inflate to a read vector.
+		s.shared = true
+		s.rvc = vc.New(int(t) + 1)
+		s.rvc = s.rvc.Set(s.r.Tid(), s.r.Clock())
+		s.rvc = s.rvc.Set(int(t), c.Get(int(t)))
+		s.r = vc.NoEpoch
+	}
+	s.rTid = t
+	s.rLoc = e.Loc
+}
+
+// write applies FastTrack's write rules.
+func (d *Detector) write(e trace.Event) {
+	t := e.Tid
+	c := d.clock(t)
+	s := d.vs(e.Target)
+	ep := d.epoch(t)
+
+	if !s.shared && s.w == ep {
+		return // same-epoch write
+	}
+	if !s.w.LeqVC(c) {
+		d.report(Race{Kind: WriteWrite, Var: e.Target, Access: e, PrevTid: s.wTid, PrevLoc: s.wLoc})
+	}
+	if s.shared {
+		if !s.rvc.Leq(c) {
+			d.report(Race{Kind: ReadWrite, Var: e.Target, Access: e, PrevTid: s.rTid, PrevLoc: s.rLoc})
+		}
+		// Shared reads are cleared after a write (FastTrack's WRITE SHARED).
+		s.shared = false
+		s.rvc = nil
+		s.r = vc.NoEpoch
+	} else if !s.r.LeqVC(c) {
+		d.report(Race{Kind: ReadWrite, Var: e.Target, Access: e, PrevTid: s.rTid, PrevLoc: s.rLoc})
+	}
+	s.w = ep
+	s.wTid = t
+	s.wLoc = e.Loc
+}
+
+func (d *Detector) report(r Race) {
+	d.lastRaced = true
+	d.racyVars[r.Var] = true
+	key := raceKey{
+		v:        r.Var,
+		kind:     r.Kind,
+		loc:      r.Access.Loc,
+		prevLoc:  r.PrevLoc,
+		tidPair:  uint64(r.Access.Tid)<<32 | uint64(uint32(r.PrevTid)),
+		accessOp: r.Access.Op,
+	}
+	if d.seen[key] {
+		return
+	}
+	d.seen[key] = true
+	d.races = append(d.races, r)
+}
+
+// LastRaced reports whether the most recently processed event was a racy
+// access. The online mover classifier consults this after each access.
+func (d *Detector) LastRaced() bool { return d.lastRaced }
+
+// Races returns the deduplicated race reports in detection order.
+func (d *Detector) Races() []Race { return d.races }
+
+// RacyVars returns the ids of variables involved in at least one race, in
+// ascending order.
+func (d *Detector) RacyVars() []uint64 {
+	out := make([]uint64, 0, len(d.racyVars))
+	for v := range d.racyVars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsRacyVar reports whether variable x has raced so far.
+func (d *Detector) IsRacyVar(x uint64) bool { return d.racyVars[x] }
+
+// Events returns the number of events processed.
+func (d *Detector) Events() int { return d.events }
+
+// Analyze runs a fresh detector over a complete trace and returns it.
+func Analyze(tr *trace.Trace) *Detector {
+	d := New()
+	for _, e := range tr.Events {
+		d.Event(e)
+	}
+	return d
+}
+
+// RacyVarsOf is a convenience: the racy-variable set of a trace, as a map.
+func RacyVarsOf(tr *trace.Trace) map[uint64]bool {
+	d := Analyze(tr)
+	out := make(map[uint64]bool, len(d.racyVars))
+	for v := range d.racyVars {
+		out[v] = true
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package race
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Oracle is a reference happens-before detector: it assigns every event a
+// full vector clock (Djit+ style, no epoch compression) and then compares
+// all access pairs pairwise. It is O(n·k + n²) and exists to cross-check
+// the FastTrack implementation in property tests and to answer precise
+// pairwise ordering queries for the equivalence engine.
+type Oracle struct {
+	tr     *trace.Trace
+	clocks []vc.VC // clock of each event (its "time" including itself)
+}
+
+// NewOracle computes per-event clocks for tr.
+func NewOracle(tr *trace.Trace) *Oracle {
+	o := &Oracle{tr: tr, clocks: make([]vc.VC, len(tr.Events))}
+	threads := make(map[trace.TID]vc.VC)
+	locks := make(map[uint64]vc.VC)
+	vols := make(map[uint64]vc.VC)
+	clock := func(t trace.TID) vc.VC {
+		c, ok := threads[t]
+		if !ok {
+			c = vc.New(int(t)+1).Set(int(t), 1)
+			threads[t] = c
+		}
+		return c
+	}
+	for i, e := range tr.Events {
+		t := e.Tid
+		c := clock(t)
+		switch e.Op {
+		case trace.OpJoin:
+			c = c.Join(clock(trace.TID(e.Target)))
+			threads[t] = c
+		case trace.OpAcquire:
+			c = c.Join(locks[e.Target])
+			threads[t] = c
+		case trace.OpVolRead:
+			c = c.Join(vols[e.Target])
+			threads[t] = c
+		}
+		// Every event ticks its thread's clock so distinct events of one
+		// thread have distinct, ordered clocks.
+		c = clock(t).Tick(int(t))
+		threads[t] = c
+		o.clocks[i] = c.Copy()
+		switch e.Op {
+		case trace.OpRelease, trace.OpWait:
+			locks[e.Target] = c.Copy()
+		case trace.OpVolWrite:
+			vols[e.Target] = c.Copy()
+		case trace.OpFork:
+			// The child's begin must come after the fork event itself.
+			child := trace.TID(e.Target)
+			threads[child] = clock(child).Join(c)
+		}
+	}
+	return o
+}
+
+// HappensBefore reports whether event i happens-before event j (strictly).
+func (o *Oracle) HappensBefore(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return o.clocks[i].Leq(o.clocks[j]) && !o.clocks[j].Leq(o.clocks[i])
+}
+
+// Ordered reports whether events i and j are ordered either way by
+// happens-before.
+func (o *Oracle) Ordered(i, j int) bool {
+	return o.HappensBefore(i, j) || o.HappensBefore(j, i)
+}
+
+// RacePairs returns every pair of conflicting, unordered plain accesses
+// (i < j), i.e. the ground-truth races of the trace.
+func (o *Oracle) RacePairs() [][2]int {
+	var out [][2]int
+	// Group accesses by variable to avoid the full n² over non-accesses.
+	byVar := make(map[uint64][]int)
+	for i, e := range o.tr.Events {
+		if e.Op.IsAccess() {
+			byVar[e.Target] = append(byVar[e.Target], i)
+		}
+	}
+	for _, idxs := range byVar {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				ei, ej := o.tr.Events[i], o.tr.Events[j]
+				if !ei.Op.IsWrite() && !ej.Op.IsWrite() {
+					continue
+				}
+				if !o.Ordered(i, j) {
+					out = append(out, [2]int{i, j})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RacyVars returns the set of variables with at least one ground-truth race.
+func (o *Oracle) RacyVars() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, p := range o.RacePairs() {
+		out[o.tr.Events[p[0]].Target] = true
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package race
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// simpleRace: T0 writes x, T1 writes x, no synchronization.
+func TestDetectsSimpleWriteWriteRace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v, want 1", d.Races())
+	}
+	r := d.Races()[0]
+	if r.Kind != WriteWrite || r.Var != 1 {
+		t.Fatalf("race = %+v", r)
+	}
+	if !d.IsRacyVar(1) || d.IsRacyVar(2) {
+		t.Fatal("racy var set wrong")
+	}
+}
+
+func TestLockProtectedAccessesDoNotRace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Acq(10).Write(1).Rel(10)
+	b.On(1).Begin().Acq(10).Write(1).Read(1).Rel(10).End()
+	b.On(0).Acq(10).Read(1).Rel(10)
+	b.On(0).Join(1).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 0 {
+		t.Fatalf("unexpected races: %v", d.Races())
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	// Parent writes before fork and after join; child writes in between.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Write(1).Fork(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).Join(1).Write(1).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 0 {
+		t.Fatalf("fork/join ordering missed: %v", d.Races())
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1)
+	b.On(1).Begin().Read(1).End()
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 1 || d.Races()[0].Kind != WriteRead {
+		t.Fatalf("races = %v, want one write-read", d.Races())
+	}
+}
+
+func TestReadWriteRaceAfterSharedReads(t *testing.T) {
+	// Two concurrent readers (read-shared inflation), then an unordered
+	// write must report a read-write race.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Fork(2)
+	b.On(1).Begin().Read(1).End()
+	b.On(2).Begin().Read(1).End()
+	b.On(0).Write(1) // no joins: races with both reads
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	var kinds []Kind
+	for _, r := range d.Races() {
+		kinds = append(kinds, r.Kind)
+	}
+	if len(d.Races()) == 0 {
+		t.Fatal("missed read-write race after shared reads")
+	}
+	found := false
+	for _, k := range kinds {
+		if k == ReadWrite {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kinds = %v, want a read-write race", kinds)
+	}
+}
+
+func TestVolatilePublishOrders(t *testing.T) {
+	// Classic safe publication: write data, volatile-write flag;
+	// reader volatile-reads flag then reads data.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1).VolWrite(100)
+	b.On(1).Begin().VolRead(100).Read(1).End()
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 0 {
+		t.Fatalf("volatile publication misordered: %v", d.Races())
+	}
+}
+
+func TestVolatileWithoutReadDoesNotOrder(t *testing.T) {
+	// The reader skips the volatile read: the data read races.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1).VolWrite(100)
+	b.On(1).Begin().Read(1).End()
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v, want 1", d.Races())
+	}
+}
+
+func TestWaitReacquireOrdering(t *testing.T) {
+	// T1 waits; T0 writes under the lock and notifies; T1's post-wait read
+	// of the data must be ordered (no race).
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().Acq(10).Wait(10) // releases the lock, blocks
+	b.On(0).Acq(10).Write(1).Notify(10).Rel(10)
+	b.On(1).Acq(10).Read(1).Rel(10).End() // reacquire emitted as plain acquire
+	b.On(0).Join(1).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 0 {
+		t.Fatalf("wait/notify ordering missed: %v", d.Races())
+	}
+}
+
+func TestSameEpochFastPath(t *testing.T) {
+	// Repeated reads and writes by one thread must not report anything and
+	// must stay cheap (exercises the same-epoch branches).
+	b := trace.NewBuilder()
+	b.On(0).Begin()
+	for i := 0; i < 100; i++ {
+		b.Read(1).Write(1)
+	}
+	b.End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) != 0 {
+		t.Fatalf("single-thread races: %v", d.Races())
+	}
+}
+
+func TestRaceDeduplication(t *testing.T) {
+	// The same racy pair of program points repeated many times yields one
+	// report (per kind/location/thread-pair).
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).At("a.go:1")
+	b.On(1).Begin().At("b.go:1")
+	for i := 0; i < 10; i++ {
+		b.On(0).Write(1)
+		b.On(1).Write(1)
+	}
+	b.On(1).End()
+	b.On(0).End()
+	d := Analyze(b.Trace())
+	if len(d.Races()) > 2 {
+		t.Fatalf("expected deduplicated reports, got %d", len(d.Races()))
+	}
+}
+
+func TestRaceStringAndKindString(t *testing.T) {
+	r := Race{Kind: WriteRead, Var: 3, Access: trace.Event{Idx: 7, Tid: 2, Op: trace.OpRead}, PrevTid: 1}
+	s := r.String()
+	for _, want := range []string{"write-read", "var 3", "T2", "#7", "T1"} {
+		if !containsStr(s, want) {
+			t.Errorf("Race.String() = %q missing %q", s, want)
+		}
+	}
+	if WriteWrite.String() != "write-write" || ReadWrite.String() != "read-write" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomSyncTrace builds a structurally valid trace with random accesses,
+// locking, volatiles, and fork/join, for oracle cross-checking.
+func randomSyncTrace(r *rand.Rand) *trace.Trace {
+	b := trace.NewBuilder()
+	nthreads := 2 + r.Intn(3)
+	b.On(0).Begin()
+	for tid := 1; tid < nthreads; tid++ {
+		b.On(0).Fork(trace.TID(tid))
+		b.On(trace.TID(tid)).Begin()
+	}
+	held := make([]map[uint64]int, nthreads)
+	for i := range held {
+		held[i] = map[uint64]int{}
+	}
+	owner := map[uint64]int{} // lock -> owning tid+1, 0 when free
+	steps := 10 + r.Intn(80)
+	for i := 0; i < steps; i++ {
+		tid := trace.TID(r.Intn(nthreads))
+		b.On(tid)
+		switch r.Intn(8) {
+		case 0, 1:
+			b.Read(uint64(r.Intn(4)))
+		case 2, 3:
+			b.Write(uint64(r.Intn(4)))
+		case 4:
+			m := uint64(10 + r.Intn(2))
+			// Keep the trace lock-feasible: acquire only free locks or
+			// reentrantly.
+			if owner[m] == 0 || owner[m] == int(tid)+1 {
+				b.Acq(m)
+				owner[m] = int(tid) + 1
+				held[tid][m]++
+			}
+		case 5:
+			for m, n := range held[tid] {
+				if n > 0 {
+					b.Rel(m)
+					held[tid][m]--
+					if held[tid][m] == 0 {
+						owner[m] = 0
+					}
+					break
+				}
+			}
+		case 6:
+			b.VolWrite(uint64(100 + r.Intn(2)))
+		case 7:
+			b.VolRead(uint64(100 + r.Intn(2)))
+		}
+	}
+	// Release everything still held, end workers, join from main.
+	for tid := nthreads - 1; tid >= 1; tid-- {
+		b.On(trace.TID(tid))
+		for m, n := range held[tid] {
+			for ; n > 0; n-- {
+				b.Rel(m)
+			}
+		}
+		b.End()
+		b.On(0).Join(trace.TID(tid))
+	}
+	b.On(0)
+	for m, n := range held[0] {
+		for ; n > 0; n-- {
+			b.Rel(m)
+		}
+	}
+	b.On(0).End()
+	return b.Trace()
+}
+
+// TestPropFastTrackAgreesWithOracle checks that the racy-variable sets of
+// FastTrack and the full-VC oracle coincide on random traces. (FastTrack is
+// sound and complete for the first race on each variable, so the sets must
+// be equal even though individual pair reports may differ.)
+func TestPropFastTrackAgreesWithOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(r)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generator produced invalid trace: %v", err)
+		}
+		ft := RacyVarsOf(tr)
+		or := NewOracle(tr).RacyVars()
+		if !reflect.DeepEqual(ft, or) {
+			t.Logf("seed %d: fasttrack %v oracle %v", seed, ft, or)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleHappensBeforeBasics(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Write(1).Fork(1) // 0,1,2
+	b.On(1).Begin().Write(1).End()   // 3,4,5
+	b.On(0).Join(1).Write(1).End()   // 6,7,8
+	o := NewOracle(b.Trace())
+	if !o.HappensBefore(1, 4) {
+		t.Error("write-before-fork should happen-before child write")
+	}
+	if !o.HappensBefore(4, 7) {
+		t.Error("child write should happen-before post-join write")
+	}
+	if o.HappensBefore(4, 1) || o.HappensBefore(7, 4) {
+		t.Error("happens-before direction wrong")
+	}
+	if o.HappensBefore(1, 1) {
+		t.Error("HappensBefore must be irreflexive")
+	}
+	if len(o.RacePairs()) != 0 {
+		t.Errorf("RacePairs = %v, want none", o.RacePairs())
+	}
+}
+
+func TestOracleFindsRacePairs(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1).Write(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).End()
+	o := NewOracle(b.Trace())
+	pairs := o.RacePairs()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want 1", pairs)
+	}
+	if !o.RacyVars()[1] {
+		t.Fatal("oracle racy vars missing var 1")
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Begin().Write(1).End()
+	d := Analyze(b.Trace())
+	if d.Events() != 3 {
+		t.Fatalf("Events = %d, want 3", d.Events())
+	}
+}
+
+func BenchmarkFastTrackLockedAccesses(b *testing.B) {
+	bld := trace.NewBuilder()
+	bld.On(0).Begin().Fork(1)
+	bld.On(1).Begin()
+	for i := 0; i < 500; i++ {
+		tid := trace.TID(i % 2)
+		bld.On(tid).Acq(10).Read(1).Write(1).Rel(10)
+	}
+	bld.On(1).End()
+	bld.On(0).Join(1).End()
+	tr := bld.Trace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tr)
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// HTMLPage renders a set of tables and charts as a self-contained HTML
+// document (no external assets) — the artifact `benchtab -html` emits.
+type HTMLPage struct {
+	Title  string
+	Tables []*Table
+	Charts []*Chart
+}
+
+const pageSource = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #222; }
+ h1 { font-size: 1.4rem; }
+ h2 { font-size: 1.1rem; margin-top: 2.2rem; border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+ table { border-collapse: collapse; margin: .8rem 0; }
+ th, td { padding: .25rem .7rem; border: 1px solid #e3e3e3; text-align: left; }
+ td.num { text-align: right; font-variant-numeric: tabular-nums; }
+ th { background: #f6f6f6; }
+ tr:nth-child(even) td { background: #fbfbfb; }
+ .note { color: #666; font-size: .85rem; margin: .15rem 0; }
+ .bar { background: #4a7db3; height: 1em; display: inline-block; vertical-align: middle; }
+ .barlabel { display: inline-block; min-width: 11rem; }
+ .barrow { margin: .15rem 0; white-space: nowrap; }
+ .barvalue { margin-left: .5rem; color: #444; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{range .Tables}}
+<h2>{{.Title}}</h2>
+<table>
+<tr>{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td{{if isNum .}} class="num"{{end}}>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{range .Notes}}<p class="note">note: {{.}}</p>{{end}}
+{{end}}
+{{range .Charts}}
+<h2>{{.Title}}</h2>
+{{if .YLabel}}<p class="note">({{.YLabel}})</p>{{end}}
+{{$max := maxVal .Bars}}
+{{range .Bars}}<div class="barrow"><span class="barlabel">{{.Label}}</span><span class="bar" style="width: {{barWidth .Value $max}}px"></span><span class="barvalue">{{barText .}}</span></div>
+{{end}}
+{{range .Notes}}<p class="note">note: {{.}}</p>{{end}}
+{{end}}
+</body>
+</html>
+`
+
+var htmlTmpl = template.Must(template.New("page").Funcs(template.FuncMap{
+	"isNum": looksNumeric,
+	"maxVal": func(bars []Bar) float64 {
+		m := 0.0
+		for _, b := range bars {
+			if b.Value > m {
+				m = b.Value
+			}
+		}
+		return m
+	},
+	"barWidth": func(v, max float64) int {
+		if max <= 0 {
+			return 0
+		}
+		return int(v / max * 420)
+	},
+	"barText": func(b Bar) string {
+		if b.Text != "" {
+			return b.Text
+		}
+		return fmt.Sprintf("%.2f", b.Value)
+	},
+}).Parse(pageSource))
+
+// WriteHTML renders the page to w.
+func (p *HTMLPage) WriteHTML(w io.Writer) error {
+	return htmlTmpl.Execute(w, p)
+}

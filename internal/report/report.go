@@ -1,0 +1,235 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and simple ASCII bar charts — the output format of cmd/benchtab and the
+// material recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the aligned ASCII form.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, w := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			// Right-align numeric-looking cells, left-align text.
+			if looksNumeric(cell) {
+				b.WriteString(strings.Repeat(" ", w-len(cell)))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", w-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the comma-separated form (cells containing commas or quotes
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == 'x' || r == 'k' || r == 'M' || r == ',':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// Itoa formats an int.
+func Itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return fmt.Sprintf("%d", v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Slowdown formats a ratio as "N.NNx".
+func Slowdown(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Chart is a labeled horizontal ASCII bar chart (the "figure" renderer).
+type Chart struct {
+	Title  string
+	YLabel string
+	Bars   []Bar
+	Notes  []string
+}
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+	// Text is an optional value annotation; default is %.2f.
+	Text string
+}
+
+// NewChart returns a chart with a title and value label.
+func NewChart(title, ylabel string) *Chart {
+	return &Chart{Title: title, YLabel: ylabel}
+}
+
+// Add appends a bar.
+func (c *Chart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// AddWithText appends a bar with a custom annotation.
+func (c *Chart) AddWithText(label string, value float64, text string) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value, Text: text})
+}
+
+// AddNote appends a footnote.
+func (c *Chart) AddNote(format string, args ...any) {
+	c.Notes = append(c.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the chart, scaling bars to a 50-column budget.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "(%s)\n", c.YLabel)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, bar := range c.Bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	const budget = 50
+	for _, bar := range c.Bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(bar.Value / maxVal * budget)
+		}
+		text := bar.Text
+		if text == "" {
+			text = fmt.Sprintf("%.2f", bar.Value)
+		}
+		fmt.Fprintf(&b, "%-*s | %s %s\n", maxLabel, bar.Label, strings.Repeat("█", n), text)
+	}
+	for _, n := range c.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

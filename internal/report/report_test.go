@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("My Table", "name", "count", "pct")
+	tab.AddRow("alpha", "12", "50.0%")
+	tab.AddRow("beta-longer", "3", "7.5%")
+	tab.AddNote("a note with %d", 42)
+	out := tab.String()
+	for _, want := range []string{"My Table", "=====", "name", "alpha", "beta-longer", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header row and data rows are padded to equal width.
+	if len(lines[2]) == 0 || lines[2][0] != 'n' {
+		t.Errorf("header line wrong: %q", lines[2])
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := NewTable("t", "a", "b", "c")
+	tab.AddRow("x")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatal("short row not padded")
+	}
+	tab.AddRow("p", "q", "r", "dropped")
+	if len(tab.Rows[1]) != 3 {
+		t.Fatal("long row not trimmed")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("plain", `with "quote", and comma`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, "a,b\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, `"with ""quote"", and comma"`) {
+		t.Errorf("csv quoting wrong: %q", csv)
+	}
+}
+
+func TestNumericAlignment(t *testing.T) {
+	if !looksNumeric("123") || !looksNumeric("1.5x") || !looksNumeric("42.0%") || !looksNumeric("-7") {
+		t.Error("numeric forms misdetected")
+	}
+	if looksNumeric("abc") || looksNumeric("") || looksNumeric("x") {
+		t.Error("non-numeric forms misdetected")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(5) != "5" || I64(-3) != "-3" {
+		t.Error("int formats")
+	}
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Error("F1")
+	}
+	if F2(1.234) != "1.23" {
+		t.Error("F2")
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Error("Pct")
+	}
+	if Slowdown(2.5) != "2.50x" {
+		t.Error("Slowdown")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("Chart Title", "widgets")
+	c.Add("one", 10)
+	c.AddWithText("two", 20, "20 units")
+	c.AddNote("scaled")
+	out := c.String()
+	for _, want := range []string{"Chart Title", "(widgets)", "one", "two", "20 units", "note: scaled", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(out, "\n")
+	var oneBar, twoBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "one") {
+			oneBar = strings.Count(l, "█")
+		}
+		if strings.HasPrefix(l, "two") {
+			twoBar = strings.Count(l, "█")
+		}
+	}
+	if twoBar <= oneBar {
+		t.Errorf("bar lengths wrong: one=%d two=%d", oneBar, twoBar)
+	}
+}
+
+func TestChartZeroValues(t *testing.T) {
+	c := NewChart("z", "")
+	c.Add("empty", 0)
+	if out := c.String(); !strings.Contains(out, "empty") {
+		t.Errorf("zero-value chart broken:\n%s", out)
+	}
+}
+
+func TestHTMLPage(t *testing.T) {
+	tab := NewTable("Shapes", "name", "count")
+	tab.AddRow("alpha", "12")
+	tab.AddNote("a <note> & such")
+	chart := NewChart("Sizes", "units")
+	chart.Add("one", 10)
+	chart.AddWithText("two", 20, "20 units")
+	page := &HTMLPage{Title: "Report <1>", Tables: []*Table{tab}, Charts: []*Chart{chart}}
+	var b strings.Builder
+	if err := page.WriteHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<title>Report &lt;1&gt;</title>", // escaping
+		"<h2>Shapes</h2>", "<th>name</th>", "<td>alpha</td>",
+		`<td class="num">12</td>`, // numeric alignment class
+		"a &lt;note&gt; &amp; such",
+		"<h2>Sizes</h2>", "20 units", `class="bar"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// Larger value gets the wider bar.
+	i1 := strings.Index(out, "width: 210px")
+	i2 := strings.Index(out, "width: 420px")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Errorf("bar widths wrong:\n%s", out)
+	}
+}
+
+func TestHTMLPageEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&HTMLPage{Title: "empty"}).WriteHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<h1>empty</h1>") {
+		t.Fatal("empty page broken")
+	}
+}

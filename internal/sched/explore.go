@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ExploreOptions bounds an exhaustive schedule exploration.
+type ExploreOptions struct {
+	// MaxRuns caps the number of schedules executed; 0 means 10000.
+	MaxRuns int
+	// MaxPreemptions bounds non-forced context switches per schedule
+	// (choosing a thread other than the runnable current one); 0 means
+	// explore only forced switches (blocking points), matching the
+	// cooperative schedule tree.
+	MaxPreemptions int
+	// RecordTrace forwards to Options.RecordTrace for each run.
+	RecordTrace bool
+	// Observers are fresh-per-run observer factories (checkers keep state,
+	// so each run needs new instances).
+	Observers func() []Observer
+	// Visit is called after every run with the result; returning false
+	// stops the exploration early. Required.
+	Visit func(res *Result, err error) bool
+}
+
+// Explore systematically enumerates schedules of p using depth-first search
+// over scheduling decision points with a preemption bound (iterative
+// context bounding, Musuvathi & Qadeer). It returns the number of runs
+// executed. Program-level errors (deadlocks on some schedule, panics) are
+// passed to Visit rather than aborting the search; infrastructure errors
+// abort.
+func Explore(p *Program, opts ExploreOptions) (int, error) {
+	if opts.Visit == nil {
+		return 0, fmt.Errorf("sched: ExploreOptions.Visit is required")
+	}
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 10000
+	}
+	// Each stack entry is a forced decision prefix.
+	stack := [][]trace.TID{nil}
+	runs := 0
+	for len(stack) > 0 && runs < maxRuns {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		g := &Guided{Prefix: prefix}
+		ro := Options{Strategy: g, RecordTrace: opts.RecordTrace}
+		if opts.Observers != nil {
+			ro.Observers = opts.Observers()
+		}
+		res, err := Run(p, ro)
+		runs++
+		if !opts.Visit(res, err) {
+			return runs, nil
+		}
+
+		// Expand alternatives at every decision point at or beyond the
+		// forced prefix, pushed deepest-first so DFS explores nearby
+		// schedules before distant ones.
+		for i := len(g.Points) - 1; i >= len(prefix); i-- {
+			pt := g.Points[i]
+			used := preemptionsIn(g.Points[:i])
+			for _, alt := range pt.Runnable {
+				if alt == pt.Chosen {
+					continue
+				}
+				cost := 0
+				if containsTID(pt.Runnable, pt.Current) && alt != pt.Current {
+					cost = 1
+				}
+				if used+cost > opts.MaxPreemptions {
+					continue
+				}
+				np := make([]trace.TID, i+1)
+				for j := 0; j < i; j++ {
+					np[j] = g.Points[j].Chosen
+				}
+				np[i] = alt
+				stack = append(stack, np)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// preemptionsIn counts the non-forced switches in a decision-point path:
+// points where the previously running thread was still runnable but a
+// different thread was chosen.
+func preemptionsIn(points []ChoicePoint) int {
+	n := 0
+	for _, pt := range points {
+		if pt.Current >= 0 && containsTID(pt.Runnable, pt.Current) && pt.Chosen != pt.Current {
+			n++
+		}
+	}
+	return n
+}

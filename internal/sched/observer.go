@@ -1,0 +1,26 @@
+package sched
+
+import "repro/internal/trace"
+
+// FuncObserver adapts a function to the Observer interface.
+type FuncObserver func(e trace.Event)
+
+// Event implements Observer.
+func (f FuncObserver) Event(e trace.Event) { f(e) }
+
+// CountObserver counts events per operation kind; it is the cheapest
+// possible observer and anchors the overhead experiments.
+type CountObserver struct {
+	// Total is the number of events seen.
+	Total int
+	// PerOp counts events by operation kind.
+	PerOp [32]int
+}
+
+// Event implements Observer.
+func (c *CountObserver) Event(e trace.Event) {
+	c.Total++
+	if int(e.Op) < len(c.PerOp) {
+		c.PerOp[e.Op]++
+	}
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"repro/internal/trace"
+)
+
+// T is the handle a virtual thread uses for every instrumented operation.
+// All shared-state interaction in a workload must go through T; plain Go
+// variables inside a Proc are thread-local.
+type T struct {
+	rt *Runtime
+	t  *thread
+}
+
+// ID returns the thread's id.
+func (x *T) ID() trace.TID { return x.t.id }
+
+// Name returns the thread's diagnostic name.
+func (x *T) Name() string { return x.t.name }
+
+// Handle identifies a forked thread for joining.
+type Handle struct {
+	tid trace.TID
+}
+
+// TID returns the forked thread's id.
+func (h Handle) TID() trace.TID { return h.tid }
+
+// Fork starts a new virtual thread running fn and returns its handle.
+func (x *T) Fork(name string, fn Proc) Handle {
+	rt := x.rt
+	child := rt.spawn(name, fn)
+	rt.emit(x.t, trace.OpFork, uint64(child.id), 0)
+	return Handle{tid: child.id}
+}
+
+// Join blocks until the thread behind h terminates.
+func (x *T) Join(h Handle) {
+	rt := x.rt
+	child := rt.threads[h.tid]
+	for child.state != stateDone {
+		rt.blockOn(x.t, waitJoin, uint64(h.tid))
+	}
+	rt.emit(x.t, trace.OpJoin, uint64(h.tid), 0)
+}
+
+// Read returns the current value of a plain shared variable.
+func (x *T) Read(v *Var) int64 {
+	val := x.rt.vals[v.id]
+	x.rt.emit(x.t, trace.OpRead, v.id, 0)
+	return val
+}
+
+// Write stores val into a plain shared variable.
+func (x *T) Write(v *Var, val int64) {
+	x.rt.vals[v.id] = val
+	x.rt.emit(x.t, trace.OpWrite, v.id, 0)
+}
+
+// VolRead returns the current value of a volatile variable.
+func (x *T) VolRead(v *Volatile) int64 {
+	val := x.rt.volVals[v.id]
+	x.rt.emit(x.t, trace.OpVolRead, v.ID(), 0)
+	return val
+}
+
+// VolWrite stores val into a volatile variable.
+func (x *T) VolWrite(v *Volatile, val int64) {
+	x.rt.volVals[v.id] = val
+	x.rt.emit(x.t, trace.OpVolWrite, v.ID(), 0)
+}
+
+// Acquire takes the lock, blocking while another thread holds it. Locks are
+// reentrant (Java monitor semantics).
+func (x *T) Acquire(m *Mutex) {
+	rt := x.rt
+	ms := &rt.mus[m.id]
+	if ms.owner == x.t.id {
+		ms.depth++
+		rt.emit(x.t, trace.OpAcquire, m.id, 0)
+		return
+	}
+	for ms.owner != -1 {
+		rt.blockOn(x.t, waitLock, m.id)
+	}
+	ms.owner = x.t.id
+	ms.depth = 1
+	rt.emit(x.t, trace.OpAcquire, m.id, 0)
+}
+
+// Release drops one level of the lock. Releasing a lock the thread does not
+// hold aborts the run with an error (a workload bug).
+func (x *T) Release(m *Mutex) {
+	rt := x.rt
+	ms := &rt.mus[m.id]
+	if ms.owner != x.t.id {
+		rt.fail("T%d releases lock %s it does not hold", x.t.id, m.name)
+	}
+	ms.depth--
+	if ms.depth == 0 {
+		ms.owner = -1
+		rt.wakeLockWaiters(m.id)
+	}
+	rt.emit(x.t, trace.OpRelease, m.id, 0)
+}
+
+// WithLock runs fn while holding m.
+func (x *T) WithLock(m *Mutex, fn func()) {
+	x.Acquire(m)
+	defer x.Release(m)
+	fn()
+}
+
+// Yield is the cooperability annotation: it marks a point where the
+// programmer acknowledges possible interference. Under cooperative
+// scheduling it is (with blocking operations) the only context-switch point.
+func (x *T) Yield() {
+	x.rt.emit(x.t, trace.OpYield, 0, 0)
+}
+
+// Wait atomically releases c's mutex and blocks until notified, then
+// reacquires the mutex before returning. The trace records the release half
+// as an OpWait event (a yield point) and the reacquisition as a normal
+// OpAcquire, preserving exact happens-before structure for the analyses.
+// The calling thread must hold the mutex with depth 1 or more.
+func (x *T) Wait(c *Cond) {
+	rt := x.rt
+	m := c.mutex
+	ms := &rt.mus[m.id]
+	if ms.owner != x.t.id {
+		rt.fail("T%d waits on %s without holding lock %s", x.t.id, c.name, m.name)
+	}
+	savedDepth := ms.depth
+	// Enqueue before publishing the release so a notifier that runs during
+	// the emit's preemption window can see us.
+	cs := &rt.conds[c.id]
+	cs.queue = append(cs.queue, x.t.id)
+	x.t.signaled = false
+	ms.owner = -1
+	ms.depth = 0
+	rt.wakeLockWaiters(m.id)
+	rt.emit(x.t, trace.OpWait, m.id, 0)
+	for !x.t.signaled {
+		rt.blockOn(x.t, waitCond, c.id)
+	}
+	x.t.signaled = false
+	for ms.owner != -1 {
+		rt.blockOn(x.t, waitLock, m.id)
+	}
+	ms.owner = x.t.id
+	ms.depth = savedDepth
+	rt.emit(x.t, trace.OpAcquire, m.id, 0)
+}
+
+// Signal wakes the longest-waiting thread on c, if any. The caller must
+// hold c's mutex.
+func (x *T) Signal(c *Cond) {
+	x.notify(c, false)
+}
+
+// Broadcast wakes every thread waiting on c. The caller must hold c's mutex.
+func (x *T) Broadcast(c *Cond) {
+	x.notify(c, true)
+}
+
+func (x *T) notify(c *Cond, all bool) {
+	rt := x.rt
+	ms := &rt.mus[c.mutex.id]
+	if ms.owner != x.t.id {
+		rt.fail("T%d notifies %s without holding lock %s", x.t.id, c.name, c.mutex.name)
+	}
+	cs := &rt.conds[c.id]
+	n := len(cs.queue)
+	if !all && n > 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		tid := cs.queue[i]
+		w := rt.threads[tid]
+		w.signaled = true
+		if w.state == stateBlocked && w.waitOn == waitCond {
+			w.state = stateRunnable
+		}
+	}
+	cs.queue = cs.queue[n:]
+	rt.emit(x.t, trace.OpNotify, c.mutex.id, 0)
+}
+
+// Call runs fn as a named method span, emitting enter/exit events. Spans
+// are what the per-method yield statistics (Table 2) are computed over.
+func (x *T) Call(method string, fn func()) {
+	rt := x.rt
+	mid, ok := rt.methodIDs[method]
+	if !ok {
+		mid = uint64(len(rt.symbols.Methods))
+		rt.methodIDs[method] = mid
+		rt.symbols.Methods = append(rt.symbols.Methods, method)
+	}
+	rt.emit(x.t, trace.OpEnter, mid, 0)
+	fn()
+	rt.emit(x.t, trace.OpExit, mid, 0)
+}
+
+// Atomic runs fn inside a programmer-specified atomic block. These events
+// drive the atomicity-checker baseline only; cooperability ignores them.
+func (x *T) Atomic(fn func()) {
+	x.rt.emit(x.t, trace.OpAtomicBegin, 0, 0)
+	fn()
+	x.rt.emit(x.t, trace.OpAtomicEnd, 0, 0)
+}

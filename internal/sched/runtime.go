@@ -1,0 +1,574 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Options configures one run of a Program.
+type Options struct {
+	// Strategy decides where context switches happen. Required. Strategies
+	// are stateful; a fresh run calls Reset and then owns the value, so do
+	// not share one Strategy across concurrent runs.
+	Strategy Strategy
+	// Observers receive every event synchronously, in trace order.
+	Observers []Observer
+	// RecordTrace retains the full event sequence in Result.Trace.
+	RecordTrace bool
+	// MaxEvents aborts runaway executions; 0 means the default (5M).
+	MaxEvents int
+	// DisableLocations skips source-location capture (faster; used by the
+	// overhead experiments' baseline configurations).
+	DisableLocations bool
+}
+
+// Observer consumes instrumented events as they are produced.
+type Observer interface {
+	Event(e trace.Event)
+}
+
+// StringsAware is implemented by observers that want to resolve LocIDs;
+// the runtime hands them the run's string table before execution starts.
+type StringsAware interface {
+	SetStrings(s *trace.Strings)
+}
+
+// Symbols maps the dense ids appearing in trace Targets back to the names
+// declared when the Program was built.
+type Symbols struct {
+	Vars      []string // plain variable id -> name
+	Volatiles []string // volatile id (minus volatileBase) -> name
+	Mutexes   []string // lock id -> name
+	Methods   []string // method id -> name
+	Threads   []string // tid -> name
+}
+
+// VarName resolves a plain or volatile access target.
+func (s *Symbols) VarName(target uint64) string {
+	if s == nil {
+		return fmt.Sprintf("var#%d", target)
+	}
+	if target >= volatileBase {
+		i := target - volatileBase
+		if i < uint64(len(s.Volatiles)) {
+			return s.Volatiles[i]
+		}
+	} else if target < uint64(len(s.Vars)) {
+		return s.Vars[target]
+	}
+	return fmt.Sprintf("var#%d", target)
+}
+
+// MutexName resolves a lock target.
+func (s *Symbols) MutexName(target uint64) string {
+	if s != nil && target < uint64(len(s.Mutexes)) {
+		return s.Mutexes[target]
+	}
+	return fmt.Sprintf("lock#%d", target)
+}
+
+// MethodName resolves a method target.
+func (s *Symbols) MethodName(target uint64) string {
+	if s != nil && target < uint64(len(s.Methods)) {
+		return s.Methods[target]
+	}
+	return fmt.Sprintf("method#%d", target)
+}
+
+// TargetName resolves an event's target according to its op kind.
+func (s *Symbols) TargetName(e trace.Event) string {
+	switch e.Op {
+	case trace.OpRead, trace.OpWrite, trace.OpVolRead, trace.OpVolWrite:
+		return s.VarName(e.Target)
+	case trace.OpAcquire, trace.OpRelease, trace.OpWait, trace.OpNotify:
+		return s.MutexName(e.Target)
+	case trace.OpEnter, trace.OpExit:
+		return s.MethodName(e.Target)
+	case trace.OpFork, trace.OpJoin:
+		return fmt.Sprintf("T%d", e.Target)
+	}
+	return ""
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Trace is the recorded execution, or nil if RecordTrace was false.
+	Trace *trace.Trace
+	// Events is the total number of instrumented events.
+	Events int
+	// Threads is the number of virtual threads that existed.
+	Threads int
+	// Strings is the run's string table (locations).
+	Strings *trace.Strings
+	// Symbols resolves trace targets to declared names.
+	Symbols *Symbols
+	// FinalVars holds the final value of every plain variable.
+	FinalVars []int64
+	// FinalVolatiles holds the final value of every volatile variable.
+	FinalVolatiles []int64
+	// Schedule is the tid of each event in execution order; feeding it to
+	// NewReplay reproduces this run exactly.
+	Schedule []trace.TID
+}
+
+// ErrDeadlock wraps scheduler deadlock reports.
+var ErrDeadlock = errors.New("sched: deadlock")
+
+// ErrReplayDiverged reports that a replay strategy forced a thread that was
+// not runnable, i.e. the schedule does not fit the program.
+var ErrReplayDiverged = errors.New("sched: replay diverged from feasible schedule")
+
+type threadState uint8
+
+const (
+	stateRunnable threadState = iota
+	stateBlocked
+	stateDone
+)
+
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitLock
+	waitCond
+	waitJoin
+)
+
+type thread struct {
+	id       trace.TID
+	name     string
+	proc     Proc
+	resume   chan struct{}
+	state    threadState
+	started  bool // goroutine launched
+	waitOn   waitKind
+	waitID   uint64
+	signaled bool // condition notify received
+}
+
+type mutexState struct {
+	owner trace.TID // -1 when free
+	depth int
+}
+
+type condState struct {
+	queue []trace.TID // FIFO wait queue
+}
+
+var errKilled = errors.New("sched: thread killed")
+
+// Runtime is the mutable state of one run. Exactly one virtual thread (or
+// the scheduler loop) executes at any moment, handing off control through
+// channels, so Runtime fields need no further locking.
+type Runtime struct {
+	prog  *Program
+	opts  Options
+	strat Strategy
+
+	threads []*thread
+	current trace.TID
+
+	vals    []int64
+	volVals []int64
+	mus     []mutexState
+	conds   []condState
+
+	strings   *trace.Strings
+	tr        *trace.Trace
+	observers []Observer
+	symbols   *Symbols
+	schedule  []trace.TID
+
+	methodIDs map[string]uint64
+
+	toSched chan struct{}
+	killed  bool
+	err     error
+
+	events    int
+	maxEvents int
+
+	locs locCache
+}
+
+// Run executes p under the given options and returns the run summary.
+// It is deterministic for a fixed program, strategy, and seed.
+func Run(p *Program, opts Options) (*Result, error) {
+	if p.main == nil {
+		return nil, errors.New("sched: program has no main")
+	}
+	if opts.Strategy == nil {
+		return nil, errors.New("sched: options require a Strategy")
+	}
+	rt := &Runtime{
+		prog:      p,
+		opts:      opts,
+		strat:     opts.Strategy,
+		vals:      make([]int64, len(p.vars)),
+		volVals:   make([]int64, len(p.volatiles)),
+		mus:       make([]mutexState, len(p.mutexes)),
+		conds:     make([]condState, len(p.conds)),
+		strings:   trace.NewStrings(),
+		observers: opts.Observers,
+		methodIDs: make(map[string]uint64),
+		toSched:   make(chan struct{}),
+		maxEvents: opts.MaxEvents,
+		current:   -1,
+	}
+	if rt.maxEvents <= 0 {
+		rt.maxEvents = 5_000_000
+	}
+	for i := range rt.mus {
+		rt.mus[i].owner = -1
+	}
+	rt.symbols = &Symbols{
+		Vars:      names(p.vars),
+		Volatiles: names(p.volatiles),
+		Mutexes:   names(p.mutexes),
+	}
+	if opts.RecordTrace {
+		rt.tr = &trace.Trace{Strings: rt.strings}
+		rt.tr.Meta.Workload = p.name
+		rt.tr.Meta.Strategy = opts.Strategy.Name()
+		rt.tr.Meta.Seed = opts.Strategy.Seed()
+	}
+	for _, o := range rt.observers {
+		if sa, ok := o.(StringsAware); ok {
+			sa.SetStrings(rt.strings)
+		}
+	}
+	rt.strat.Reset()
+
+	rt.spawn("main", p.main)
+	err := rt.loop()
+
+	res := &Result{
+		Trace:          rt.tr,
+		Events:         rt.events,
+		Threads:        len(rt.threads),
+		Strings:        rt.strings,
+		Symbols:        rt.symbols,
+		FinalVars:      rt.vals,
+		FinalVolatiles: rt.volVals,
+		Schedule:       rt.schedule,
+	}
+	if rt.tr != nil {
+		rt.tr.Meta.Threads = len(rt.threads)
+	}
+	return res, err
+}
+
+func names(defs []objDef) []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// spawn creates a thread record and launches its goroutine, which parks
+// immediately awaiting its first turn.
+func (rt *Runtime) spawn(name string, fn Proc) *thread {
+	t := &thread{
+		id:     trace.TID(len(rt.threads)),
+		name:   name,
+		proc:   fn,
+		resume: make(chan struct{}),
+		state:  stateRunnable,
+	}
+	rt.threads = append(rt.threads, t)
+	rt.symbols.Threads = append(rt.symbols.Threads, name)
+	t.started = true
+	go rt.threadBody(t)
+	return t
+}
+
+// loop is the scheduler: pick a runnable thread, hand it the baton, wait
+// for it to hand the baton back, repeat until all threads finish.
+func (rt *Runtime) loop() error {
+	for {
+		if rt.err != nil {
+			rt.killAll()
+			return rt.err
+		}
+		runnable := rt.runnableIDs()
+		if len(runnable) == 0 {
+			if rt.allDone() {
+				return nil
+			}
+			err := rt.deadlockError()
+			rt.err = err
+			rt.killAll()
+			return err
+		}
+		next := rt.strat.Pick(runnable, rt.current)
+		if !containsTID(runnable, next) {
+			rt.err = fmt.Errorf("%w: strategy %s picked T%d; runnable %v",
+				ErrReplayDiverged, rt.strat.Name(), next, runnable)
+			rt.killAll()
+			return rt.err
+		}
+		rt.current = next
+		t := rt.threads[next]
+		t.resume <- struct{}{}
+		<-rt.toSched
+	}
+}
+
+func containsTID(ids []trace.TID, id trace.TID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (rt *Runtime) runnableIDs() []trace.TID {
+	var ids []trace.TID
+	for _, t := range rt.threads {
+		if t.state == stateRunnable {
+			ids = append(ids, t.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (rt *Runtime) allDone() bool {
+	for _, t := range rt.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *Runtime) deadlockError() error {
+	var b strings.Builder
+	b.WriteString("no runnable threads;")
+	for _, t := range rt.threads {
+		if t.state != stateBlocked {
+			continue
+		}
+		switch t.waitOn {
+		case waitLock:
+			fmt.Fprintf(&b, " T%d(%s) blocked on lock %s;", t.id, t.name, rt.symbols.MutexName(t.waitID))
+		case waitCond:
+			fmt.Fprintf(&b, " T%d(%s) blocked in wait;", t.id, t.name)
+		case waitJoin:
+			fmt.Fprintf(&b, " T%d(%s) blocked joining T%d;", t.id, t.name, t.waitID)
+		}
+	}
+	if cycle := rt.waitsForCycle(); len(cycle) > 0 {
+		b.WriteString(" waits-for cycle:")
+		for _, id := range cycle {
+			fmt.Fprintf(&b, " T%d ->", id)
+		}
+		fmt.Fprintf(&b, " T%d", cycle[0])
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
+}
+
+// waitsForCycle searches the waits-for graph — a blocked thread points at
+// the thread it transitively needs (the lock owner or the joined child) —
+// and returns one cycle's thread ids, or nil. Condition waits have no
+// out-edge (their waker is unknowable), so pure lost-wakeup deadlocks
+// report without a cycle.
+func (rt *Runtime) waitsForCycle() []trace.TID {
+	next := make(map[trace.TID]trace.TID)
+	for _, t := range rt.threads {
+		if t.state != stateBlocked {
+			continue
+		}
+		switch t.waitOn {
+		case waitLock:
+			if owner := rt.mus[t.waitID].owner; owner >= 0 {
+				next[t.id] = owner
+			}
+		case waitJoin:
+			next[t.id] = trace.TID(t.waitID)
+		}
+	}
+	for start := range next {
+		slow, ok := next[start]
+		if !ok {
+			continue
+		}
+		seen := map[trace.TID]int{start: 0}
+		path := []trace.TID{start}
+		cur := slow
+		for {
+			if at, dup := seen[cur]; dup {
+				return path[at:]
+			}
+			seen[cur] = len(path)
+			path = append(path, cur)
+			nxt, ok := next[cur]
+			if !ok {
+				break
+			}
+			cur = nxt
+		}
+	}
+	return nil
+}
+
+// killAll resumes every live thread with the kill flag set so its goroutine
+// unwinds, preventing leaks after an error.
+func (rt *Runtime) killAll() {
+	rt.killed = true
+	for _, t := range rt.threads {
+		if t.state == stateDone {
+			continue
+		}
+		t.resume <- struct{}{}
+		<-rt.toSched
+	}
+}
+
+// threadBody is the goroutine wrapper around a virtual thread.
+func (rt *Runtime) threadBody(t *thread) {
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
+			if rt.err == nil {
+				rt.err = fmt.Errorf("sched: panic in T%d (%s): %v", t.id, t.name, r)
+			}
+		}
+		t.state = stateDone
+		rt.wakeJoiners(t.id)
+		rt.toSched <- struct{}{}
+	}()
+	if rt.killed {
+		panic(errKilled)
+	}
+	x := &T{rt: rt, t: t}
+	rt.emit(t, trace.OpBegin, 0, locNone)
+	t.proc(x)
+	rt.emit(t, trace.OpEnd, 0, locNone)
+}
+
+// waitTurn parks the calling thread until the scheduler resumes it.
+func (rt *Runtime) waitTurn(t *thread) {
+	<-t.resume
+	if rt.killed {
+		panic(errKilled)
+	}
+}
+
+// switchOut hands the baton to the scheduler and parks.
+func (rt *Runtime) switchOut(t *thread) {
+	rt.toSched <- struct{}{}
+	rt.waitTurn(t)
+}
+
+// blockOn marks t blocked for the given reason and parks it. The waker is
+// responsible for setting the state back to runnable.
+func (rt *Runtime) blockOn(t *thread, kind waitKind, id uint64) {
+	t.state = stateBlocked
+	t.waitOn = kind
+	t.waitID = id
+	rt.switchOut(t)
+	t.waitOn = waitNone
+}
+
+func (rt *Runtime) wakeJoiners(id trace.TID) {
+	for _, t := range rt.threads {
+		if t.state == stateBlocked && t.waitOn == waitJoin && t.waitID == uint64(id) {
+			t.state = stateRunnable
+		}
+	}
+}
+
+func (rt *Runtime) wakeLockWaiters(lockID uint64) {
+	for _, t := range rt.threads {
+		if t.state == stateBlocked && t.waitOn == waitLock && t.waitID == lockID {
+			t.state = stateRunnable
+		}
+	}
+}
+
+// locNone suppresses location capture for runtime-internal events.
+const locNone trace.LocID = -1
+
+// emit records one event, feeds it to observers, and gives the strategy a
+// preemption opportunity. loc==0 means "capture the caller's location" when
+// location capture is enabled; pass locNone to suppress.
+func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) {
+	if loc == locNone {
+		loc = 0
+	} else if loc == 0 && !rt.opts.DisableLocations {
+		loc = rt.locs.capture(rt.strings, 3)
+	}
+	e := trace.Event{Idx: rt.events, Tid: t.id, Op: op, Target: target, Loc: loc}
+	rt.events++
+	if rt.events > rt.maxEvents {
+		if rt.err == nil {
+			rt.err = fmt.Errorf("sched: event budget exceeded (%d events); livelock?", rt.maxEvents)
+		}
+		panic(errKilled)
+	}
+	rt.schedule = append(rt.schedule, t.id)
+	if rt.tr != nil {
+		rt.tr.Append(e)
+	}
+	for _, o := range rt.observers {
+		o.Event(e)
+	}
+	// The strategy is always consulted (replay counts events in Preempt),
+	// but a thread is never parked on its end event: it is about to hand
+	// the baton back permanently, and parking it would consume a scheduling
+	// slot that recorded schedules do not contain.
+	if rt.strat.Preempt(e) && op != trace.OpEnd {
+		rt.switchOut(t)
+	}
+}
+
+// fail aborts the run with a workload-usage error raised inside a thread.
+func (rt *Runtime) fail(format string, args ...any) {
+	if rt.err == nil {
+		rt.err = fmt.Errorf("sched: "+format, args...)
+	}
+	panic(errKilled)
+}
+
+// locCache interns source locations keyed by program counter.
+type locCache struct {
+	byPC map[uintptr]trace.LocID
+}
+
+func (c *locCache) capture(strs *trace.Strings, skip int) trace.LocID {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+1, pcs[:]) == 0 {
+		return 0
+	}
+	if c.byPC == nil {
+		c.byPC = make(map[uintptr]trace.LocID)
+	}
+	if id, ok := c.byPC[pcs[0]]; ok {
+		return id
+	}
+	frames := runtime.CallersFrames(pcs[:])
+	f, _ := frames.Next()
+	name := fmt.Sprintf("%s:%d", trimPath(f.File), f.Line)
+	id := strs.Intern(name)
+	c.byPC[pcs[0]] = id
+	return id
+}
+
+// trimPath keeps the last two path segments for compact, stable locations.
+func trimPath(file string) string {
+	i := strings.LastIndexByte(file, '/')
+	if i < 0 {
+		return file
+	}
+	j := strings.LastIndexByte(file[:i], '/')
+	return file[j+1:]
+}

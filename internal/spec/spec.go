@@ -1,0 +1,143 @@
+// Package spec persists yield annotations: the output of yield inference
+// can be saved as a JSON document, reviewed or edited by hand (it is the
+// reproduction's analogue of writing `yield` into the source), and loaded
+// back to configure the cooperability checker.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Version is the current file-format version.
+const Version = 1
+
+// YieldSpec is a persisted yield-annotation set for one program.
+type YieldSpec struct {
+	// Version is the file-format version (must equal Version).
+	Version int `json:"version"`
+	// Program is the workload/program name the annotations belong to.
+	Program string `json:"program"`
+	// Generated records when the spec was produced (RFC 3339).
+	Generated string `json:"generated,omitempty"`
+	// Tool optionally names the producer (e.g. "yieldinfer").
+	Tool string `json:"tool,omitempty"`
+	// Yields are the annotated source locations, sorted.
+	Yields []string `json:"yields"`
+	// Residual records violations that had no source location when the
+	// spec was inferred; a nonzero value means the spec is incomplete.
+	Residual int `json:"residual,omitempty"`
+}
+
+// New builds a spec from a location set, resolving ids via strs.
+func New(program string, yields map[trace.LocID]bool, strs *trace.Strings) *YieldSpec {
+	s := &YieldSpec{
+		Version:   Version,
+		Program:   program,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Tool:      "yieldinfer",
+	}
+	for loc := range yields {
+		if name := strs.Name(loc); name != "" {
+			s.Yields = append(s.Yields, name)
+		} else {
+			s.Residual++
+		}
+	}
+	sort.Strings(s.Yields)
+	return s
+}
+
+// Locations re-interns the spec's locations against a (possibly different)
+// string table, producing the LocID set the checker consumes. Locations
+// are stable across runs of the same source, so interning round-trips.
+func (s *YieldSpec) Locations(strs *trace.Strings) map[trace.LocID]bool {
+	out := make(map[trace.LocID]bool, len(s.Yields))
+	for _, name := range s.Yields {
+		out[strs.Intern(name)] = true
+	}
+	return out
+}
+
+// Write serializes the spec as indented JSON.
+func (s *YieldSpec) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses and validates a spec.
+func Read(r io.Reader) (*YieldSpec, error) {
+	var s YieldSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parsing: %w", err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("spec: unsupported version %d (want %d)", s.Version, Version)
+	}
+	if s.Program == "" {
+		return nil, fmt.Errorf("spec: missing program name")
+	}
+	seen := map[string]bool{}
+	for _, y := range s.Yields {
+		if y == "" {
+			return nil, fmt.Errorf("spec: empty yield location")
+		}
+		if seen[y] {
+			return nil, fmt.Errorf("spec: duplicate yield location %q", y)
+		}
+		seen[y] = true
+	}
+	return &s, nil
+}
+
+// Save writes the spec to a file.
+func Save(path string, s *YieldSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("spec: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a spec from a file.
+func Load(path string) (*YieldSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Merge unions other's yields into s (same program required).
+func (s *YieldSpec) Merge(other *YieldSpec) error {
+	if other.Program != s.Program {
+		return fmt.Errorf("spec: merging %q into %q", other.Program, s.Program)
+	}
+	set := map[string]bool{}
+	for _, y := range s.Yields {
+		set[y] = true
+	}
+	for _, y := range other.Yields {
+		if !set[y] {
+			set[y] = true
+			s.Yields = append(s.Yields, y)
+		}
+	}
+	sort.Strings(s.Yields)
+	s.Residual += other.Residual
+	return nil
+}

@@ -1,0 +1,118 @@
+package spec
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sample(t *testing.T) (*YieldSpec, *trace.Strings) {
+	t.Helper()
+	strs := trace.NewStrings()
+	yields := map[trace.LocID]bool{
+		strs.Intern("bank.go:42"): true,
+		strs.Intern("bank.go:77"): true,
+	}
+	return New("bank", yields, strs), strs
+}
+
+func TestNewSortsAndStamps(t *testing.T) {
+	s, _ := sample(t)
+	if s.Program != "bank" || s.Version != Version || s.Tool != "yieldinfer" {
+		t.Fatalf("spec = %+v", s)
+	}
+	if len(s.Yields) != 2 || s.Yields[0] != "bank.go:42" || s.Yields[1] != "bank.go:77" {
+		t.Fatalf("yields = %v", s.Yields)
+	}
+	if s.Generated == "" {
+		t.Fatal("missing timestamp")
+	}
+}
+
+func TestNewCountsResidualForUnknownLocs(t *testing.T) {
+	strs := trace.NewStrings()
+	s := New("p", map[trace.LocID]bool{0: true}, strs) // loc 0 = unknown
+	if s.Residual != 1 || len(s.Yields) != 0 {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, _ := sample(t)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != s.Program || len(got.Yields) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestLocationsReintern(t *testing.T) {
+	s, _ := sample(t)
+	fresh := trace.NewStrings()
+	locs := s.Locations(fresh)
+	if len(locs) != 2 {
+		t.Fatalf("locs = %v", locs)
+	}
+	if !locs[fresh.Intern("bank.go:42")] {
+		t.Fatal("location not re-interned consistently")
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version":9,"program":"p","yields":[]}`,
+		"no program":    `{"version":1,"yields":[]}`,
+		"empty yield":   `{"version":1,"program":"p","yields":[""]}`,
+		"duplicate":     `{"version":1,"program":"p","yields":["a.go:1","a.go:1"]}`,
+		"unknown field": `{"version":1,"program":"p","yields":[],"bogus":1}`,
+		"not json":      `garbage`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	s, _ := sample(t)
+	path := filepath.Join(t.TempDir(), "bank.yields.json")
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Yields) != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load accepted missing file")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := sample(t)
+	strs := trace.NewStrings()
+	b := New("bank", map[trace.LocID]bool{strs.Intern("bank.go:42"): true, strs.Intern("teller.go:9"): true}, strs)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Yields) != 3 || a.Yields[2] != "teller.go:9" {
+		t.Fatalf("merged = %v", a.Yields)
+	}
+	c := New("other", nil, strs)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("Merge accepted mismatched program")
+	}
+}

@@ -1,0 +1,210 @@
+// Package stats computes descriptive statistics of traces and their
+// yield-delimited transaction structure: transaction-length distributions,
+// the fraction of events inside short transactions, per-lock contention,
+// and per-thread activity. The cooperative-reasoning line uses these
+// numbers (especially transaction sizes) to argue that sequential-reasoning
+// regions are long — the quantitative backdrop of Table 6.
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// TxStats summarizes the yield-delimited transaction structure of a trace.
+type TxStats struct {
+	// Count is the number of transactions (boundary-delimited runs).
+	Count int
+	// Lengths is the multiset of transaction lengths in events, sorted.
+	Lengths []int
+	// Events is the total number of events.
+	Events int
+}
+
+// boundaryAfter/boundaryBefore mirror the default checker semantics (see
+// internal/core): join cuts before itself, the other scheduling points cut
+// after themselves.
+func boundaryAfter(o trace.Op) bool {
+	switch o {
+	case trace.OpBegin, trace.OpEnd, trace.OpYield, trace.OpWait, trace.OpFork:
+		return true
+	}
+	return false
+}
+
+func boundaryBefore(o trace.Op) bool { return o == trace.OpJoin }
+
+// Transactions computes the transaction-length distribution of a trace.
+func Transactions(tr *trace.Trace) TxStats {
+	st := TxStats{Events: tr.Len()}
+	cur := map[trace.TID]int{}
+	flush := func(tid trace.TID) {
+		if n := cur[tid]; n > 0 {
+			st.Lengths = append(st.Lengths, n)
+			st.Count++
+			cur[tid] = 0
+		}
+	}
+	for _, e := range tr.Events {
+		if boundaryBefore(e.Op) {
+			flush(e.Tid)
+		}
+		cur[e.Tid]++
+		if boundaryAfter(e.Op) {
+			flush(e.Tid)
+		}
+	}
+	for tid := range cur {
+		flush(tid)
+	}
+	sort.Ints(st.Lengths)
+	return st
+}
+
+// Max returns the largest transaction length (0 when empty).
+func (s TxStats) Max() int {
+	if len(s.Lengths) == 0 {
+		return 0
+	}
+	return s.Lengths[len(s.Lengths)-1]
+}
+
+// Mean returns the average transaction length.
+func (s TxStats) Mean() float64 {
+	if len(s.Lengths) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, l := range s.Lengths {
+		sum += l
+	}
+	return float64(sum) / float64(len(s.Lengths))
+}
+
+// Percentile returns the p-th percentile length (p in [0,100]).
+func (s TxStats) Percentile(p float64) int {
+	if len(s.Lengths) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Lengths[0]
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	idx := int(p / 100 * float64(len(s.Lengths)-1))
+	return s.Lengths[idx]
+}
+
+// FractionEventsInTxLeq returns the fraction of events living in
+// transactions of length ≤ k.
+func (s TxStats) FractionEventsInTxLeq(k int) float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	in := 0
+	for _, l := range s.Lengths {
+		if l <= k {
+			in += l
+		}
+	}
+	return float64(in) / float64(s.Events)
+}
+
+// LockStats summarizes one lock's usage.
+type LockStats struct {
+	Lock      uint64
+	Acquires  int
+	Waits     int
+	Notifies  int
+	HoldSpanP int // events elapsed while held, summed (trace-order span)
+}
+
+// Locks computes per-lock usage statistics, sorted by lock id.
+func Locks(tr *trace.Trace) []LockStats {
+	type openHold struct{ start int }
+	byLock := map[uint64]*LockStats{}
+	open := map[[2]uint64]openHold{} // (lock, tid) -> acquisition index
+	depth := map[[2]uint64]int{}
+	get := func(l uint64) *LockStats {
+		s := byLock[l]
+		if s == nil {
+			s = &LockStats{Lock: l}
+			byLock[l] = s
+		}
+		return s
+	}
+	for i, e := range tr.Events {
+		key := [2]uint64{e.Target, uint64(e.Tid)}
+		switch e.Op {
+		case trace.OpAcquire:
+			s := get(e.Target)
+			s.Acquires++
+			if depth[key] == 0 {
+				open[key] = openHold{start: i}
+			}
+			depth[key]++
+		case trace.OpRelease:
+			if depth[key] > 0 {
+				depth[key]--
+				if depth[key] == 0 {
+					get(e.Target).HoldSpanP += i - open[key].start
+					delete(open, key)
+				}
+			}
+		case trace.OpWait:
+			s := get(e.Target)
+			s.Waits++
+			if depth[key] > 0 {
+				s.HoldSpanP += i - open[key].start
+				depth[key] = 0
+				delete(open, key)
+			}
+		case trace.OpNotify:
+			get(e.Target).Notifies++
+		}
+	}
+	out := make([]LockStats, 0, len(byLock))
+	for _, s := range byLock {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lock < out[j].Lock })
+	return out
+}
+
+// ThreadStats summarizes one thread's activity.
+type ThreadStats struct {
+	Tid      trace.TID
+	Events   int
+	Accesses int
+	SyncOps  int
+	Yields   int
+}
+
+// Threads computes per-thread activity, sorted by tid.
+func Threads(tr *trace.Trace) []ThreadStats {
+	byTid := map[trace.TID]*ThreadStats{}
+	for _, e := range tr.Events {
+		s := byTid[e.Tid]
+		if s == nil {
+			s = &ThreadStats{Tid: e.Tid}
+			byTid[e.Tid] = s
+		}
+		s.Events++
+		switch {
+		case e.Op.IsAccess() || e.Op.IsVolatile():
+			s.Accesses++
+		case e.Op.IsLockOp() || e.Op == trace.OpWait || e.Op == trace.OpNotify:
+			s.SyncOps++
+		case e.Op == trace.OpYield:
+			s.Yields++
+		}
+	}
+	out := make([]ThreadStats, 0, len(byTid))
+	for _, s := range byTid {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tid < out[j].Tid })
+	return out
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTransactionsBasic(t *testing.T) {
+	b := trace.NewBuilder()
+	// T0: [begin] [acq rd wr rel yield] [rd end... wait End is boundary]
+	b.On(0).Begin().Acq(1).Read(2).Write(2).Rel(1).Yield().Read(2).End()
+	st := Transactions(b.Trace())
+	// [begin]=1, [acq rd wr rel yield]=5, [rd end]=2
+	if st.Count != 3 {
+		t.Fatalf("Count = %d, want 3 (%v)", st.Count, st.Lengths)
+	}
+	if st.Max() != 5 {
+		t.Fatalf("Max = %d", st.Max())
+	}
+	if got := st.Mean(); math.Abs(got-8.0/3) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if st.Events != 8 {
+		t.Fatalf("Events = %d", st.Events)
+	}
+}
+
+func TestTransactionsJoinCutsBefore(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1) // [begin][fork]
+	b.On(1).Begin().End()   // [begin][end]... end after begin: [begin],[end]
+	b.On(0).Read(1).Join(1).End()
+	// T0 after fork: [rd] (cut before join), then [join end]
+	st := Transactions(b.Trace())
+	want := map[int]int{1: 0, 2: 0} // just check specific lengths exist
+	_ = want
+	// T0: [begin]=1 [fork]=1 [rd]=1 [join,end]=2 ; T1: [begin]=1 [end]=1
+	if st.Count != 6 {
+		t.Fatalf("Count = %d (%v)", st.Count, st.Lengths)
+	}
+	if st.Max() != 2 {
+		t.Fatalf("Max = %d (%v)", st.Max(), st.Lengths)
+	}
+}
+
+func TestPercentilesAndFractions(t *testing.T) {
+	st := TxStats{Lengths: []int{1, 1, 2, 4, 10}, Events: 18, Count: 5}
+	if st.Percentile(0) != 1 || st.Percentile(100) != 10 {
+		t.Fatal("extremes wrong")
+	}
+	if st.Percentile(50) != 2 {
+		t.Fatalf("P50 = %d", st.Percentile(50))
+	}
+	// Events in tx of length <= 2: 1+1+2 = 4 of 18.
+	if got := st.FractionEventsInTxLeq(2); math.Abs(got-4.0/18) > 1e-9 {
+		t.Fatalf("fraction = %v", got)
+	}
+	empty := TxStats{}
+	if empty.Max() != 0 || empty.Mean() != 0 || empty.Percentile(50) != 0 || empty.FractionEventsInTxLeq(3) != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestLocksStats(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(7).Read(1).Rel(7) // hold span 2 (events 1..3)
+	b.On(0).Acq(7).Acq(7).Rel(7).Rel(7)   // reentrant: one span of 3
+	b.On(0).Acq(8).Notify(8).Wait(8)      // wait drops the lock
+	b.On(0).End()
+	ls := Locks(b.Trace())
+	if len(ls) != 2 {
+		t.Fatalf("locks = %v", ls)
+	}
+	l7 := ls[0]
+	if l7.Lock != 7 || l7.Acquires != 3 {
+		t.Fatalf("lock7 = %+v", l7)
+	}
+	if l7.HoldSpanP != 2+3 {
+		t.Fatalf("lock7 hold span = %d", l7.HoldSpanP)
+	}
+	l8 := ls[1]
+	if l8.Waits != 1 || l8.Notifies != 1 {
+		t.Fatalf("lock8 = %+v", l8)
+	}
+}
+
+func TestThreadsStats(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Read(1).Acq(2).Rel(2).Yield().End()
+	b.On(1).Begin().Write(1).VolRead(100).End()
+	ts := Threads(b.Trace())
+	if len(ts) != 2 {
+		t.Fatalf("threads = %v", ts)
+	}
+	if ts[0].Tid != 0 || ts[0].Accesses != 1 || ts[0].SyncOps != 2 || ts[0].Yields != 1 {
+		t.Fatalf("t0 = %+v", ts[0])
+	}
+	if ts[1].Accesses != 2 {
+		t.Fatalf("t1 = %+v", ts[1])
+	}
+}

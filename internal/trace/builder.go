@@ -1,0 +1,89 @@
+package trace
+
+// Builder offers a fluent way to construct traces by hand, used heavily by
+// tests and by the yield-inference rewriter. Every method appends one event
+// on behalf of the "current" thread set by On.
+type Builder struct {
+	t   *Trace
+	tid TID
+	loc LocID
+}
+
+// NewBuilder returns a builder over a fresh trace whose current thread is 0.
+// The builder does not auto-insert begin/end events; call Begin/End (or use
+// Thread) explicitly so tests control structure precisely.
+func NewBuilder() *Builder {
+	return &Builder{t: New()}
+}
+
+// Trace returns the built trace.
+func (b *Builder) Trace() *Trace { return b.t }
+
+// On selects the thread subsequent events belong to.
+func (b *Builder) On(tid TID) *Builder {
+	b.tid = tid
+	return b
+}
+
+// At sets the source location attached to subsequent events. The empty
+// string resets to the unknown location.
+func (b *Builder) At(loc string) *Builder {
+	b.loc = b.t.Strings.Intern(loc)
+	return b
+}
+
+func (b *Builder) add(op Op, target uint64) *Builder {
+	b.t.Append(Event{Tid: b.tid, Op: op, Target: target, Loc: b.loc})
+	return b
+}
+
+// Begin appends a thread-begin event.
+func (b *Builder) Begin() *Builder { return b.add(OpBegin, 0) }
+
+// End appends a thread-end event.
+func (b *Builder) End() *Builder { return b.add(OpEnd, 0) }
+
+// Read appends a plain read of variable v.
+func (b *Builder) Read(v uint64) *Builder { return b.add(OpRead, v) }
+
+// Write appends a plain write of variable v.
+func (b *Builder) Write(v uint64) *Builder { return b.add(OpWrite, v) }
+
+// Acq appends a lock acquire of m.
+func (b *Builder) Acq(m uint64) *Builder { return b.add(OpAcquire, m) }
+
+// Rel appends a lock release of m.
+func (b *Builder) Rel(m uint64) *Builder { return b.add(OpRelease, m) }
+
+// Fork appends a fork of child.
+func (b *Builder) Fork(child TID) *Builder { return b.add(OpFork, uint64(child)) }
+
+// Join appends a join on child.
+func (b *Builder) Join(child TID) *Builder { return b.add(OpJoin, uint64(child)) }
+
+// Yield appends an explicit yield annotation.
+func (b *Builder) Yield() *Builder { return b.add(OpYield, 0) }
+
+// Wait appends a condition wait guarded by lock m.
+func (b *Builder) Wait(m uint64) *Builder { return b.add(OpWait, m) }
+
+// Notify appends a condition notify guarded by lock m.
+func (b *Builder) Notify(m uint64) *Builder { return b.add(OpNotify, m) }
+
+// VolRead appends a volatile read of v.
+func (b *Builder) VolRead(v uint64) *Builder { return b.add(OpVolRead, v) }
+
+// VolWrite appends a volatile write of v.
+func (b *Builder) VolWrite(v uint64) *Builder { return b.add(OpVolWrite, v) }
+
+// Enter appends a method-entry event for method id m.
+func (b *Builder) Enter(m uint64) *Builder { return b.add(OpEnter, m) }
+
+// Exit appends a method-exit event for method id m.
+func (b *Builder) Exit(m uint64) *Builder { return b.add(OpExit, m) }
+
+// AtomicBegin appends an atomic-block-begin specification event.
+func (b *Builder) AtomicBegin() *Builder { return b.add(OpAtomicBegin, 0) }
+
+// AtomicEnd appends an atomic-block-end specification event.
+func (b *Builder) AtomicEnd() *Builder { return b.add(OpAtomicEnd, 0) }

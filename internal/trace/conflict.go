@@ -1,0 +1,44 @@
+package trace
+
+// Conflict reports whether two events (in either order) conflict —
+// reordering them could change behaviour. Conflicts define trace
+// equivalence (see internal/equiv) and drive both violation explanation
+// and partial-order-reduced exploration:
+//
+//   - same thread (program order);
+//   - operations on the same lock (acquire/release/wait/notify);
+//   - accesses to the same plain variable, at least one writing;
+//   - accesses to the same volatile, at least one writing;
+//   - a fork and any event of the forked thread;
+//   - a join and any event of the joined thread.
+func Conflict(a, b Event) bool {
+	if a.Tid == b.Tid {
+		return true
+	}
+	switch {
+	case isSyncOp(a.Op) && isSyncOp(b.Op):
+		return a.Target == b.Target
+	case a.Op.IsAccess() && b.Op.IsAccess():
+		return a.Target == b.Target && (a.Op.IsWrite() || b.Op.IsWrite())
+	case a.Op.IsVolatile() && b.Op.IsVolatile():
+		return a.Target == b.Target && (a.Op.IsWrite() || b.Op.IsWrite())
+	case a.Op == OpFork:
+		return TID(a.Target) == b.Tid
+	case b.Op == OpFork:
+		return TID(b.Target) == a.Tid
+	case a.Op == OpJoin:
+		return TID(a.Target) == b.Tid
+	case b.Op == OpJoin:
+		return TID(b.Target) == a.Tid
+	}
+	return false
+}
+
+// isSyncOp reports whether the op addresses a lock for conflict purposes.
+func isSyncOp(o Op) bool {
+	switch o {
+	case OpAcquire, OpRelease, OpWait, OpNotify:
+		return true
+	}
+	return false
+}

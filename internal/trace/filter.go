@@ -1,0 +1,62 @@
+package trace
+
+// FilterOptions selects a subsequence of a trace for inspection. Zero
+// values mean "no constraint".
+type FilterOptions struct {
+	// Tid restricts to one thread when >= 0 (use -1 for all).
+	Tid TID
+	// Ops restricts to the listed operation kinds (nil = all).
+	Ops []Op
+	// Target restricts to one target id when TargetSet is true.
+	Target    uint64
+	TargetSet bool
+	// From/To bound event indexes, half open [From, To); To 0 = end.
+	From, To int
+}
+
+// Filter returns a new trace containing the matching events, re-indexed,
+// sharing the string table. Filtering is for inspection only: the result
+// is generally not a feasible execution (Validate may reject it), so feed
+// it to printers and statistics, not to checkers.
+func (t *Trace) Filter(opts FilterOptions) *Trace {
+	out := &Trace{Meta: t.Meta, Strings: t.Strings}
+	to := opts.To
+	if to <= 0 || to > len(t.Events) {
+		to = len(t.Events)
+	}
+	from := opts.From
+	if from < 0 {
+		from = 0
+	}
+	opSet := map[Op]bool{}
+	for _, o := range opts.Ops {
+		opSet[o] = true
+	}
+	for i := from; i < to; i++ {
+		e := t.Events[i]
+		if opts.Tid >= 0 && e.Tid != opts.Tid {
+			continue
+		}
+		if len(opSet) > 0 && !opSet[e.Op] {
+			continue
+		}
+		if opts.TargetSet && e.Target != opts.Target {
+			continue
+		}
+		// Preserve the original index in the copy's Idx so printed events
+		// still reference the full trace; Append would renumber.
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// OpByName resolves an operation mnemonic ("rd", "acq", ...) as printed by
+// Op.String; ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	for o := Op(0); o.Valid(); o++ {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
+}

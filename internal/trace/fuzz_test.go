@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace decoder: it must never panic
+// and, when it does accept an input, re-encoding the result must produce a
+// trace that decodes to the same value (decode/encode/decode fixpoint).
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a real trace, an empty trace, and a truncation.
+	b := NewBuilder()
+	b.On(0).Begin().At("a.go:1").Fork(1).Acq(1).Write(2).Rel(1)
+	b.On(1).Begin().Read(2).Yield().End()
+	b.On(0).Join(1).End()
+	var buf bytes.Buffer
+	if _, err := b.Trace().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+
+	var empty bytes.Buffer
+	if _, err := New().WriteTo(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CRTR"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Events, tr2.Events) || tr.Meta != tr2.Meta {
+			t.Fatal("decode/encode/decode not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format (little-endian, varint-packed):
+//
+//	magic   "CRTR" (4 bytes)
+//	version uvarint (currently 1)
+//	meta    workload string, strategy string, seed varint, threads uvarint
+//	strings uvarint count, then each string as uvarint len + bytes
+//	        (string 0, the empty string, is omitted)
+//	events  uvarint count, then per event:
+//	        uvarint tid, byte op, uvarint target, uvarint loc
+//
+// Idx fields are implicit (position) and restored on read.
+
+const (
+	traceMagic   = "CRTR"
+	traceVersion = 1
+)
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(traceMagic)); err != nil {
+		return cw.n, err
+	}
+	writeUvarint(cw, traceVersion)
+	writeString(cw, t.Meta.Workload)
+	writeString(cw, t.Meta.Strategy)
+	writeVarint(cw, t.Meta.Seed)
+	writeUvarint(cw, uint64(t.Meta.Threads))
+
+	names := t.Strings.All()
+	writeUvarint(cw, uint64(len(names)-1))
+	for _, s := range names[1:] {
+		writeString(cw, s)
+	}
+
+	writeUvarint(cw, uint64(len(t.Events)))
+	for i := range t.Events {
+		e := &t.Events[i]
+		writeUvarint(cw, uint64(e.Tid))
+		if err := cw.WriteByte(byte(e.Op)); err != nil {
+			return cw.n, err
+		}
+		writeUvarint(cw, e.Target)
+		writeUvarint(cw, uint64(e.Loc))
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserializes a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	t := New()
+	if t.Meta.Workload, err = readString(br); err != nil {
+		return nil, err
+	}
+	if t.Meta.Strategy, err = readString(br); err != nil {
+		return nil, err
+	}
+	seed, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading seed: %w", err)
+	}
+	t.Meta.Seed = seed
+	nthreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	if nthreads > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: implausible thread count %d", nthreads)
+	}
+	t.Meta.Threads = int(nthreads)
+
+	nstr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading string count: %w", err)
+	}
+	for i := uint64(0); i < nstr; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Strings.Intern(s)
+	}
+
+	nev, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	if nev > 1<<40 {
+		return nil, fmt.Errorf("trace: implausible event count %d", nev)
+	}
+	t.Events = make([]Event, 0, nev)
+	for i := uint64(0); i < nev; i++ {
+		var e Event
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d tid: %w", i, err)
+		}
+		e.Tid = TID(tid)
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d op: %w", i, err)
+		}
+		e.Op = Op(op)
+		if !e.Op.Valid() {
+			return nil, fmt.Errorf("trace: event %d has invalid op %d", i, op)
+		}
+		if e.Target, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("trace: event %d target: %w", i, err)
+		}
+		loc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d loc: %w", i, err)
+		}
+		if loc >= uint64(t.Strings.Len()) {
+			return nil, fmt.Errorf("trace: event %d loc %d out of range", i, loc)
+		}
+		e.Loc = LocID(loc)
+		e.Idx = int(i)
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+type countWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func (c *countWriter) WriteByte(b byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.err = c.w.WriteByte(b)
+	if c.err == nil {
+		c.n++
+	}
+	return c.err
+}
+
+func writeUvarint(w *countWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeVarint(w *countWriter, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *countWriter, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.Write([]byte(s))
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("trace: reading string length: %w", err)
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("trace: reading string body: %w", err)
+	}
+	return string(buf), nil
+}

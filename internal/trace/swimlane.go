@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Swimlanes renders the trace as one column per thread — the classic
+// interleaving diagram used to read schedules at a glance:
+//
+//	#  T0            T1
+//	0  begin         .
+//	1  fork(T1)      .
+//	2  .             begin
+//	3  .             wr(1)
+//
+// resolve optionally maps an event to a label (e.g. using sched.Symbols to
+// name targets); nil uses the op mnemonic with the raw target. maxEvents
+// truncates long traces (0 = all).
+func (t *Trace) Swimlanes(resolve func(Event) string, maxEvents int) string {
+	n := t.Threads()
+	if n == 0 {
+		return "(empty trace)\n"
+	}
+	if resolve == nil {
+		resolve = func(e Event) string {
+			switch e.Op {
+			case OpBegin, OpEnd, OpYield:
+				return e.Op.String()
+			case OpFork, OpJoin:
+				return fmt.Sprintf("%s(T%d)", e.Op, e.Target)
+			default:
+				return fmt.Sprintf("%s(%d)", e.Op, e.Target)
+			}
+		}
+	}
+	events := t.Events
+	truncated := 0
+	if maxEvents > 0 && len(events) > maxEvents {
+		truncated = len(events) - maxEvents
+		events = events[:maxEvents]
+	}
+	// Column widths.
+	widths := make([]int, n)
+	labels := make([]string, len(events))
+	for i, e := range events {
+		labels[i] = resolve(e)
+		if int(e.Tid) < n && len(labels[i]) > widths[e.Tid] {
+			widths[e.Tid] = len(labels[i])
+		}
+	}
+	idxWidth := len(fmt.Sprint(len(t.Events)))
+	for tid := 0; tid < n; tid++ {
+		if h := len(fmt.Sprintf("T%d", tid)); h > widths[tid] {
+			widths[tid] = h
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", idxWidth+2, "#")
+	for tid := 0; tid < n; tid++ {
+		fmt.Fprintf(&b, "%-*s", widths[tid]+2, fmt.Sprintf("T%d", tid))
+	}
+	b.WriteByte('\n')
+	for i, e := range events {
+		fmt.Fprintf(&b, "%-*d", idxWidth+2, e.Idx)
+		for tid := 0; tid < n; tid++ {
+			cell := "."
+			if TID(tid) == e.Tid {
+				cell = labels[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[tid]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... (%d more events)\n", truncated)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+// Package vc implements vector clocks and FastTrack-style epochs.
+//
+// Vector clocks order events in a concurrent execution: entry i of a clock
+// is the number of "ticks" of thread i that are known to have happened
+// before the clock's owner's current point.  Epochs are the scalar
+// compression introduced by FastTrack (Flanagan & Freund, PLDI 2009): a
+// single (thread, clock) pair that suffices to represent a variable's
+// last-write (and usually last-read) history, falling back to a full vector
+// only when reads are concurrent.
+//
+// All types in this package are values or plain slices with no internal
+// locking; callers own their synchronization (the analysis pipelines in this
+// module are single-goroutine by construction).
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a single Lamport clock component.
+type Clock = uint32
+
+// VC is a vector clock. Index i is the clock of thread i. A VC may be
+// shorter than the number of threads in the system; missing entries are
+// implicitly zero. The zero value (nil) is a valid, all-zero clock.
+type VC []Clock
+
+// New returns a zeroed vector clock with capacity for n threads.
+func New(n int) VC { return make(VC, n) }
+
+// Get returns entry i, treating out-of-range entries as zero.
+func (v VC) Get(i int) Clock {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Set assigns entry i, growing the clock as needed, and returns the
+// (possibly reallocated) clock. Use as: v = v.Set(i, c).
+func (v VC) Set(i int, c Clock) VC {
+	v = v.grow(i + 1)
+	v[i] = c
+	return v
+}
+
+// Tick increments entry i and returns the (possibly reallocated) clock.
+func (v VC) Tick(i int) VC {
+	v = v.grow(i + 1)
+	v[i]++
+	return v
+}
+
+// grow extends v with zero entries so that len(v) >= n.
+func (v VC) grow(n int) VC {
+	if len(v) >= n {
+		return v
+	}
+	if cap(v) >= n {
+		for len(v) < n {
+			v = append(v, 0)
+		}
+		return v
+	}
+	w := make(VC, n)
+	copy(w, v)
+	return w
+}
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	if v == nil {
+		return nil
+	}
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Join merges u into v pointwise (v := v ⊔ u) and returns the result.
+func (v VC) Join(u VC) VC {
+	v = v.grow(len(u))
+	for i, c := range u {
+		if c > v[i] {
+			v[i] = c
+		}
+	}
+	return v
+}
+
+// Leq reports whether v ≤ u pointwise, i.e. every event known to v is known
+// to u. This is the happens-before ordering on clocks.
+func (v VC) Leq(u VC) bool {
+	for i, c := range v {
+		if c > u.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither v ≤ u nor u ≤ v.
+func (v VC) Concurrent(u VC) bool { return !v.Leq(u) && !u.Leq(v) }
+
+// Equal reports pointwise equality, treating missing entries as zero.
+func (v VC) Equal(u VC) bool { return v.Leq(u) && u.Leq(v) }
+
+// String renders the clock as "[c0 c1 ...]" trimming trailing zeros.
+func (v VC) String() string {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Epoch is FastTrack's scalar clock: a (tid, clock) pair packed into one
+// word. The special value NoEpoch (tid -1) represents "never accessed".
+type Epoch uint64
+
+// NoEpoch is the epoch of a variable that has never been accessed.
+const NoEpoch Epoch = ^Epoch(0)
+
+// MakeEpoch packs thread t at clock c.
+func MakeEpoch(t int, c Clock) Epoch {
+	return Epoch(uint64(uint32(t))<<32 | uint64(c))
+}
+
+// Tid returns the thread component of e. Calling Tid on NoEpoch is invalid.
+func (e Epoch) Tid() int { return int(uint32(e >> 32)) }
+
+// Clock returns the clock component of e.
+func (e Epoch) Clock() Clock { return Clock(e) }
+
+// LeqVC reports whether the event identified by e happens-before (or equals)
+// the point described by clock v, i.e. e.Clock() <= v[e.Tid()]. NoEpoch is
+// vacuously ordered before everything.
+func (e Epoch) LeqVC(v VC) bool {
+	if e == NoEpoch {
+		return true
+	}
+	return e.Clock() <= v.Get(e.Tid())
+}
+
+// String renders "c@t" in FastTrack's notation, or "⊥" for NoEpoch.
+func (e Epoch) String() string {
+	if e == NoEpoch {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%d", e.Clock(), e.Tid())
+}

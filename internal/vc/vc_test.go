@@ -1,0 +1,253 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsValid(t *testing.T) {
+	var v VC
+	if got := v.Get(3); got != 0 {
+		t.Fatalf("Get on nil VC = %d, want 0", got)
+	}
+	if !v.Leq(New(4)) {
+		t.Fatal("nil VC should be ≤ any clock")
+	}
+	if v.String() != "[]" {
+		t.Fatalf("nil VC String = %q", v.String())
+	}
+}
+
+func TestSetAndGet(t *testing.T) {
+	v := New(2)
+	v = v.Set(5, 7)
+	if got := v.Get(5); got != 7 {
+		t.Fatalf("Get(5) = %d, want 7", got)
+	}
+	if got := v.Get(4); got != 0 {
+		t.Fatalf("Get(4) = %d, want 0", got)
+	}
+	if got := v.Get(-1); got != 0 {
+		t.Fatalf("Get(-1) = %d, want 0", got)
+	}
+}
+
+func TestTick(t *testing.T) {
+	var v VC
+	v = v.Tick(2)
+	v = v.Tick(2)
+	v = v.Tick(0)
+	if v.Get(2) != 2 || v.Get(0) != 1 || v.Get(1) != 0 {
+		t.Fatalf("unexpected clock after ticks: %v", v)
+	}
+}
+
+func TestJoinPointwiseMax(t *testing.T) {
+	a := VC{3, 0, 5}
+	b := VC{1, 4}
+	a = a.Join(b)
+	want := VC{3, 4, 5}
+	if !a.Equal(want) {
+		t.Fatalf("join = %v, want %v", a, want)
+	}
+}
+
+func TestJoinGrows(t *testing.T) {
+	a := VC{1}
+	b := VC{0, 0, 0, 9}
+	a = a.Join(b)
+	if a.Get(3) != 9 {
+		t.Fatalf("join did not grow: %v", a)
+	}
+}
+
+func TestLeqAndConcurrent(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{2, 2}
+	c := VC{0, 3}
+	if !a.Leq(b) {
+		t.Error("a ≤ b expected")
+	}
+	if b.Leq(a) {
+		t.Error("b ≤ a unexpected")
+	}
+	if !a.Concurrent(c) {
+		t.Error("a ∥ c expected")
+	}
+	if a.Concurrent(a) {
+		t.Error("a ∥ a unexpected")
+	}
+}
+
+func TestEqualIgnoresTrailingZeros(t *testing.T) {
+	a := VC{1, 2, 0, 0}
+	b := VC{1, 2}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatalf("%v and %v should be equal", a, b)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := VC{1, 2, 3}
+	b := a.Copy()
+	b = b.Tick(0)
+	if a.Get(0) != 1 {
+		t.Fatal("Copy aliases original storage")
+	}
+	if (VC)(nil).Copy() != nil {
+		t.Fatal("Copy of nil should be nil")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 2, 0}).String(); got != "[1 0 2]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEpochPacking(t *testing.T) {
+	for _, tc := range []struct {
+		tid int
+		c   Clock
+	}{{0, 0}, {1, 1}, {255, 1 << 30}, {1 << 20, 42}} {
+		e := MakeEpoch(tc.tid, tc.c)
+		if e.Tid() != tc.tid || e.Clock() != tc.c {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", tc.tid, tc.c, e.Tid(), e.Clock())
+		}
+	}
+}
+
+func TestNoEpoch(t *testing.T) {
+	if !NoEpoch.LeqVC(nil) {
+		t.Fatal("NoEpoch must be ≤ every clock")
+	}
+	if NoEpoch.String() != "⊥" {
+		t.Fatalf("NoEpoch String = %q", NoEpoch.String())
+	}
+}
+
+func TestEpochLeqVC(t *testing.T) {
+	e := MakeEpoch(1, 5)
+	if e.LeqVC(VC{0, 4}) {
+		t.Error("5@1 ≤ [0 4] unexpected")
+	}
+	if !e.LeqVC(VC{0, 5}) {
+		t.Error("5@1 ≤ [0 5] expected")
+	}
+	if !e.LeqVC(VC{9, 6, 1}) {
+		t.Error("5@1 ≤ [9 6 1] expected")
+	}
+}
+
+func TestEpochString(t *testing.T) {
+	if got := MakeEpoch(3, 17).String(); got != "17@3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randVC builds a bounded random clock for property tests.
+func randVC(r *rand.Rand) VC {
+	n := r.Intn(6)
+	v := New(n)
+	for i := range v {
+		v[i] = Clock(r.Intn(8))
+	}
+	return v
+}
+
+func TestPropJoinIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r), randVC(r)
+		j := a.Copy().Join(b)
+		// Upper bound.
+		if !a.Leq(j) || !b.Leq(j) {
+			return false
+		}
+		// Least: any other upper bound dominates j.
+		u := a.Copy().Join(b).Join(randVC(r))
+		return j.Leq(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJoinCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		ab := a.Copy().Join(b)
+		ba := b.Copy().Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := a.Copy().Join(b).Join(c)
+		abc2 := a.Copy().Join(b.Copy().Join(c))
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		return a.Copy().Join(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropLeqPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r), randVC(r), randVC(r)
+		if !a.Leq(a) { // reflexive
+			return false
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) { // antisymmetric
+			return false
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) { // transitive
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEpochAgreesWithSingletonVC(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tid := r.Intn(4)
+		c := Clock(r.Intn(8))
+		v := randVC(r)
+		e := MakeEpoch(tid, c)
+		asVC := New(tid+1).Set(tid, c)
+		return e.LeqVC(v) == asVC.Leq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	a := New(16)
+	u := New(16)
+	for i := range u {
+		u[i] = Clock(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a = a.Join(u)
+	}
+}
+
+func BenchmarkEpochLeqVC(b *testing.B) {
+	v := New(16).Set(7, 100)
+	e := MakeEpoch(7, 50)
+	for i := 0; i < b.N; i++ {
+		if !e.LeqVC(v) {
+			b.Fatal("unexpected")
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package velodrome implements a Velodrome-style sound-and-complete
+// dynamic atomicity checker (Flanagan, Freund & Yi, PLDI 2008): instead of
+// Lipton reduction's pattern matching (the Atomizer approach in
+// internal/atom), it builds the transactional happens-before graph of the
+// execution — one node per atomic block instance, edges for inter-thread
+// communication — and reports a violation exactly when that graph has a
+// cycle, i.e. when some transaction is not serializable in this trace.
+//
+// Velodrome rounds out the checker comparison: Atomizer over-approximates
+// (it may flag serializable executions), Velodrome is precise for the
+// observed trace, and cooperability sits beside both with its yield-based
+// specification. Comparing the three on the same traces reproduces the
+// lineage the paper builds on.
+package velodrome
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// node is one transaction instance (or a unary non-transactional event run).
+type node struct {
+	id    int
+	tid   trace.TID
+	start int  // first event index
+	end   int  // last event index (-1 while open)
+	inTx  bool // true when this node is a declared atomic block
+	// succ holds edge targets (node ids).
+	succ map[int]struct{}
+}
+
+// Violation reports a non-serializable transaction: a happens-before cycle
+// through it.
+type Violation struct {
+	// Tid is the thread whose transaction is unserializable.
+	Tid trace.TID
+	// Start is the trace index where the transaction began.
+	Start int
+	// CycleLen is the length of the detected cycle (in transactions).
+	CycleLen int
+}
+
+// String renders a compact description.
+func (v Violation) String() string {
+	return fmt.Sprintf("velodrome: transaction of T%d starting at #%d is unserializable (cycle of %d transactions)",
+		v.Tid, v.Start, v.CycleLen)
+}
+
+// Options configures the checker.
+type Options struct {
+	// MethodsAtomic treats every method span as an atomic block, matching
+	// atom.Options.MethodsAtomic for apples-to-apples comparison.
+	MethodsAtomic bool
+}
+
+// Checker builds the transactional happens-before graph online and detects
+// cycles at Report time. It implements sched.Observer.
+type Checker struct {
+	opts  Options
+	nodes []*node
+	// current open node per thread.
+	current map[trace.TID]*node
+	// depth of nested atomic regions per thread.
+	depth map[trace.TID]int
+	// lastRelease maps a lock to the node that last released it.
+	lastRelease map[uint64]int
+	// lastVolWrite maps a volatile to the node that last wrote it.
+	lastVolWrite map[uint64]int
+	// lastWrite / lastReads map variables to writer node and reader nodes.
+	lastWrite map[uint64]int
+	lastReads map[uint64]map[int]struct{}
+	// endOf maps a thread to its last closed node (for fork/join edges).
+	lastNode map[trace.TID]int
+	events   int
+	blocks   int
+}
+
+// New returns an empty checker.
+func New(opts Options) *Checker {
+	return &Checker{
+		opts:         opts,
+		current:      make(map[trace.TID]*node),
+		depth:        make(map[trace.TID]int),
+		lastRelease:  make(map[uint64]int),
+		lastVolWrite: make(map[uint64]int),
+		lastWrite:    make(map[uint64]int),
+		lastReads:    make(map[uint64]map[int]struct{}),
+		lastNode:     make(map[trace.TID]int),
+	}
+}
+
+// cur returns the open node for t, creating a non-transactional unary node
+// if none is open.
+func (c *Checker) cur(t trace.TID, idx int, inTx bool) *node {
+	n := c.current[t]
+	if n == nil {
+		n = &node{id: len(c.nodes), tid: t, start: idx, end: -1, inTx: inTx, succ: map[int]struct{}{}}
+		c.nodes = append(c.nodes, n)
+		c.current[t] = n
+		// Program order: previous node of this thread precedes this one.
+		if prev, ok := c.lastNode[t]; ok {
+			c.nodes[prev].succ[n.id] = struct{}{}
+		}
+	}
+	return n
+}
+
+// closeNode ends the open node of t.
+func (c *Checker) closeNode(t trace.TID, idx int) {
+	n := c.current[t]
+	if n == nil {
+		return
+	}
+	n.end = idx
+	c.lastNode[t] = n.id
+	delete(c.current, t)
+}
+
+// edge adds from -> to (by node id), ignoring self-edges.
+func (c *Checker) edge(from, to int) {
+	if from != to {
+		c.nodes[from].succ[to] = struct{}{}
+	}
+}
+
+// Event processes one event in trace order.
+func (c *Checker) Event(e trace.Event) {
+	c.events++
+	t := e.Tid
+
+	enter := e.Op == trace.OpAtomicBegin || (c.opts.MethodsAtomic && e.Op == trace.OpEnter)
+	exit := e.Op == trace.OpAtomicEnd || (c.opts.MethodsAtomic && e.Op == trace.OpExit)
+	switch {
+	case enter:
+		if c.depth[t] == 0 {
+			// Close any non-transactional run and open a transaction node.
+			c.closeNode(t, e.Idx)
+			n := c.cur(t, e.Idx, true)
+			n.inTx = true
+			c.blocks++
+		}
+		c.depth[t]++
+		return
+	case exit:
+		if c.depth[t] > 0 {
+			c.depth[t]--
+			if c.depth[t] == 0 {
+				c.closeNode(t, e.Idx)
+			}
+		}
+		return
+	}
+
+	n := c.cur(t, e.Idx, false)
+
+	switch e.Op {
+	case trace.OpAcquire:
+		if prev, ok := c.lastRelease[e.Target]; ok {
+			c.edge(prev, n.id)
+		}
+	case trace.OpRelease, trace.OpWait:
+		c.lastRelease[e.Target] = n.id
+	case trace.OpVolWrite:
+		c.lastVolWrite[e.Target] = n.id
+	case trace.OpVolRead:
+		if prev, ok := c.lastVolWrite[e.Target]; ok {
+			c.edge(prev, n.id)
+		}
+	case trace.OpFork:
+		// Edge from this node to the child's first node is created when
+		// the child's first event arrives, via lastNode bootstrapping:
+		// record ourselves as the child's predecessor.
+		child := trace.TID(e.Target)
+		c.lastNode[child] = n.id
+	case trace.OpJoin:
+		child := trace.TID(e.Target)
+		if prev, ok := c.lastNode[child]; ok {
+			c.edge(prev, n.id)
+		}
+	case trace.OpRead:
+		if w, ok := c.lastWrite[e.Target]; ok {
+			c.edge(w, n.id)
+		}
+		rs := c.lastReads[e.Target]
+		if rs == nil {
+			rs = map[int]struct{}{}
+			c.lastReads[e.Target] = rs
+		}
+		rs[n.id] = struct{}{}
+	case trace.OpWrite:
+		if w, ok := c.lastWrite[e.Target]; ok {
+			c.edge(w, n.id)
+		}
+		for r := range c.lastReads[e.Target] {
+			c.edge(r, n.id)
+		}
+		delete(c.lastReads, e.Target)
+		c.lastWrite[e.Target] = n.id
+	case trace.OpEnd:
+		c.closeNode(t, e.Idx)
+	}
+
+	// Outside transactions, every event is its own unary node so that
+	// non-transactional communication cannot fabricate cycles through an
+	// artificial grouping.
+	if !n.inTx {
+		c.closeNode(t, e.Idx)
+	}
+}
+
+// Violations finds unserializable transactions: transactional nodes lying
+// on a cycle of the final graph (Tarjan SCC; any transactional node in a
+// non-trivial SCC is a violation).
+func (c *Checker) Violations() []Violation {
+	// Close any still-open nodes.
+	for t := range c.current {
+		c.closeNode(t, c.events)
+	}
+	n := len(c.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var counter int
+	sccID := make([]int, n)
+	sccSize := map[int]int{}
+	var nextSCC int
+
+	// Iterative Tarjan to survive deep graphs.
+	type frame struct {
+		v    int
+		iter []int
+		pos  int
+	}
+	adj := func(v int) []int {
+		out := make([]int, 0, len(c.nodes[v].succ))
+		for w := range c.nodes[v].succ {
+			out = append(out, w)
+		}
+		return out
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root, iter: adj(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.pos < len(f.iter) {
+				w := f.iter[f.pos]
+				f.pos++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, iter: adj(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := nextSCC
+				nextSCC++
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					sccID[w] = id
+					sccSize[id]++
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	var out []Violation
+	for _, nd := range c.nodes {
+		if !nd.inTx {
+			continue
+		}
+		// Self-edges cannot exist (edge() drops them), so a cycle means a
+		// non-trivial SCC.
+		if sccSize[sccID[nd.id]] > 1 {
+			out = append(out, Violation{Tid: nd.tid, Start: nd.start, CycleLen: sccSize[sccID[nd.id]]})
+		}
+	}
+	return out
+}
+
+// Blocks returns the number of transaction instances observed.
+func (c *Checker) Blocks() int { return c.blocks }
+
+// Events returns the number of events processed.
+func (c *Checker) Events() int { return c.events }
+
+// Analyze runs a fresh checker over a complete trace and returns its
+// violations.
+func Analyze(tr *trace.Trace, opts Options) []Violation {
+	c := New(opts)
+	for _, e := range tr.Events {
+		c.Event(e)
+	}
+	return c.Violations()
+}

@@ -1,0 +1,164 @@
+package velodrome
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/trace"
+)
+
+func TestSerializableInterleavingAccepted(t *testing.T) {
+	// Two lock-protected transactions that do not interleave their
+	// communication: T0's block entirely before T1's.
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().Acq(10).Write(1).Rel(10).AtomicEnd().End()
+	b.On(1).Begin().AtomicBegin().Acq(10).Write(1).Rel(10).AtomicEnd().End()
+	vs := Analyze(b.Trace(), Options{})
+	if len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+// The canonical unserializable pattern: T0's transaction reads x before
+// AND after T1 writes x (write-between-reads), creating a cycle
+// T0 -> T1 -> T0.
+func TestWriteBetweenReadsCycles(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().Read(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).Read(1).AtomicEnd().End()
+	vs := Analyze(b.Trace(), Options{})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+	v := vs[0]
+	if v.Tid != 0 || v.CycleLen < 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "unserializable") {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+// Stale-read cycle through locks: T0's transaction releases a lock that T1
+// acquires, and T1's release flows back into T0's later acquire.
+func TestLockCoupledTransactionCycles(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().Acq(10).Rel(10)
+	b.On(1).Begin().Acq(10).Rel(10).End() // T1 between T0's two sections
+	b.On(0).Acq(10).Rel(10).AtomicEnd().End()
+	vs := Analyze(b.Trace(), Options{})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+}
+
+// Atomizer's classic false positive: a lock-coupled block with NO
+// intervening conflicting activity is reducible-violating but perfectly
+// serializable in this trace — Velodrome stays silent.
+func TestVelodromeMorePreciseThanAtomizer(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().At("a:1").Acq(10).At("a:2").Rel(10).At("a:3").Acq(10).At("a:4").Rel(10).AtomicEnd().End()
+	b.On(1).Begin().End() // second thread exists but never touches lock 10
+	tr := b.Trace()
+	if got := Analyze(tr, Options{}); len(got) != 0 {
+		t.Fatalf("velodrome flagged a serializable trace: %v", got)
+	}
+	az := atom.Analyze(tr, atom.Options{})
+	if len(az.Violations()) == 0 {
+		t.Fatal("atomizer should flag the reduction-pattern break (the imprecision under study)")
+	}
+}
+
+func TestMethodsAtomicMode(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Enter(1).Read(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).Read(1).Exit(1).End()
+	if vs := Analyze(b.Trace(), Options{}); len(vs) != 0 {
+		t.Fatal("without MethodsAtomic nothing is a transaction")
+	}
+	vs := Analyze(b.Trace(), Options{MethodsAtomic: true})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+}
+
+func TestForkJoinEdgesNoFalseCycle(t *testing.T) {
+	// Transaction forks no one; fork/join edges around it are acyclic.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Write(1).Fork(1)
+	b.On(1).Begin().AtomicBegin().Read(1).Write(1).AtomicEnd().End()
+	b.On(0).Join(1).Read(1).End()
+	vs := Analyze(b.Trace(), Options{})
+	if len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVolatileEdges(t *testing.T) {
+	// T0's transaction publishes via volatile; T1 reads it and writes back
+	// a plain var T0 then reads inside the same transaction: cycle.
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().VolWrite(100)
+	b.On(1).Begin().VolRead(100).Write(1).End()
+	b.On(0).Read(1).AtomicEnd().End()
+	vs := Analyze(b.Trace(), Options{})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1", vs)
+	}
+}
+
+func TestNestedBlocksFlattened(t *testing.T) {
+	c := New(Options{})
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().AtomicBegin().Read(1).AtomicEnd().Read(1).AtomicEnd().End()
+	for _, e := range b.Trace().Events {
+		c.Event(e)
+	}
+	if c.Blocks() != 1 {
+		t.Fatalf("Blocks = %d, want 1 (outermost)", c.Blocks())
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatal("nested serial transaction flagged")
+	}
+	if c.Events() != b.Trace().Len() {
+		t.Fatalf("Events = %d", c.Events())
+	}
+}
+
+func TestUnaryNodesDoNotFabricateCycles(t *testing.T) {
+	// Heavy non-transactional ping-pong between threads: no transactions,
+	// no violations, regardless of the cyclic communication pattern.
+	b := trace.NewBuilder()
+	b.On(0).Begin()
+	b.On(1).Begin()
+	for i := 0; i < 10; i++ {
+		b.On(0).Write(1).Read(2)
+		b.On(1).Write(2).Read(1)
+	}
+	b.On(0).End()
+	b.On(1).End()
+	if vs := Analyze(b.Trace(), Options{}); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func BenchmarkVelodrome(b *testing.B) {
+	bld := trace.NewBuilder()
+	bld.On(0).Begin()
+	bld.On(1).Begin()
+	for i := 0; i < 200; i++ {
+		tid := trace.TID(i % 2)
+		bld.On(tid).AtomicBegin().Acq(10).Read(1).Write(1).Rel(10).AtomicEnd()
+	}
+	bld.On(0).End()
+	bld.On(1).End()
+	tr := bld.Trace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tr, Options{})
+	}
+}

@@ -1,0 +1,51 @@
+package vsync
+
+import "repro/internal/sched"
+
+// Barrier is a cyclic barrier built from a monitor — the synchronization
+// backbone of the grid workloads (sor, lufact, moldyn, crypt). Await is a
+// cooperative scheduling point: late arrivals block in Wait, which
+// cooperability treats as a yield, and the last arrival's broadcast wakes
+// the generation.
+type Barrier struct {
+	parties int
+	m       *sched.Mutex
+	c       *sched.Cond
+	count   *sched.Var
+	gen     *sched.Var
+}
+
+// NewBarrier declares a barrier's shared state on p for the given number
+// of parties.
+func NewBarrier(p *sched.Program, name string, parties int) *Barrier {
+	m := p.Mutex(name + ".m")
+	return &Barrier{
+		parties: parties,
+		m:       m,
+		c:       p.Cond(name+".c", m),
+		count:   p.Var(name + ".count"),
+		gen:     p.Var(name + ".gen"),
+	}
+}
+
+// Parties returns the configured party count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Await blocks until all parties arrive, then releases the generation
+// together and resets for the next cycle.
+func (b *Barrier) Await(t *sched.T) {
+	t.Acquire(b.m)
+	gen := t.Read(b.gen)
+	n := t.Read(b.count) + 1
+	t.Write(b.count, n)
+	if n == int64(b.parties) {
+		t.Write(b.count, 0)
+		t.Write(b.gen, gen+1)
+		t.Broadcast(b.c)
+	} else {
+		for t.Read(b.gen) == gen {
+			t.Wait(b.c)
+		}
+	}
+	t.Release(b.m)
+}

@@ -1,0 +1,101 @@
+package vsync
+
+import "repro/internal/sched"
+
+// Once runs an initializer exactly once across threads; later callers
+// block until the first completes (java.util.concurrent-style memoized
+// initialization). Do is a cooperative scheduling point when it waits.
+type Once struct {
+	m     *sched.Mutex
+	done  *sched.Cond
+	state *sched.Var // 0 = fresh, 1 = running, 2 = done
+}
+
+// NewOnce declares the shared state on p.
+func NewOnce(p *sched.Program, name string) *Once {
+	m := p.Mutex(name + ".m")
+	return &Once{m: m, done: p.Cond(name+".done", m), state: p.Var(name + ".state")}
+}
+
+// Do runs fn if no thread has yet; otherwise it blocks until the running
+// initializer finishes. It returns true for the thread that ran fn.
+func (o *Once) Do(t *sched.T, fn func()) bool {
+	t.Acquire(o.m)
+	switch t.Read(o.state) {
+	case 2:
+		t.Release(o.m)
+		return false
+	case 1:
+		for t.Read(o.state) != 2 {
+			t.Wait(o.done)
+		}
+		t.Release(o.m)
+		return false
+	}
+	t.Write(o.state, 1)
+	t.Release(o.m)
+	// The initializer runs outside the monitor (it may take long and must
+	// not hold the lock across its own synchronization).
+	fn()
+	t.Acquire(o.m)
+	t.Write(o.state, 2)
+	t.Broadcast(o.done)
+	t.Release(o.m)
+	return true
+}
+
+// Future is a single-assignment cell: Set publishes a value once; Get
+// blocks until it is available. Get is a cooperative scheduling point.
+type Future struct {
+	m     *sched.Mutex
+	ready *sched.Cond
+	set   *sched.Var
+	value *sched.Var
+}
+
+// NewFuture declares the shared state on p.
+func NewFuture(p *sched.Program, name string) *Future {
+	m := p.Mutex(name + ".m")
+	return &Future{
+		m:     m,
+		ready: p.Cond(name+".ready", m),
+		set:   p.Var(name + ".set"),
+		value: p.Var(name + ".value"),
+	}
+}
+
+// Set publishes the value. Setting twice is a workload bug and aborts the
+// run (mirrors completing a completed future).
+func (f *Future) Set(t *sched.T, v int64) {
+	t.Acquire(f.m)
+	if t.Read(f.set) == 1 {
+		panic("vsync: Future set twice")
+	}
+	t.Write(f.value, v)
+	t.Write(f.set, 1)
+	t.Broadcast(f.ready)
+	t.Release(f.m)
+}
+
+// Get blocks until the value is available and returns it.
+func (f *Future) Get(t *sched.T) int64 {
+	t.Acquire(f.m)
+	for t.Read(f.set) == 0 {
+		t.Wait(f.ready)
+	}
+	v := t.Read(f.value)
+	t.Release(f.m)
+	return v
+}
+
+// TryGet returns (value, true) when set, without blocking.
+func (f *Future) TryGet(t *sched.T) (int64, bool) {
+	t.Acquire(f.m)
+	ok := t.Read(f.set) == 1
+	var v int64
+	if ok {
+		v = t.Read(f.value)
+	}
+	t.Release(f.m)
+	return v, ok
+}

@@ -1,0 +1,111 @@
+package vsync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("once")
+		once := NewOnce(p, "init")
+		initCount := p.Var("initCount") // written only inside the Once
+		ranIt := p.Var("ranIt")
+		ranLock := p.Mutex("ranIt.lock")
+		p.SetMain(func(t *sched.T) {
+			hs := make([]sched.Handle, 4)
+			for i := range hs {
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					ran := once.Do(t, func() {
+						t.Write(initCount, t.Read(initCount)+1)
+						t.Yield() // widen the running window
+					})
+					if ran {
+						t.Acquire(ranLock)
+						t.Write(ranIt, t.Read(ranIt)+1)
+						t.Release(ranLock)
+					}
+				})
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if finalVar(t, res, "initCount") != 1 {
+		t.Fatal("initializer ran more than once")
+	}
+	if finalVar(t, res, "ranIt") != 1 {
+		t.Fatal("exactly one caller should report running it")
+	}
+}
+
+func TestOnceLateCallerSkipsWithoutBlocking(t *testing.T) {
+	p := sched.NewProgram("once-late")
+	once := NewOnce(p, "init")
+	order := p.Var("order")
+	p.SetMain(func(t *sched.T) {
+		once.Do(t, func() { t.Write(order, 1) })
+		// Second Do on the same (main) thread: state is done, no wait.
+		if once.Do(t, func() { t.Write(order, 2) }) {
+			panic("second Do ran the initializer")
+		}
+	})
+	res, err := sched.Run(p, sched.Options{Strategy: sched.Cooperative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Symbols.Vars {
+		if n == "order" && res.FinalVars[i] != 1 {
+			t.Fatalf("order = %d", res.FinalVars[i])
+		}
+	}
+}
+
+func TestFutureHandsOffValue(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("future")
+		f := NewFuture(p, "f")
+		got := p.Var("got")
+		early := p.Var("early")
+		p.SetMain(func(t *sched.T) {
+			consumer := t.Fork("consumer", func(t *sched.T) {
+				if _, ok := f.TryGet(t); ok {
+					// Possible under some schedules; not an error, but the
+					// value must then equal the final one.
+					t.Write(early, 1)
+				}
+				t.Write(got, f.Get(t))
+			})
+			producer := t.Fork("producer", func(t *sched.T) {
+				t.Yield()
+				f.Set(t, 42)
+			})
+			t.Join(consumer)
+			t.Join(producer)
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if finalVar(t, res, "got") != 42 {
+		t.Fatalf("got = %d", finalVar(t, res, "got"))
+	}
+}
+
+func TestFutureDoubleSetPanics(t *testing.T) {
+	p := sched.NewProgram("future-double")
+	f := NewFuture(p, "f")
+	p.SetMain(func(t *sched.T) {
+		f.Set(t, 1)
+		f.Set(t, 2)
+	})
+	_, err := sched.Run(p, sched.Options{Strategy: sched.Cooperative{}})
+	if err == nil || !strings.Contains(err.Error(), "set twice") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package vsync is a concurrency toolkit built on the virtual runtime's
+// monitor primitives: semaphores, read-write locks, latches, and bounded
+// queues. The structures mirror java.util.concurrent counterparts the
+// paper-era study subjects rely on, and each documents its cooperability
+// profile — which operations are interference points (block via Wait) and
+// which reason sequentially.
+//
+// Everything here is ordinary workload-level code: it uses only the public
+// sched API, so traces through these structures exercise the checkers the
+// same way application code does.
+package vsync
+
+import (
+	"repro/internal/sched"
+)
+
+// Semaphore is a counting semaphore: Acquire blocks while the count is
+// zero. Acquire is a cooperative scheduling point (it may Wait); Release
+// never blocks.
+type Semaphore struct {
+	m       *sched.Mutex
+	nonzero *sched.Cond
+	permits *sched.Var
+}
+
+// NewSemaphore declares a semaphore with the given initial permits.
+// Initialization happens at first use by the main thread via Init, or
+// implicitly if initial is 0.
+func NewSemaphore(p *sched.Program, name string, _ int) *Semaphore {
+	m := p.Mutex(name + ".m")
+	return &Semaphore{
+		m:       m,
+		nonzero: p.Cond(name+".nonzero", m),
+		permits: p.Var(name + ".permits"),
+	}
+}
+
+// Init sets the initial permit count; call it from the owning thread
+// before the semaphore is shared.
+func (s *Semaphore) Init(t *sched.T, permits int) {
+	t.Write(s.permits, int64(permits))
+}
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire(t *sched.T) {
+	t.Acquire(s.m)
+	for t.Read(s.permits) == 0 {
+		t.Wait(s.nonzero)
+	}
+	t.Write(s.permits, t.Read(s.permits)-1)
+	t.Release(s.m)
+}
+
+// TryAcquire takes a permit if one is available without blocking.
+func (s *Semaphore) TryAcquire(t *sched.T) bool {
+	t.Acquire(s.m)
+	ok := t.Read(s.permits) > 0
+	if ok {
+		t.Write(s.permits, t.Read(s.permits)-1)
+	}
+	t.Release(s.m)
+	return ok
+}
+
+// Release returns one permit and wakes one waiter.
+func (s *Semaphore) Release(t *sched.T) {
+	t.Acquire(s.m)
+	t.Write(s.permits, t.Read(s.permits)+1)
+	t.Signal(s.nonzero)
+	t.Release(s.m)
+}
+
+// RWLock is a writer-preference read-write lock built on a monitor.
+// RLock/WLock are cooperative scheduling points.
+type RWLock struct {
+	m        *sched.Mutex
+	readable *sched.Cond
+	writable *sched.Cond
+	readers  *sched.Var // active readers
+	writer   *sched.Var // 1 while a writer holds the lock
+	waitingW *sched.Var // queued writers (for writer preference)
+}
+
+// NewRWLock declares a read-write lock's shared state on p.
+func NewRWLock(p *sched.Program, name string) *RWLock {
+	m := p.Mutex(name + ".m")
+	return &RWLock{
+		m:        m,
+		readable: p.Cond(name+".readable", m),
+		writable: p.Cond(name+".writable", m),
+		readers:  p.Var(name + ".readers"),
+		writer:   p.Var(name + ".writer"),
+		waitingW: p.Var(name + ".waitingW"),
+	}
+}
+
+// RLock blocks while a writer is active or queued (writer preference).
+func (l *RWLock) RLock(t *sched.T) {
+	t.Acquire(l.m)
+	for t.Read(l.writer) == 1 || t.Read(l.waitingW) > 0 {
+		t.Wait(l.readable)
+	}
+	t.Write(l.readers, t.Read(l.readers)+1)
+	t.Release(l.m)
+}
+
+// RUnlock releases a read hold; the last reader wakes a writer.
+func (l *RWLock) RUnlock(t *sched.T) {
+	t.Acquire(l.m)
+	n := t.Read(l.readers) - 1
+	t.Write(l.readers, n)
+	if n == 0 {
+		t.Signal(l.writable)
+	}
+	t.Release(l.m)
+}
+
+// WLock blocks until no readers or writer are active.
+func (l *RWLock) WLock(t *sched.T) {
+	t.Acquire(l.m)
+	t.Write(l.waitingW, t.Read(l.waitingW)+1)
+	for t.Read(l.writer) == 1 || t.Read(l.readers) > 0 {
+		t.Wait(l.writable)
+	}
+	t.Write(l.waitingW, t.Read(l.waitingW)-1)
+	t.Write(l.writer, 1)
+	t.Release(l.m)
+}
+
+// WUnlock releases the write hold and wakes everyone (a writer may win
+// again via preference; readers recheck).
+func (l *RWLock) WUnlock(t *sched.T) {
+	t.Acquire(l.m)
+	t.Write(l.writer, 0)
+	t.Signal(l.writable)
+	t.Broadcast(l.readable)
+	t.Release(l.m)
+}
+
+// Latch is a one-shot countdown latch: Await blocks until the count
+// reaches zero.
+type Latch struct {
+	m    *sched.Mutex
+	zero *sched.Cond
+	n    *sched.Var
+}
+
+// NewLatch declares a latch; set the count with Init before sharing.
+func NewLatch(p *sched.Program, name string) *Latch {
+	m := p.Mutex(name + ".m")
+	return &Latch{m: m, zero: p.Cond(name+".zero", m), n: p.Var(name + ".n")}
+}
+
+// Init sets the countdown; call from the owning thread before sharing.
+func (l *Latch) Init(t *sched.T, n int) { t.Write(l.n, int64(n)) }
+
+// CountDown decrements; the transition to zero wakes all waiters.
+func (l *Latch) CountDown(t *sched.T) {
+	t.Acquire(l.m)
+	n := t.Read(l.n) - 1
+	t.Write(l.n, n)
+	if n == 0 {
+		t.Broadcast(l.zero)
+	}
+	t.Release(l.m)
+}
+
+// Await blocks until the count reaches zero.
+func (l *Latch) Await(t *sched.T) {
+	t.Acquire(l.m)
+	for t.Read(l.n) > 0 {
+		t.Wait(l.zero)
+	}
+	t.Release(l.m)
+}
+
+// Queue is a bounded FIFO of int64 values over a monitor; Put blocks when
+// full, Take when empty — both are cooperative scheduling points.
+type Queue struct {
+	cap      int
+	m        *sched.Mutex
+	notFull  *sched.Cond
+	notEmpty *sched.Cond
+	items    []*sched.Var
+	head     *sched.Var
+	size     *sched.Var
+}
+
+// NewQueue declares a bounded queue of the given capacity.
+func NewQueue(p *sched.Program, name string, capacity int) *Queue {
+	m := p.Mutex(name + ".m")
+	return &Queue{
+		cap:      capacity,
+		m:        m,
+		notFull:  p.Cond(name+".notFull", m),
+		notEmpty: p.Cond(name+".notEmpty", m),
+		items:    p.Vars(name+".item", capacity),
+		head:     p.Var(name + ".head"),
+		size:     p.Var(name + ".size"),
+	}
+}
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue) Put(t *sched.T, v int64) {
+	t.Acquire(q.m)
+	for t.Read(q.size) == int64(q.cap) {
+		t.Wait(q.notFull)
+	}
+	tail := (t.Read(q.head) + t.Read(q.size)) % int64(q.cap)
+	t.Write(q.items[tail], v)
+	t.Write(q.size, t.Read(q.size)+1)
+	t.Signal(q.notEmpty)
+	t.Release(q.m)
+}
+
+// Take removes the oldest value, blocking while the queue is empty.
+func (q *Queue) Take(t *sched.T) int64 {
+	t.Acquire(q.m)
+	for t.Read(q.size) == 0 {
+		t.Wait(q.notEmpty)
+	}
+	h := t.Read(q.head)
+	v := t.Read(q.items[h])
+	t.Write(q.head, (h+1)%int64(q.cap))
+	t.Write(q.size, t.Read(q.size)-1)
+	t.Signal(q.notFull)
+	t.Release(q.m)
+	return v
+}
+
+// Len reads the current size under the monitor lock.
+func (q *Queue) Len(t *sched.T) int64 {
+	t.Acquire(q.m)
+	n := t.Read(q.size)
+	t.Release(q.m)
+	return n
+}

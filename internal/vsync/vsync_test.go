@@ -1,0 +1,425 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/sched"
+)
+
+// strategies is the battery every structure must survive.
+func strategies() []sched.Strategy {
+	return []sched.Strategy{
+		sched.Cooperative{},
+		&sched.RoundRobin{Quantum: 1},
+		&sched.RoundRobin{Quantum: 4},
+		sched.NewRandom(1),
+		sched.NewRandom(42),
+		sched.NewRandom(1234),
+	}
+}
+
+// runAll executes the program under every strategy and returns the final
+// plain-variable values of the last run, asserting no errors and no races.
+func runAll(t *testing.T, build func() *sched.Program) *sched.Result {
+	t.Helper()
+	var last *sched.Result
+	for _, strat := range strategies() {
+		res, err := sched.Run(build(), sched.Options{Strategy: strat, RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if d := race.Analyze(res.Trace); len(d.Races()) != 0 {
+			t.Fatalf("%s: races in vsync structure: %v", strat.Name(), d.Races())
+		}
+		last = res
+	}
+	return last
+}
+
+func finalVar(t *testing.T, res *sched.Result, name string) int64 {
+	t.Helper()
+	for i, n := range res.Symbols.Vars {
+		if n == name {
+			return res.FinalVars[i]
+		}
+	}
+	t.Fatalf("variable %q not found", name)
+	return 0
+}
+
+func TestSemaphoreBoundsConcurrentHolders(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("sem")
+		sem := NewSemaphore(p, "sem", 0)
+		acct := p.Mutex("acct") // separate monitor for the probe counters
+		inside := p.Var("inside")
+		peak := p.Var("peak")
+		p.SetMain(func(t *sched.T) {
+			sem.Init(t, 2)
+			hs := make([]sched.Handle, 4)
+			for i := range hs {
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					for n := 0; n < 3; n++ {
+						sem.Acquire(t)
+						t.Acquire(acct)
+						in := t.Read(inside) + 1
+						t.Write(inside, in)
+						if in > t.Read(peak) {
+							t.Write(peak, in)
+						}
+						t.Release(acct)
+						t.Yield()
+						t.Acquire(acct)
+						t.Write(inside, t.Read(inside)-1)
+						t.Release(acct)
+						t.Yield()
+						sem.Release(t)
+						t.Yield()
+					}
+				})
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if got := finalVar(t, res, "peak"); got < 1 || got > 2 {
+		t.Fatalf("peak holders = %d, want in [1,2]", got)
+	}
+	if finalVar(t, res, "inside") != 0 {
+		t.Fatal("holders did not drain")
+	}
+}
+
+func TestSemaphoreAsMutexProtectsCounter(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("sem-mutex")
+		sem := NewSemaphore(p, "sem", 0)
+		count := p.Var("count")
+		p.SetMain(func(t *sched.T) {
+			sem.Init(t, 1) // binary semaphore
+			hs := make([]sched.Handle, 3)
+			for i := range hs {
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					for n := 0; n < 4; n++ {
+						sem.Acquire(t)
+						t.Write(count, t.Read(count)+1)
+						sem.Release(t)
+						t.Yield()
+					}
+				})
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if got := finalVar(t, res, "count"); got != 12 {
+		t.Fatalf("count = %d, want 12", got)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("sem-try")
+		sem := NewSemaphore(p, "sem", 0)
+		got := p.Var("got")
+		miss := p.Var("miss")
+		p.SetMain(func(t *sched.T) {
+			sem.Init(t, 1)
+			if sem.TryAcquire(t) {
+				t.Write(got, t.Read(got)+1)
+			}
+			if sem.TryAcquire(t) {
+				t.Write(got, t.Read(got)+1)
+			} else {
+				t.Write(miss, 1)
+			}
+			sem.Release(t)
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if finalVar(t, res, "got") != 1 || finalVar(t, res, "miss") != 1 {
+		t.Fatal("TryAcquire accounting wrong")
+	}
+}
+
+// Semaphore fairness-ish liveness: with 1 permit and competing waiters,
+// everyone finishes (Release signals a waiter).
+func TestSemaphoreNoLostWakeup(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("sem-wakeup")
+		sem := NewSemaphore(p, "sem", 0)
+		p.SetMain(func(t *sched.T) {
+			sem.Init(t, 1)
+			hs := make([]sched.Handle, 5)
+			for i := range hs {
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					// If Release lost a wakeup, some Acquire would block
+					// forever and the run would deadlock.
+					sem.Acquire(t)
+					t.Yield()
+					sem.Release(t)
+				})
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	runAll(t, build)
+}
+
+func TestRWLockReadersDoNotExcludeEachOther(t *testing.T) {
+	// Structural check: under cooperative scheduling with two readers that
+	// both RLock before either RUnlocks, the readers counter must reach 2.
+	p := sched.NewProgram("rw-readers")
+	rw := NewRWLock(p, "rw")
+	peak := p.Var("peak")
+	latch := NewLatch(p, "latch")
+	p.SetMain(func(t *sched.T) {
+		latch.Init(t, 2)
+		reader := func(t *sched.T) {
+			rw.RLock(t)
+			latch.CountDown(t)
+			latch.Await(t) // both readers inside simultaneously
+			t.Acquire(rw.m)
+			if r := t.Read(rw.readers); r > t.Read(peak) {
+				t.Write(peak, r)
+			}
+			t.Release(rw.m)
+			rw.RUnlock(t)
+		}
+		h1 := t.Fork("r1", reader)
+		h2 := t.Fork("r2", reader)
+		t.Join(h1)
+		t.Join(h2)
+	})
+	res, err := sched.Run(p, sched.Options{Strategy: &sched.RoundRobin{Quantum: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Symbols.Vars {
+		if n == "peak" && res.FinalVars[i] != 2 {
+			t.Fatalf("peak concurrent readers = %d, want 2", res.FinalVars[i])
+		}
+	}
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("rw-writers")
+		rw := NewRWLock(p, "rw")
+		data := p.Var("data")
+		sum := p.Var("sum")
+		p.SetMain(func(t *sched.T) {
+			writers := make([]sched.Handle, 2)
+			for i := range writers {
+				writers[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					for n := 0; n < 3; n++ {
+						rw.WLock(t)
+						t.Write(data, t.Read(data)+1)
+						rw.WUnlock(t)
+						t.Yield()
+					}
+				})
+			}
+			readers := make([]sched.Handle, 2)
+			for i := range readers {
+				readers[i] = t.Fork(fmt.Sprintf("r%d", i), func(t *sched.T) {
+					for n := 0; n < 3; n++ {
+						rw.RLock(t)
+						v := t.Read(data)
+						rw.RUnlock(t)
+						t.Yield()
+						rw.WLock(t)
+						t.Write(sum, t.Read(sum)+v%2)
+						rw.WUnlock(t)
+						t.Yield()
+					}
+				})
+			}
+			for _, h := range append(writers, readers...) {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if got := finalVar(t, res, "data"); got != 6 {
+		t.Fatalf("data = %d, want 6 (writer exclusion broken)", got)
+	}
+}
+
+func TestLatch(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("latch")
+		latch := NewLatch(p, "latch")
+		ready := p.Var("ready")
+		observed := p.Var("observed")
+		p.SetMain(func(t *sched.T) {
+			latch.Init(t, 3)
+			waiter := t.Fork("waiter", func(t *sched.T) {
+				latch.Await(t)
+				// All three workers counted down; their writes are ordered
+				// before this read by the latch's monitor.
+				t.Write(observed, t.Read(ready))
+			})
+			hs := make([]sched.Handle, 3)
+			for i := range hs {
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					t.Acquire(latch.m)
+					t.Write(ready, t.Read(ready)+1)
+					t.Release(latch.m)
+					latch.CountDown(t)
+				})
+			}
+			t.Join(waiter)
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if got := finalVar(t, res, "observed"); got != 3 {
+		t.Fatalf("observed = %d, want 3", got)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("queue")
+		q := NewQueue(p, "q", 2) // small capacity forces Put blocking
+		outOfOrder := p.Var("outOfOrder")
+		received := p.Var("received")
+		const items = 8
+		p.SetMain(func(t *sched.T) {
+			prod := t.Fork("prod", func(t *sched.T) {
+				for i := 1; i <= items; i++ {
+					q.Put(t, int64(i))
+					t.Yield()
+				}
+			})
+			cons := t.Fork("cons", func(t *sched.T) {
+				prev := int64(0)
+				for i := 0; i < items; i++ {
+					v := q.Take(t)
+					if v != prev+1 {
+						t.Write(outOfOrder, 1)
+					}
+					prev = v
+					t.Write(received, t.Read(received)+1)
+					t.Yield()
+				}
+			})
+			t.Join(prod)
+			t.Join(cons)
+			if q.Len(t) != 0 {
+				panic("queue not drained")
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if finalVar(t, res, "outOfOrder") != 0 {
+		t.Fatal("FIFO order violated")
+	}
+	if finalVar(t, res, "received") != 8 {
+		t.Fatal("items lost")
+	}
+}
+
+func TestQueueManyProducersConsumers(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("queue-mpmc")
+		q := NewQueue(p, "q", 3)
+		total := p.Var("total")
+		totalLock := p.Mutex("total.lock")
+		const perProducer = 4
+		p.SetMain(func(t *sched.T) {
+			prods := make([]sched.Handle, 3)
+			for i := range prods {
+				i := i
+				prods[i] = t.Fork(fmt.Sprintf("p%d", i), func(t *sched.T) {
+					for n := 1; n <= perProducer; n++ {
+						q.Put(t, int64(i*100+n))
+						t.Yield()
+					}
+				})
+			}
+			cons := make([]sched.Handle, 2)
+			for i := range cons {
+				cons[i] = t.Fork(fmt.Sprintf("c%d", i), func(t *sched.T) {
+					for n := 0; n < 6; n++ { // 2*6 = 3*4 items
+						v := q.Take(t)
+						t.Acquire(totalLock)
+						t.Write(total, t.Read(total)+v%100)
+						t.Release(totalLock)
+						t.Yield()
+					}
+				})
+			}
+			for _, h := range append(prods, cons...) {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	// Each producer contributes 1+2+3+4 = 10 (mod 100 strips the id).
+	if got := finalVar(t, res, "total"); got != 30 {
+		t.Fatalf("total = %d, want 30", got)
+	}
+}
+
+func TestBarrierCycles(t *testing.T) {
+	build := func() *sched.Program {
+		p := sched.NewProgram("barrier")
+		bar := NewBarrier(p, "bar", 3)
+		phase := p.Vars("phase", 3) // per-worker phase counters (owned)
+		skew := p.Var("skew")
+		skewLock := p.Mutex("skew.lock")
+		p.SetMain(func(t *sched.T) {
+			hs := make([]sched.Handle, 3)
+			for i := range hs {
+				i := i
+				hs[i] = t.Fork(fmt.Sprintf("w%d", i), func(t *sched.T) {
+					for round := 0; round < 3; round++ {
+						t.Write(phase[i], int64(round))
+						bar.Await(t)
+						// After the barrier, every worker must be in the
+						// same round: check neighbours under a lock.
+						t.Acquire(skewLock)
+						for j := 0; j < 3; j++ {
+							if t.Read(phase[j]) != int64(round) {
+								t.Write(skew, 1)
+							}
+						}
+						t.Release(skewLock)
+						bar.Await(t) // second barrier so writes don't race checks
+					}
+				})
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+		})
+		return p
+	}
+	res := runAll(t, build)
+	if finalVar(t, res, "skew") != 0 {
+		t.Fatal("barrier let a worker run ahead")
+	}
+	if NewBarrier(sched.NewProgram("x"), "b", 5).Parties() != 5 {
+		t.Fatal("Parties accessor wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "bank",
+		Description:    "account transfers; ordered per-account locks, yields between transfers",
+		DefaultThreads: 4,
+		DefaultSize:    12, // transfers per worker
+		Build: func(threads, size int) *sched.Program {
+			return buildBank(threads, size, false)
+		},
+	})
+	register(Spec{
+		Name:           "bank-buggy",
+		Description:    "bank with an unlocked check-then-act overdraft guard (TOCTOU race)",
+		DefaultThreads: 4,
+		DefaultSize:    12,
+		Buggy:          true,
+		Build: func(threads, size int) *sched.Program {
+			return buildBank(threads, size, true)
+		},
+	})
+}
+
+// buildBank models the canonical account-transfer service. The correct
+// variant holds both account locks (in id order) for the whole
+// read-check-move sequence and yields between transfers. The buggy variant
+// reproduces the classic TOCTOU overdraft bug: the balance check reads the
+// source account *without* its lock, then the move proceeds under locks
+// without re-checking — a data race and an atomicity failure that lets
+// balances go negative under preemption.
+func buildBank(threads, size int, buggy bool) *sched.Program {
+	const accounts = 6
+	name := "bank"
+	if buggy {
+		name = "bank-buggy"
+	}
+	p := sched.NewProgram(name)
+	balance := p.Vars("balance", accounts)
+	locks := p.Mutexes("acct", accounts)
+	overdrafts := NewCounter(p, "overdrafts")
+
+	p.SetMain(func(t *sched.T) {
+		for i := 0; i < accounts; i++ {
+			t.Write(balance[i], 100)
+		}
+		hs := forkWorkers(t, threads, "teller", func(t *sched.T, id int) {
+			rng := newLCG(int64(id)*2654435761 + 9)
+			for n := 0; n < size; n++ {
+				src := rng.intn(accounts)
+				dst := rng.intn(accounts - 1)
+				if dst >= src {
+					dst++
+				}
+				amt := int64(rng.intn(80) + 40)
+				lo, hi := src, dst
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if buggy {
+					t.Call("bank.transferBuggy", func() {
+						// TOCTOU: unlocked read of the source balance.
+						if t.Read(balance[src]) < amt {
+							return
+						}
+						t.Acquire(locks[lo])
+						t.Acquire(locks[hi])
+						t.Write(balance[src], t.Read(balance[src])-amt)
+						t.Write(balance[dst], t.Read(balance[dst])+amt)
+						if t.Read(balance[src]) < 0 {
+							// Record the manifested overdraft; the harness
+							// checks this is reachable under preemption.
+							t.Release(locks[hi])
+							t.Release(locks[lo])
+							overdrafts.Add(t, 1)
+							return
+						}
+						t.Release(locks[hi])
+						t.Release(locks[lo])
+					})
+				} else {
+					t.Call("bank.transfer", func() {
+						t.Acquire(locks[lo])
+						t.Acquire(locks[hi])
+						if t.Read(balance[src]) >= amt {
+							t.Write(balance[src], t.Read(balance[src])-amt)
+							t.Write(balance[dst], t.Read(balance[dst])+amt)
+						}
+						t.Release(locks[hi])
+						t.Release(locks[lo])
+					})
+				}
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		var total int64
+		t.Call("bank.audit", func() {
+			for i := 0; i < accounts; i++ {
+				total += t.Read(balance[i])
+			}
+		})
+		if total != int64(accounts)*100 {
+			panic("bank: money not conserved")
+		}
+	})
+	return p
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "crawler",
+		Description:    "hedc-style crawler; worker pool, locked frontier with condvar, visited-set dedup",
+		DefaultThreads: 3,
+		DefaultSize:    15, // pages (binary-tree link structure)
+		Build:          buildCrawler,
+	})
+}
+
+// buildCrawler mirrors the hedc web-crawler structure: a bounded frontier
+// queue under a monitor, workers blocking on a condition variable for
+// tasks, a visited set consulted with check-then-act *inside* the monitor,
+// and a pending-work counter whose zero-crossing shuts the pool down. Page
+// links form a binary tree so the workload is deterministic.
+func buildCrawler(threads, size int) *sched.Program {
+	p := sched.NewProgram("crawler")
+	mon := p.Mutex("frontier.lock")
+	notEmpty := p.Cond("notEmpty", mon)
+	queue := p.Vars("queue", size) // ring buffer of page ids
+	qhead := p.Var("qhead")
+	qtail := p.Var("qtail")
+	pending := p.Var("pending") // queued + in-flight pages
+	done := p.Var("done")
+	visited := p.Vars("visited", size)
+	fetched := NewCounter(p, "fetched")
+
+	push := func(t *sched.T, page int64) {
+		tail := t.Read(qtail)
+		t.Write(queue[int(tail)%size], page)
+		t.Write(qtail, tail+1)
+	}
+
+	p.SetMain(func(t *sched.T) {
+		// Seed the frontier with the root page.
+		t.Acquire(mon)
+		t.Write(visited[0], 1)
+		push(t, 0)
+		t.Write(pending, 1)
+		t.Broadcast(notEmpty)
+		t.Release(mon)
+
+		hs := forkWorkers(t, threads, "crawler", func(t *sched.T, id int) {
+			for {
+				page := int64(-1)
+				t.Call("crawler.take", func() {
+					t.Acquire(mon)
+					for t.Read(qhead) == t.Read(qtail) && t.Read(done) == 0 {
+						t.Wait(notEmpty)
+					}
+					if t.Read(done) == 1 {
+						t.Release(mon)
+						return
+					}
+					head := t.Read(qhead)
+					page = t.Read(queue[int(head)%size])
+					t.Write(qhead, head+1)
+					t.Release(mon)
+				})
+				if page < 0 {
+					return
+				}
+				var links []int64
+				t.Call("crawler.fetch", func() {
+					// Simulated fetch+parse: thread-local work, then the
+					// page's outgoing links (binary tree).
+					rng := newLCG(page*31 + 1)
+					work := 0
+					for i := 0; i < 4; i++ {
+						work += rng.intn(5)
+					}
+					_ = work
+					for _, l := range []int64{2*page + 1, 2*page + 2} {
+						if l < int64(size) {
+							links = append(links, l)
+						}
+					}
+				})
+				t.Call("crawler.publish", func() {
+					fetched.Add(t, 1)
+					t.Acquire(mon)
+					for _, l := range links {
+						if t.Read(visited[l]) == 0 { // check-then-act, safely inside the monitor
+							t.Write(visited[l], 1)
+							push(t, l)
+							t.Write(pending, t.Read(pending)+1)
+						}
+					}
+					rem := t.Read(pending) - 1
+					t.Write(pending, rem)
+					if rem == 0 {
+						t.Write(done, 1)
+					}
+					t.Broadcast(notEmpty)
+					t.Release(mon)
+				})
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		if fetched.Value(t) != int64(size) {
+			panic("crawler: not all pages fetched")
+		}
+	})
+	return p
+}

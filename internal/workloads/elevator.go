@@ -1,0 +1,109 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "elevator",
+		Description:    "discrete-event elevator; monitor with condition waits, lifts claim floor requests",
+		DefaultThreads: 3,  // lifts
+		DefaultSize:    12, // requests
+		Build:          buildElevator,
+	})
+}
+
+// buildElevator mirrors the classic 'elevator' study subject: a central
+// monitor holds the request board; lift threads wait on a condition for
+// work, claim a floor with a check-then-act *inside* the monitor, simulate
+// the move outside it, and report completion; the controller (main) posts
+// requests and waits for the last one to be served.
+func buildElevator(threads, size int) *sched.Program {
+	const floors = 8
+	p := sched.NewProgram("elevator")
+	mon := p.Mutex("monitor")
+	work := p.Cond("work", mon)
+	allDone := p.Cond("allDone", mon)
+	floorReq := p.Vars("floor", floors) // outstanding requests per floor
+	served := p.Var("served")
+	done := p.Var("done")
+	liftPos := p.Vars("liftPos", threads) // written only by the owning lift
+
+	p.SetMain(func(t *sched.T) {
+		hs := forkWorkers(t, threads, "lift", func(t *sched.T, id int) {
+			for {
+				claimed := -1
+				t.Call("lift.claim", func() {
+					t.Acquire(mon)
+					for {
+						if t.Read(done) == 1 {
+							t.Release(mon)
+							return
+						}
+						for f := 0; f < floors; f++ {
+							if t.Read(floorReq[f]) > 0 {
+								t.Write(floorReq[f], t.Read(floorReq[f])-1)
+								claimed = f
+								break
+							}
+						}
+						if claimed >= 0 {
+							t.Release(mon)
+							return
+						}
+						t.Wait(work)
+					}
+				})
+				if claimed < 0 {
+					return // done
+				}
+				t.Call("lift.move", func() {
+					// Moving is local to the lift: its position var is
+					// owned by this thread.
+					cur := t.Read(liftPos[id])
+					dst := int64(claimed)
+					for cur != dst {
+						if cur < dst {
+							cur++
+						} else {
+							cur--
+						}
+						t.Write(liftPos[id], cur)
+					}
+				})
+				t.Call("lift.report", func() {
+					t.Acquire(mon)
+					s := t.Read(served) + 1
+					t.Write(served, s)
+					if s == int64(size) {
+						t.Signal(allDone)
+					}
+					t.Release(mon)
+				})
+			}
+		})
+
+		// Controller: post requests, then wait for completion, then shut
+		// the lifts down.
+		rng := newLCG(3)
+		for r := 0; r < size; r++ {
+			t.Call("controller.post", func() {
+				f := rng.intn(floors)
+				t.Acquire(mon)
+				t.Write(floorReq[f], t.Read(floorReq[f])+1)
+				t.Broadcast(work)
+				t.Release(mon)
+			})
+		}
+		t.Call("controller.drain", func() {
+			t.Acquire(mon)
+			for t.Read(served) < int64(size) {
+				t.Wait(allDone)
+			}
+			t.Write(done, 1)
+			t.Broadcast(work)
+			t.Release(mon)
+		})
+		joinAll(t, hs)
+	})
+	return p
+}

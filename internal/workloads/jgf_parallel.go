@@ -1,0 +1,157 @@
+package workloads
+
+import "repro/internal/sched"
+
+// This file holds the embarrassingly parallel JGF-style kernels: series,
+// sparse, and crypt. Their value in the suite is establishing the paper's
+// "most code is yield-free" headline — partitioned data plus fork/join
+// ownership transfer needs no yields at all.
+
+func init() {
+	register(Spec{
+		Name:           "series",
+		Description:    "Fourier-series kernel; fully partitioned output, fork/join only",
+		DefaultThreads: 4,
+		DefaultSize:    32, // coefficients
+		Build:          buildSeries,
+	})
+	register(Spec{
+		Name:           "sparse",
+		Description:    "sparse matrix-vector product; read-shared input, partitioned output",
+		DefaultThreads: 4,
+		DefaultSize:    24, // rows
+		Build:          buildSparse,
+	})
+	register(Spec{
+		Name:           "crypt",
+		Description:    "block cipher encrypt/decrypt; partitioned blocks, barrier between phases",
+		DefaultThreads: 4,
+		DefaultSize:    24, // blocks
+		Build:          buildCrypt,
+	})
+}
+
+// buildSeries mirrors JGF Series: each worker computes a disjoint slice of
+// coefficients using thread-local arithmetic, writing only its own slots.
+func buildSeries(threads, size int) *sched.Program {
+	p := sched.NewProgram("series")
+	if threads > size {
+		threads = size
+	}
+	coeff := p.Vars("coeff", size)
+	p.SetMain(func(t *sched.T) {
+		hs := forkWorkers(t, threads, "series", func(t *sched.T, id int) {
+			t.Call("series.compute", func() {
+				for i := id; i < size; i += threads {
+					// Integer stand-in for the trigonometric integral: the
+					// sharing structure (disjoint writes) is what matters.
+					acc := int64(1)
+					for k := 1; k <= 8; k++ {
+						acc = (acc*int64(i+k) + 7) % 100003
+					}
+					t.Write(coeff[i], acc)
+				}
+			})
+		})
+		joinAll(t, hs)
+		var sum int64
+		for i := 0; i < size; i++ {
+			sum += t.Read(coeff[i])
+		}
+		_ = sum
+	})
+	return p
+}
+
+// buildSparse mirrors JGF SparseMatmult: the matrix and input vector are
+// written by main before the fork (ownership transfer), then read-shared;
+// each worker writes a disjoint band of the output vector over several
+// iterations.
+func buildSparse(threads, size int) *sched.Program {
+	p := sched.NewProgram("sparse")
+	if threads > size {
+		threads = size
+	}
+	const nnzPerRow = 3
+	val := p.Vars("val", size*nnzPerRow)
+	col := p.Vars("col", size*nnzPerRow)
+	x := p.Vars("x", size)
+	y := p.Vars("y", size)
+	p.SetMain(func(t *sched.T) {
+		rng := newLCG(7)
+		for i := 0; i < size; i++ {
+			t.Write(x[i], int64(rng.intn(50)+1))
+			for k := 0; k < nnzPerRow; k++ {
+				t.Write(val[i*nnzPerRow+k], int64(rng.intn(9)+1))
+				t.Write(col[i*nnzPerRow+k], int64(rng.intn(size)))
+			}
+		}
+		hs := forkWorkers(t, threads, "sparse", func(t *sched.T, id int) {
+			lo := id * size / threads
+			hi := (id + 1) * size / threads
+			for iter := 0; iter < 2; iter++ {
+				t.Call("sparse.multiply", func() {
+					for r := lo; r < hi; r++ {
+						var acc int64
+						for k := 0; k < nnzPerRow; k++ {
+							c := t.Read(col[r*nnzPerRow+k])
+							acc += t.Read(val[r*nnzPerRow+k]) * t.Read(x[c])
+						}
+						t.Write(y[r], t.Read(y[r])+acc)
+					}
+				})
+			}
+		})
+		joinAll(t, hs)
+	})
+	return p
+}
+
+// buildCrypt mirrors JGF Crypt: workers encrypt disjoint blocks into a
+// shared intermediate, synchronize at a barrier, then decrypt — the
+// decrypt phase reads what the encrypt phase wrote, race-free only because
+// of the barrier.
+func buildCrypt(threads, size int) *sched.Program {
+	p := sched.NewProgram("crypt")
+	if threads > size {
+		threads = size
+	}
+	plain := p.Vars("plain", size)
+	enc := p.Vars("enc", size)
+	dec := p.Vars("dec", size)
+	bar := NewBarrier(p, "bar", threads)
+	const key = 0x5DEECE66D
+
+	p.SetMain(func(t *sched.T) {
+		rng := newLCG(99)
+		for i := 0; i < size; i++ {
+			t.Write(plain[i], int64(rng.intn(256)))
+		}
+		hs := forkWorkers(t, threads, "crypt", func(t *sched.T, id int) {
+			lo := id * size / threads
+			hi := (id + 1) * size / threads
+			t.Call("crypt.encrypt", func() {
+				for i := lo; i < hi; i++ {
+					t.Write(enc[i], t.Read(plain[i])^key)
+				}
+			})
+			t.Call("barrier.await", func() { bar.Await(t) })
+			// Decrypt a rotated band so the phase boundary actually
+			// carries cross-thread data.
+			lo2 := ((id + 1) % threads) * size / threads
+			hi2 := ((id+1)%threads + 1) * size / threads
+			t.Call("crypt.decrypt", func() {
+				for i := lo2; i < hi2; i++ {
+					t.Write(dec[i], t.Read(enc[i])^key)
+				}
+			})
+		})
+		joinAll(t, hs)
+		for i := 0; i < size; i++ {
+			if t.Read(dec[i]) != t.Read(plain[i]) {
+				panic("crypt: roundtrip mismatch")
+			}
+		}
+	})
+	return p
+}

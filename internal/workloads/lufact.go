@@ -1,0 +1,136 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "lufact",
+		Description:    "LU factorization; per-column pivot phase + barrier-synchronized updates",
+		DefaultThreads: 3,
+		DefaultSize:    6, // matrix side
+		Build:          buildLufact,
+	})
+	register(Spec{
+		Name:           "moldyn",
+		Description:    "molecular dynamics; force/position phases with barrier and locked reduction",
+		DefaultThreads: 4,
+		DefaultSize:    8, // particles
+		Build:          buildMoldyn,
+	})
+}
+
+// buildLufact mirrors JGF LUFact's synchronization: for each column k, the
+// owner of row k scales the pivot row while the others wait at a barrier,
+// then every worker eliminates its own rows using the (now race-free)
+// pivot row, and another barrier closes the step.
+func buildLufact(threads, size int) *sched.Program {
+	p := sched.NewProgram("lufact")
+	if threads > size {
+		threads = size
+	}
+	a := p.Vars("a", size*size)
+	bar := NewBarrier(p, "bar", threads)
+	cell := func(r, c int) *sched.Var { return a[r*size+c] }
+	ownerOf := func(row int) int { return row % threads }
+
+	p.SetMain(func(t *sched.T) {
+		rng := newLCG(5)
+		for r := 0; r < size; r++ {
+			for c := 0; c < size; c++ {
+				v := int64(rng.intn(8) + 1)
+				if r == c {
+					v += 16 // keep integer "pivots" nonzero
+				}
+				t.Write(cell(r, c), v)
+			}
+		}
+		hs := forkWorkers(t, threads, "lu", func(t *sched.T, id int) {
+			for k := 0; k < size-1; k++ {
+				if ownerOf(k) == id {
+					t.Call("lu.pivot", func() {
+						// Normalize the tail of the pivot row (integer
+						// stand-in: halve entries, preserving structure).
+						for c := k + 1; c < size; c++ {
+							t.Write(cell(k, c), t.Read(cell(k, c))/2+1)
+						}
+					})
+				}
+				t.Call("barrier.await", func() { bar.Await(t) })
+				t.Call("lu.eliminate", func() {
+					for r := k + 1; r < size; r++ {
+						if ownerOf(r) != id {
+							continue
+						}
+						f := t.Read(cell(r, k)) % 4
+						for c := k + 1; c < size; c++ {
+							t.Write(cell(r, c), t.Read(cell(r, c))-f*t.Read(cell(k, c)))
+						}
+					}
+				})
+				t.Call("barrier.await", func() { bar.Await(t) })
+			}
+		})
+		joinAll(t, hs)
+	})
+	return p
+}
+
+// buildMoldyn mirrors JGF MolDyn: iterations alternate a force phase (each
+// worker reads every particle's position and writes its own particles'
+// forces) and a position phase (each worker integrates its own particles),
+// separated by barriers; the potential-energy reduction goes through a
+// lock-protected accumulator.
+func buildMoldyn(threads, size int) *sched.Program {
+	p := sched.NewProgram("moldyn")
+	if threads > size {
+		threads = size
+	}
+	pos := p.Vars("pos", size)
+	force := p.Vars("force", size)
+	epot := NewCounter(p, "epot")
+	bar := NewBarrier(p, "bar", threads)
+	iters := 3
+
+	p.SetMain(func(t *sched.T) {
+		rng := newLCG(17)
+		for i := 0; i < size; i++ {
+			t.Write(pos[i], int64(rng.intn(100)))
+		}
+		hs := forkWorkers(t, threads, "md", func(t *sched.T, id int) {
+			lo := id * size / threads
+			hi := (id + 1) * size / threads
+			for it := 0; it < iters; it++ {
+				var local int64
+				t.Call("md.forces", func() {
+					for i := lo; i < hi; i++ {
+						var f int64
+						xi := t.Read(pos[i])
+						for j := 0; j < size; j++ {
+							if j == i {
+								continue
+							}
+							d := xi - t.Read(pos[j])
+							if d < 0 {
+								d = -d
+							}
+							f += d % 7
+							local += d % 3
+						}
+						t.Write(force[i], f)
+					}
+				})
+				t.Call("md.reduce", func() { epot.Add(t, local) })
+				t.Call("barrier.await", func() { bar.Await(t) })
+				t.Call("md.advance", func() {
+					for i := lo; i < hi; i++ {
+						t.Write(pos[i], t.Read(pos[i])+t.Read(force[i])%5-2)
+					}
+				})
+				t.Call("barrier.await", func() { bar.Await(t) })
+			}
+		})
+		joinAll(t, hs)
+		_ = epot.Value(t)
+	})
+	return p
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "montecarlo",
+		Description:    "Monte Carlo pricing; locked task queue + locked result aggregation",
+		DefaultThreads: 4,
+		DefaultSize:    16, // tasks
+		Build:          buildMonteCarlo,
+	})
+	register(Spec{
+		Name:           "raytracer",
+		Description:    "ray tracer; row queue + locked checksum aggregation",
+		DefaultThreads: 4,
+		DefaultSize:    12, // image rows
+		Build: func(threads, size int) *sched.Program {
+			return buildRaytracer(threads, size, false)
+		},
+	})
+	register(Spec{
+		Name:           "raytracer-racy",
+		Description:    "raytracer with JGF's real checksum race (unlocked read-modify-write)",
+		DefaultThreads: 4,
+		DefaultSize:    12,
+		Buggy:          true,
+		Build: func(threads, size int) *sched.Program {
+			return buildRaytracer(threads, size, true)
+		},
+	})
+}
+
+// buildMonteCarlo mirrors JGF MonteCarlo: workers pull task indices from a
+// lock-protected queue, run an independent random walk, and fold the result
+// into a lock-protected global sum.
+func buildMonteCarlo(threads, size int) *sched.Program {
+	p := sched.NewProgram("montecarlo")
+	tasks := NewCounter(p, "tasks")
+	results := NewCounter(p, "results")
+
+	p.SetMain(func(t *sched.T) {
+		hs := forkWorkers(t, threads, "mc", func(t *sched.T, id int) {
+			for {
+				var task int64
+				t.Call("mc.nextTask", func() { task = tasks.Next(t) })
+				if task >= int64(size) {
+					return
+				}
+				var price int64
+				t.Call("mc.simulate", func() {
+					rng := newLCG(int64(task)*7919 + 1)
+					v := int64(100)
+					for s := 0; s < 20; s++ {
+						v += int64(rng.intn(11)) - 5
+					}
+					price = v
+				})
+				t.Call("mc.accumulate", func() { results.Add(t, price) })
+			}
+		})
+		joinAll(t, hs)
+		if results.Value(t) == 0 {
+			panic("montecarlo: empty result")
+		}
+	})
+	return p
+}
+
+// buildRaytracer mirrors JGF RayTracer: a row-index queue feeds workers; a
+// per-row render is thread-local; each worker folds the row checksum into a
+// global one. JGF's published version contains a genuine data race on the
+// checksum (an unsynchronized read-modify-write) which the racy variant
+// reproduces at a fixed source location.
+func buildRaytracer(threads, size int, racy bool) *sched.Program {
+	name := "raytracer"
+	if racy {
+		name = "raytracer-racy"
+	}
+	p := sched.NewProgram(name)
+	rows := NewCounter(p, "rows")
+	checksum := p.Var("checksum")
+	sumLock := p.Mutex("checksum.lock")
+
+	p.SetMain(func(t *sched.T) {
+		hs := forkWorkers(t, threads, "rt", func(t *sched.T, id int) {
+			for {
+				var row int64
+				t.Call("rt.nextRow", func() { row = rows.Next(t) })
+				if row >= int64(size) {
+					return
+				}
+				var rowSum int64
+				t.Call("rt.renderRow", func() {
+					rng := newLCG(row*31 + 7)
+					for x := 0; x < 16; x++ {
+						// Trace a ray: bounded integer bounce loop.
+						c := int64(rng.intn(255))
+						for b := 0; b < 3; b++ {
+							c = (c*17 + int64(x)) % 4096
+						}
+						rowSum += c
+					}
+				})
+				t.Call("rt.addChecksum", func() {
+					if racy {
+						// JGF's bug: unsynchronized read-modify-write.
+						t.Write(checksum, t.Read(checksum)+rowSum)
+					} else {
+						t.Acquire(sumLock)
+						t.Write(checksum, t.Read(checksum)+rowSum)
+						t.Release(sumLock)
+					}
+				})
+			}
+		})
+		joinAll(t, hs)
+		_ = t.Read(checksum)
+	})
+	return p
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "philo",
+		Description:    "dining philosophers; ordered fork locks, explicit yields between meals",
+		DefaultThreads: 4, // philosophers
+		DefaultSize:    3, // meals each
+		Build:          buildPhilo,
+	})
+}
+
+// buildPhilo is the canonical fully annotated cooperable program: each meal
+// is one transaction (two ordered acquires, plate and counter updates, two
+// releases) and an explicit yield separates meals. It demonstrates the
+// annotation style the paper advocates — the checker accepts it as-is under
+// any schedule.
+func buildPhilo(threads, size int) *sched.Program {
+	if threads < 2 {
+		threads = 2
+	}
+	p := sched.NewProgram("philo")
+	forks := p.Mutexes("fork", threads)
+	plates := p.Vars("plate", threads)
+	meals := NewCounter(p, "meals")
+
+	p.SetMain(func(t *sched.T) {
+		hs := forkWorkers(t, threads, "philo", func(t *sched.T, id int) {
+			left, right := id, (id+1)%threads
+			// Ordered acquisition prevents deadlock.
+			lo, hi := left, right
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for m := 0; m < size; m++ {
+				t.Call("philo.dine", func() {
+					t.Acquire(forks[lo])
+					t.Acquire(forks[hi])
+					t.Write(plates[id], t.Read(plates[id])+1)
+					t.Release(forks[hi])
+					t.Release(forks[lo])
+				})
+				// Annotations: each critical section is its own
+				// transaction; between them interference is acknowledged.
+				t.Yield()
+				t.Call("philo.digest", func() { meals.Add(t, 1) })
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		if meals.Value(t) != int64(threads*size) {
+			panic("philo: meal count wrong")
+		}
+	})
+	return p
+}

@@ -1,0 +1,109 @@
+// Package workloads provides the benchmark suite: Go analogues of the
+// concurrent Java programs the paper-era dynamic-analysis literature
+// evaluates on (the Java Grande suite's sor/moldyn/montecarlo/raytracer/
+// series/sparse/crypt/lufact, plus tsp, elevator, hedc-style crawler, and
+// the classic bank/stringbuffer case studies). Each workload reproduces the
+// original's synchronization and sharing structure — partitioned arrays
+// with barriers, lock-protected work queues and reductions, monitors with
+// condition waits, fine-grained per-object locks — because cooperability is
+// a property of that structure, not of the numeric payload.
+//
+// Workloads marked Buggy plant a real concurrency defect (an unprotected
+// check-then-act, a racy aggregate update) at a known location; the
+// experiment harness verifies the checkers flag them.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Spec describes one registered workload.
+type Spec struct {
+	// Name is the registry key (e.g. "sor", "bank-buggy").
+	Name string
+	// Description is a one-line summary for reports.
+	Description string
+	// DefaultThreads is the worker count used when the harness does not
+	// override it (total virtual threads is typically this plus main).
+	DefaultThreads int
+	// DefaultSize scales the workload (iterations, grid size, tasks...).
+	DefaultSize int
+	// Buggy marks workloads with a planted concurrency defect.
+	Buggy bool
+	// Build constructs a fresh program. threads/size <= 0 select defaults.
+	Build func(threads, size int) *sched.Program
+}
+
+// program builds with defaults applied.
+func (s Spec) program(threads, size int) *sched.Program {
+	if threads <= 0 {
+		threads = s.DefaultThreads
+	}
+	if size <= 0 {
+		size = s.DefaultSize
+	}
+	return s.Build(threads, size)
+}
+
+// New constructs the workload's program with the given parameters
+// (non-positive values select the spec defaults).
+func (s Spec) New(threads, size int) *sched.Program { return s.program(threads, size) }
+
+var registry = map[string]Spec{}
+
+// register adds a workload at package init; duplicate names panic (a
+// developer error caught by any test importing the package).
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration %q", s.Name))
+	}
+	if s.Build == nil {
+		panic(fmt.Sprintf("workloads: %q has no builder", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get looks up a workload by name.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every spec, sorted by name.
+func All() []Spec {
+	names := Names()
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Correct returns the specs without planted bugs, sorted by name.
+func Correct() []Spec { return filter(false) }
+
+// BuggyOnes returns the specs with planted bugs, sorted by name.
+func BuggyOnes() []Spec { return filter(true) }
+
+func filter(buggy bool) []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.Buggy == buggy {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package workloads
+
+import (
+	"repro/internal/sched"
+	"repro/internal/vsync"
+)
+
+// This file holds the "service" study subjects built on the vsync toolkit:
+// a read-mostly cache behind a read-write lock, a semaphore-bounded
+// resource pool, a queue-fed document indexer, and the sleeping-barber
+// shop. They broaden the suite beyond the JGF kernels toward the
+// server-style programs the paper's motivation describes.
+
+func init() {
+	register(Spec{
+		Name:           "rwcache",
+		Description:    "read-mostly cache behind a writer-preference RW lock",
+		DefaultThreads: 4, // readers; writers = threads/2
+		DefaultSize:    6, // operations per thread
+		Build:          buildRWCache,
+	})
+	register(Spec{
+		Name:           "pool",
+		Description:    "resource pool bounded by a counting semaphore",
+		DefaultThreads: 4,
+		DefaultSize:    4,
+		Build:          buildPool,
+	})
+	register(Spec{
+		Name:           "indexer",
+		Description:    "bounded-queue document indexer with sharded index locks",
+		DefaultThreads: 3,
+		DefaultSize:    12,
+		Build:          buildIndexer,
+	})
+	register(Spec{
+		Name:           "barber",
+		Description:    "sleeping barber; semaphore handshake between barber and customers",
+		DefaultThreads: 4, // customers
+		DefaultSize:    2, // visits per customer
+		Build:          buildBarber,
+	})
+}
+
+// buildRWCache stresses the RW lock: readers look up entries (shared mode)
+// while writers refresh them (exclusive mode). The cache entries are only
+// ever touched under the appropriate mode, so the workload is race-free;
+// each lock/unlock pair forms one transaction with yields between
+// operations.
+func buildRWCache(threads, size int) *sched.Program {
+	const entries = 4
+	p := sched.NewProgram("rwcache")
+	rw := vsync.NewRWLock(p, "rw")
+	cache := p.Vars("entry", entries)
+	hits := NewCounter(p, "hits")
+
+	writers := threads / 2
+	if writers < 1 {
+		writers = 1
+	}
+	p.SetMain(func(t *sched.T) {
+		readers := forkWorkers(t, threads, "reader", func(t *sched.T, id int) {
+			rng := newLCG(int64(id)*31 + 5)
+			for n := 0; n < size; n++ {
+				var v int64
+				t.Call("cache.get", func() {
+					rw.RLock(t)
+					v = t.Read(cache[rng.intn(entries)])
+					rw.RUnlock(t)
+				})
+				t.Yield()
+				if v != 0 {
+					t.Call("cache.hit", func() { hits.Add(t, 1) })
+					t.Yield()
+				}
+			}
+		})
+		ws := forkWorkers(t, writers, "writer", func(t *sched.T, id int) {
+			rng := newLCG(int64(id)*17 + 3)
+			for n := 0; n < size; n++ {
+				t.Call("cache.refresh", func() {
+					rw.WLock(t)
+					e := rng.intn(entries)
+					t.Write(cache[e], t.Read(cache[e])+1)
+					rw.WUnlock(t)
+				})
+				t.Yield()
+			}
+		})
+		joinAll(t, readers)
+		joinAll(t, ws)
+	})
+	return p
+}
+
+// buildPool models a bounded resource pool: the semaphore limits
+// concurrent users; each acquired slot is claimed with a check-then-act
+// over per-slot "inUse" flags, protected by the pool's lock. A classic
+// java.util.concurrent study shape.
+func buildPool(threads, size int) *sched.Program {
+	const slots = 2
+	p := sched.NewProgram("pool")
+	sem := vsync.NewSemaphore(p, "permits", 0)
+	poolLock := p.Mutex("pool.lock")
+	inUse := p.Vars("inUse", slots)
+	slotUses := p.Vars("slotUses", slots)
+	doubleClaim := p.Var("doubleClaim")
+
+	p.SetMain(func(t *sched.T) {
+		sem.Init(t, slots)
+		hs := forkWorkers(t, threads, "user", func(t *sched.T, id int) {
+			for n := 0; n < size; n++ {
+				claimed := -1
+				t.Call("pool.claim", func() {
+					sem.Acquire(t)
+					t.Acquire(poolLock)
+					for s := 0; s < slots; s++ {
+						if t.Read(inUse[s]) == 0 {
+							t.Write(inUse[s], 1)
+							claimed = s
+							break
+						}
+					}
+					if claimed < 0 {
+						// The semaphore guarantees a free slot exists;
+						// reaching here would be a pool invariant bug.
+						t.Write(doubleClaim, 1)
+					}
+					t.Release(poolLock)
+				})
+				t.Yield()
+				if claimed >= 0 {
+					t.Call("pool.use", func() {
+						t.Acquire(poolLock)
+						t.Write(slotUses[claimed], t.Read(slotUses[claimed])+1)
+						t.Release(poolLock)
+					})
+					t.Yield()
+					t.Call("pool.release", func() {
+						t.Acquire(poolLock)
+						t.Write(inUse[claimed], 0)
+						t.Release(poolLock)
+						sem.Release(t)
+					})
+				}
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		if t.Read(doubleClaim) != 0 {
+			panic("pool: semaphore admitted more users than slots")
+		}
+		var total int64
+		for s := 0; s < slots; s++ {
+			total += t.Read(slotUses[s])
+		}
+		if total != int64(threads*size) {
+			panic("pool: uses lost")
+		}
+	})
+	return p
+}
+
+// buildIndexer is a two-stage service: a producer enqueues document ids
+// into a bounded queue; indexer workers take documents, tokenize locally,
+// and update a sharded index where each shard has its own lock.
+func buildIndexer(threads, size int) *sched.Program {
+	const shards = 3
+	p := sched.NewProgram("indexer")
+	q := vsync.NewQueue(p, "docs", 4)
+	shardLocks := p.Mutexes("shard.lock", shards)
+	shardCounts := p.Vars("shard.count", shards)
+	indexed := NewCounter(p, "indexed")
+
+	p.SetMain(func(t *sched.T) {
+		workers := forkWorkers(t, threads, "indexer", func(t *sched.T, id int) {
+			for {
+				var doc int64
+				t.Call("indexer.take", func() { doc = q.Take(t) })
+				if doc < 0 {
+					// Poison pill: put it back for the next worker.
+					t.Call("indexer.shutdown", func() { q.Put(t, -1) })
+					return
+				}
+				var terms []int
+				t.Call("indexer.tokenize", func() {
+					rng := newLCG(doc*101 + 7)
+					for k := 0; k < 3; k++ {
+						terms = append(terms, rng.intn(shards))
+					}
+				})
+				t.Yield()
+				for _, shard := range terms {
+					shard := shard
+					t.Call("indexer.post", func() {
+						t.Acquire(shardLocks[shard])
+						t.Write(shardCounts[shard], t.Read(shardCounts[shard])+1)
+						t.Release(shardLocks[shard])
+					})
+					t.Yield()
+				}
+				t.Call("indexer.done", func() { indexed.Add(t, 1) })
+				t.Yield()
+			}
+		})
+		for d := 0; d < size; d++ {
+			t.Call("producer.submit", func() { q.Put(t, int64(d)) })
+			t.Yield()
+		}
+		t.Call("producer.finish", func() { q.Put(t, -1) })
+		joinAll(t, workers)
+		if indexed.Value(t) != int64(size) {
+			panic("indexer: documents lost")
+		}
+		var posted int64
+		for s := 0; s < shards; s++ {
+			posted += t.Read(shardCounts[s])
+		}
+		if posted != int64(size*3) {
+			panic("indexer: postings lost")
+		}
+	})
+	return p
+}
+
+// buildBarber is the sleeping-barber exercise: customers take waiting-room
+// seats (bounded), wake the barber via a semaphore, and wait for a haircut
+// signalled back through a second semaphore pair.
+func buildBarber(threads, size int) *sched.Program {
+	const seats = 2
+	p := sched.NewProgram("barber")
+	customers := vsync.NewSemaphore(p, "customers", 0) // barber waits for this
+	barberDone := vsync.NewSemaphore(p, "barberDone", 0)
+	shopLock := p.Mutex("shop.lock")
+	waiting := p.Var("waiting")
+	haircuts := p.Var("haircuts")
+	turnedAway := p.Var("turnedAway")
+	closed := p.Var("closed")
+
+	p.SetMain(func(t *sched.T) {
+		barber := t.Fork("barber", func(t *sched.T) {
+			for {
+				t.Call("barber.sleep", func() { customers.Acquire(t) })
+				t.Acquire(shopLock)
+				if t.Read(closed) == 1 && t.Read(waiting) == 0 {
+					t.Release(shopLock)
+					return
+				}
+				t.Write(waiting, t.Read(waiting)-1)
+				t.Release(shopLock)
+				t.Yield()
+				t.Call("barber.cut", func() {
+					t.Acquire(shopLock)
+					t.Write(haircuts, t.Read(haircuts)+1)
+					t.Release(shopLock)
+					barberDone.Release(t)
+				})
+				t.Yield()
+			}
+		})
+		cs := forkWorkers(t, threads, "customer", func(t *sched.T, id int) {
+			for v := 0; v < size; v++ {
+				seated := false
+				t.Call("customer.enter", func() {
+					t.Acquire(shopLock)
+					if t.Read(waiting) < seats {
+						t.Write(waiting, t.Read(waiting)+1)
+						seated = true
+					} else {
+						t.Write(turnedAway, t.Read(turnedAway)+1)
+					}
+					t.Release(shopLock)
+				})
+				t.Yield()
+				if seated {
+					t.Call("customer.wait", func() {
+						customers.Release(t) // wake the barber
+						barberDone.Acquire(t)
+					})
+				}
+				t.Yield()
+			}
+		})
+		joinAll(t, cs)
+		// Close the shop: wake the barber one final time to observe it.
+		t.Acquire(shopLock)
+		t.Write(closed, 1)
+		t.Release(shopLock)
+		t.Yield()
+		customers.Release(t)
+		t.Join(barber)
+		total := t.Read(haircuts) + t.Read(turnedAway)
+		if total != int64(threads*size) {
+			panic("barber: visits unaccounted")
+		}
+	})
+	return p
+}

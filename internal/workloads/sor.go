@@ -1,0 +1,83 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "sor",
+		Description:    "red-black successive over-relaxation; barrier-synchronized row bands",
+		DefaultThreads: 4,
+		DefaultSize:    8, // grid side; iterations scale with size
+		Build:          buildSOR,
+	})
+}
+
+// buildSOR mirrors JGF SOR: the grid is split into row bands, one per
+// worker; each red-black half-sweep writes the band's cells of one color
+// reading neighbours of the other color, with a cyclic barrier between
+// half-sweeps making the cross-band reads race-free.
+func buildSOR(threads, size int) *sched.Program {
+	p := sched.NewProgram("sor")
+	if threads > size {
+		threads = size
+	}
+	grid := p.Vars("g", size*size)
+	bar := NewBarrier(p, "bar", threads)
+	iters := 4
+
+	cell := func(r, c int) *sched.Var { return grid[r*size+c] }
+
+	p.SetMain(func(t *sched.T) {
+		// Deterministic initialization by the main thread before forking:
+		// ownership transfers through fork, so no synchronization needed.
+		rng := newLCG(42)
+		for r := 0; r < size; r++ {
+			for c := 0; c < size; c++ {
+				t.Write(cell(r, c), int64(rng.intn(1000)))
+			}
+		}
+		hs := forkWorkers(t, threads, "sor", func(t *sched.T, id int) {
+			lo := id * size / threads
+			hi := (id + 1) * size / threads
+			for it := 0; it < iters; it++ {
+				color := it % 2
+				t.Call("sor.relax", func() {
+					for r := lo; r < hi; r++ {
+						for c := 0; c < size; c++ {
+							if (r+c)%2 != color {
+								continue
+							}
+							sum := t.Read(cell(r, c)) * 4
+							if r > 0 {
+								sum += t.Read(cell(r-1, c))
+							}
+							if r < size-1 {
+								sum += t.Read(cell(r+1, c))
+							}
+							if c > 0 {
+								sum += t.Read(cell(r, c-1))
+							}
+							if c < size-1 {
+								sum += t.Read(cell(r, c+1))
+							}
+							t.Write(cell(r, c), sum/8)
+						}
+					}
+				})
+				t.Call("barrier.await", func() { bar.Await(t) })
+			}
+		})
+		joinAll(t, hs)
+		// Deterministic checksum after join.
+		var sum int64
+		t.Call("sor.checksum", func() {
+			for r := 0; r < size; r++ {
+				for c := 0; c < size; c++ {
+					sum += t.Read(cell(r, c))
+				}
+			}
+		})
+		_ = sum
+	})
+	return p
+}

@@ -1,0 +1,85 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "stringbuffer-buggy",
+		Description:    "StringBuffer.append TOCTOU: two locked sections that must be one (race-free atomicity bug)",
+		DefaultThreads: 2,
+		DefaultSize:    4, // append/truncate rounds
+		Buggy:          true,
+		Build:          buildStringBuffer,
+	})
+}
+
+// buildStringBuffer reproduces the famous java.lang.StringBuffer defect
+// (Flanagan & Freund's running example): append(sb) reads sb.length()
+// under sb's lock, releases it, then calls sb.getChars(0, len) under the
+// lock again — if a truncation slips between the two critical sections the
+// copy reads beyond the live region. Every access is lock-protected, so
+// race detectors are silent; cooperability (and atomicity) checkers flag
+// the release-then-reacquire inside append. The workload records observed
+// inconsistencies in a counter instead of crashing.
+func buildStringBuffer(threads, size int) *sched.Program {
+	const capacity = 8
+	p := sched.NewProgram("stringbuffer-buggy")
+	srcLock := p.Mutex("src.lock")
+	srcLen := p.Var("src.len")
+	srcData := p.Vars("src.data", capacity)
+	dstLock := p.Mutex("dst.lock")
+	dstLen := p.Var("dst.len")
+	corrupt := NewCounter(p, "corrupt")
+
+	p.SetMain(func(t *sched.T) {
+		t.Write(srcLen, int64(capacity))
+		for i := 0; i < capacity; i++ {
+			t.Write(srcData[i], int64('a'+i))
+		}
+		appender := t.Fork("appender", func(t *sched.T) {
+			for n := 0; n < size; n++ {
+				t.Call("sb.append", func() {
+					// First critical section: snapshot the length.
+					t.Acquire(srcLock)
+					length := t.Read(srcLen)
+					t.Release(srcLock)
+					// The window: a truncator may shrink src here.
+					t.Acquire(dstLock)
+					t.Acquire(srcLock)
+					live := t.Read(srcLen)
+					if length > live {
+						corrupt.Add(t, 1) // read past the live region
+					} else {
+						var sum int64
+						for i := int64(0); i < length; i++ {
+							sum += t.Read(srcData[i])
+						}
+						t.Write(dstLen, t.Read(dstLen)+length)
+						_ = sum
+					}
+					t.Release(srcLock)
+					t.Release(dstLock)
+				})
+				t.Yield()
+			}
+		})
+		truncator := t.Fork("truncator", func(t *sched.T) {
+			for n := 0; n < size; n++ {
+				t.Call("sb.setLength", func() {
+					t.Acquire(srcLock)
+					if n%2 == 0 {
+						t.Write(srcLen, 1)
+					} else {
+						t.Write(srcLen, int64(capacity))
+					}
+					t.Release(srcLock)
+				})
+				t.Yield()
+			}
+		})
+		t.Join(appender)
+		t.Join(truncator)
+		_ = corrupt.Value(t)
+	})
+	return p
+}

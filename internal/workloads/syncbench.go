@@ -1,0 +1,72 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "syncbench",
+		Description:    "JGF section-1 style synchronization microbenchmark: barrier rounds + lock rounds + fork/join rounds",
+		DefaultThreads: 4,
+		DefaultSize:    6, // rounds per section
+		Build:          buildSyncBench,
+	})
+}
+
+// buildSyncBench mirrors the Java Grande section-1 microbenchmarks that
+// stress the synchronization primitives themselves: a barrier section
+// (every round is a full barrier cycle), a lock section (contended
+// increment under one global lock), and a fork/join section (main
+// repeatedly spawns and joins short-lived children). Fully annotated:
+// every contended round ends in a yield, so the workload is cooperable and
+// serves as the lower-bound datapoint for synchronization-dominated
+// traces.
+func buildSyncBench(threads, size int) *sched.Program {
+	p := sched.NewProgram("syncbench")
+	bar := NewBarrier(p, "bar", threads)
+	counter := NewCounter(p, "counter")
+	rounds := p.Var("forkRounds")
+
+	p.SetMain(func(t *sched.T) {
+		// Section 1: barrier rounds.
+		hs := forkWorkers(t, threads, "barrier", func(t *sched.T, id int) {
+			for r := 0; r < size; r++ {
+				t.Call("bench.barrier", func() { bar.Await(t) })
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+
+		// Section 2: contended lock rounds.
+		hs = forkWorkers(t, threads, "locker", func(t *sched.T, id int) {
+			for r := 0; r < size; r++ {
+				t.Call("bench.sync", func() { counter.Add(t, 1) })
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		if counter.Value(t) != int64(threads*size) {
+			panic("syncbench: lock section lost updates")
+		}
+
+		// Section 3: fork/join rounds.
+		for r := 0; r < size; r++ {
+			h := t.Fork("child", func(t *sched.T) {
+				t.Call("bench.child", func() {
+					// Purely local work; the cost under study is the
+					// fork/join pair itself.
+					acc := 0
+					for i := 0; i < 8; i++ {
+						acc += i
+					}
+					_ = acc
+				})
+			})
+			t.Join(h)
+			t.Write(rounds, t.Read(rounds)+1)
+		}
+		if t.Read(rounds) != int64(size) {
+			panic("syncbench: fork/join rounds lost")
+		}
+	})
+	return p
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "tsp",
+		Description:    "branch-and-bound TSP; locked work queue + double-checked racy best bound",
+		DefaultThreads: 4,
+		DefaultSize:    10, // candidate tours
+		Build:          buildTSP,
+	})
+}
+
+// buildTSP mirrors the classic parallel TSP studied by the race-detection
+// literature: workers take candidate tours from a locked queue, evaluate
+// them locally, and update the global best bound with the double-checked
+// idiom — an intentionally *unsynchronized* fast-path read of the bound
+// (benign race: at worst a stale bound costs extra work), then a proper
+// re-check and update under the lock. The racy read means tsp is not
+// race-free, yet is cooperable once a yield separates the unlocked check
+// from the locked update — exactly the paper's "benign race still needs a
+// yield annotation" discussion point.
+func buildTSP(threads, size int) *sched.Program {
+	p := sched.NewProgram("tsp")
+	queue := NewCounter(p, "queue")
+	best := p.Var("best")
+	bestLock := p.Mutex("best.lock")
+
+	p.SetMain(func(t *sched.T) {
+		t.Write(best, 1<<30)
+		hs := forkWorkers(t, threads, "tsp", func(t *sched.T, id int) {
+			for {
+				var task int64
+				t.Call("tsp.nextTour", func() { task = queue.Next(t) })
+				if task >= int64(size) {
+					return
+				}
+				var length int64
+				t.Call("tsp.tourLength", func() {
+					rng := newLCG(task*104729 + 13)
+					length = 0
+					for leg := 0; leg < 8; leg++ {
+						length += int64(rng.intn(100) + 1)
+					}
+				})
+				t.Call("tsp.updateBest", func() {
+					// Unsynchronized fast path (the benign race).
+					if t.Read(best) <= length {
+						return
+					}
+					t.Acquire(bestLock)
+					if t.Read(best) > length {
+						t.Write(best, length)
+					}
+					t.Release(bestLock)
+				})
+			}
+		})
+		joinAll(t, hs)
+		if t.Read(best) >= 1<<30 {
+			panic("tsp: no tour evaluated")
+		}
+	})
+	return p
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/vsync"
+)
+
+// Barrier aliases the vsync cyclic barrier the grid workloads synchronize
+// on; see vsync.Barrier for semantics.
+type Barrier = vsync.Barrier
+
+// NewBarrier declares a barrier's shared state on p.
+func NewBarrier(p *sched.Program, name string, parties int) *Barrier {
+	return vsync.NewBarrier(p, name, parties)
+}
+
+// Counter is a lock-protected shared counter used for task queues and
+// reductions.
+type Counter struct {
+	m *sched.Mutex
+	v *sched.Var
+}
+
+// NewCounter declares a counter's shared state on p.
+func NewCounter(p *sched.Program, name string) *Counter {
+	return &Counter{m: p.Mutex(name + ".m"), v: p.Var(name + ".v")}
+}
+
+// Next atomically returns the current value and increments it — the
+// classic fetch-and-add work-queue idiom.
+func (c *Counter) Next(t *sched.T) int64 {
+	t.Acquire(c.m)
+	v := t.Read(c.v)
+	t.Write(c.v, v+1)
+	t.Release(c.m)
+	return v
+}
+
+// Add atomically adds delta.
+func (c *Counter) Add(t *sched.T, delta int64) {
+	t.Acquire(c.m)
+	t.Write(c.v, t.Read(c.v)+delta)
+	t.Release(c.m)
+}
+
+// Value reads the counter under its lock.
+func (c *Counter) Value(t *sched.T) int64 {
+	t.Acquire(c.m)
+	v := t.Read(c.v)
+	t.Release(c.m)
+	return v
+}
+
+// lcg is a deterministic thread-local pseudo-random source; workloads must
+// not use math/rand's global state (nondeterministic under scheduling).
+type lcg uint64
+
+func newLCG(seed int64) *lcg {
+	l := lcg(uint64(seed)*6364136223846793005 + 1442695040888963407)
+	return &l
+}
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l >> 16)
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(l.next() % uint64(n))
+}
+
+// forkWorkers forks n workers named prefix0..n-1, running body with the
+// worker index, and returns their handles.
+func forkWorkers(t *sched.T, n int, prefix string, body func(t *sched.T, id int)) []sched.Handle {
+	hs := make([]sched.Handle, n)
+	for i := 0; i < n; i++ {
+		i := i
+		hs[i] = t.Fork(fmt.Sprintf("%s%d", prefix, i), func(t *sched.T) { body(t, i) })
+	}
+	return hs
+}
+
+// joinAll joins every handle.
+func joinAll(t *sched.T, hs []sched.Handle) {
+	for _, h := range hs {
+		t.Join(h)
+	}
+}

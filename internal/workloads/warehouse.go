@@ -1,0 +1,120 @@
+package workloads
+
+import "repro/internal/sched"
+
+func init() {
+	register(Spec{
+		Name:           "warehouse",
+		Description:    "jbb-style transaction server; per-warehouse locks, ordered two-warehouse payments, global stats",
+		DefaultThreads: 4,  // terminals
+		DefaultSize:    10, // transactions per terminal
+		Build:          buildWarehouse,
+	})
+}
+
+// buildWarehouse models the SPECjbb-like transaction mix the paper-era
+// tools were often demoed on: terminal threads run a mix of NewOrder
+// (single-warehouse update), Payment (two warehouses, ordered locks), and
+// StockLevel (read-only scan of one warehouse), plus a lock-protected
+// global statistics record. Every transaction ends with a yield
+// annotation, making the workload fully cooperable as written.
+func buildWarehouse(threads, size int) *sched.Program {
+	const warehouses = 3
+	const itemsPerWh = 4
+	p := sched.NewProgram("warehouse")
+	whLocks := p.Mutexes("wh.lock", warehouses)
+	stock := p.Vars("stock", warehouses*itemsPerWh) // stock[w*items+i]
+	balance := p.Vars("balance", warehouses)
+	statsLock := p.Mutex("stats.lock")
+	committed := p.Var("stats.committed")
+	scanned := p.Var("stats.scanned")
+
+	item := func(w, i int) *sched.Var { return stock[w*itemsPerWh+i] }
+
+	p.SetMain(func(t *sched.T) {
+		for w := 0; w < warehouses; w++ {
+			t.Write(balance[w], 1000)
+			for i := 0; i < itemsPerWh; i++ {
+				t.Write(item(w, i), 50)
+			}
+		}
+		hs := forkWorkers(t, threads, "terminal", func(t *sched.T, id int) {
+			rng := newLCG(int64(id)*7919 + 31)
+			for n := 0; n < size; n++ {
+				switch rng.intn(3) {
+				case 0:
+					w := rng.intn(warehouses)
+					i := rng.intn(itemsPerWh)
+					qty := int64(rng.intn(3) + 1)
+					t.Call("tx.newOrder", func() {
+						t.Acquire(whLocks[w])
+						s := t.Read(item(w, i))
+						if s >= qty {
+							t.Write(item(w, i), s-qty)
+							t.Write(balance[w], t.Read(balance[w])+qty*7)
+						}
+						t.Release(whLocks[w])
+					})
+				case 1:
+					src := rng.intn(warehouses)
+					dst := rng.intn(warehouses - 1)
+					if dst >= src {
+						dst++
+					}
+					amt := int64(rng.intn(40) + 10)
+					lo, hi := src, dst
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					t.Call("tx.payment", func() {
+						t.Acquire(whLocks[lo])
+						t.Acquire(whLocks[hi])
+						if t.Read(balance[src]) >= amt {
+							t.Write(balance[src], t.Read(balance[src])-amt)
+							t.Write(balance[dst], t.Read(balance[dst])+amt)
+						}
+						t.Release(whLocks[hi])
+						t.Release(whLocks[lo])
+					})
+				case 2:
+					w := rng.intn(warehouses)
+					t.Call("tx.stockLevel", func() {
+						t.Acquire(whLocks[w])
+						low := int64(0)
+						for i := 0; i < itemsPerWh; i++ {
+							if t.Read(item(w, i)) < 20 {
+								low++
+							}
+						}
+						t.Release(whLocks[w])
+						_ = low
+					})
+				}
+				t.Yield()
+				t.Call("tx.record", func() {
+					t.Acquire(statsLock)
+					t.Write(committed, t.Read(committed)+1)
+					if rng.intn(4) == 0 {
+						t.Write(scanned, t.Read(scanned)+1)
+					}
+					t.Release(statsLock)
+				})
+				t.Yield()
+			}
+		})
+		joinAll(t, hs)
+		if t.Read(committed) != int64(threads*size) {
+			panic("warehouse: transactions lost")
+		}
+		var total int64
+		for w := 0; w < warehouses; w++ {
+			total += t.Read(balance[w])
+		}
+		// NewOrder mints money (sales revenue); payments conserve it, so
+		// the total must never shrink below the initial float.
+		if total < int64(warehouses)*1000 {
+			panic("warehouse: money destroyed")
+		}
+	})
+	return p
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/sched"
+)
+
+func TestRegistryContents(t *testing.T) {
+	names := Names()
+	if len(names) < 14 {
+		t.Fatalf("registered %d workloads: %v", len(names), names)
+	}
+	for _, want := range []string{
+		"sor", "series", "sparse", "crypt", "lufact", "moldyn",
+		"montecarlo", "raytracer", "raytracer-racy", "tsp", "elevator",
+		"philo", "bank", "bank-buggy", "stringbuffer-buggy", "crawler",
+	} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get accepted unknown name")
+	}
+	if len(Correct())+len(BuggyOnes()) != len(All()) {
+		t.Error("Correct/BuggyOnes partition broken")
+	}
+	for _, s := range BuggyOnes() {
+		if !s.Buggy {
+			t.Errorf("%s in BuggyOnes but not marked", s.Name)
+		}
+	}
+}
+
+// Every workload must run to completion, without deadlock or panic, under
+// cooperative, adversarial round-robin, and seeded random scheduling.
+func TestAllWorkloadsRunUnderAllStrategies(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			strategies := []func() sched.Strategy{
+				func() sched.Strategy { return sched.Cooperative{} },
+				func() sched.Strategy { return &sched.RoundRobin{Quantum: 1} },
+				func() sched.Strategy { return &sched.RoundRobin{Quantum: 7} },
+				func() sched.Strategy { return sched.NewRandom(1) },
+				func() sched.Strategy { return sched.NewRandom(12345) },
+			}
+			for _, mk := range strategies {
+				strat := mk()
+				res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: strat, RecordTrace: true})
+				if err != nil {
+					t.Fatalf("%s under %s: %v", spec.Name, strat.Name(), err)
+				}
+				if err := res.Trace.Validate(); err != nil {
+					t.Fatalf("%s under %s: invalid trace: %v", spec.Name, strat.Name(), err)
+				}
+				if res.Events < 10 {
+					t.Fatalf("%s under %s: implausibly small trace (%d events)", spec.Name, strat.Name(), res.Events)
+				}
+			}
+		})
+	}
+}
+
+// Workloads must be deterministic: same strategy+seed, same trace.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			run := func() *sched.Result {
+				res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(77), RecordTrace: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a.Trace.Events, b.Trace.Events) {
+				t.Fatal("same seed produced different traces")
+			}
+		})
+	}
+}
+
+// The correct JGF-style kernels must be race-free under every schedule we
+// try; tsp's bound read is a documented benign race and is excluded.
+func TestCorrectKernelsAreRaceFree(t *testing.T) {
+	raceFree := []string{"sor", "series", "sparse", "crypt", "lufact", "moldyn",
+		"montecarlo", "raytracer", "elevator", "philo", "bank", "crawler",
+		"rwcache", "pool", "indexer", "barber", "warehouse", "syncbench"}
+	for _, name := range raceFree {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(seed), RecordTrace: true})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			d := race.Analyze(res.Trace)
+			if len(d.Races()) != 0 {
+				t.Fatalf("%s seed %d: unexpected races: %v", name, seed, d.Races())
+			}
+		}
+	}
+}
+
+func TestTSPHasBenignRaceOnBound(t *testing.T) {
+	spec, _ := Get("tsp")
+	found := false
+	for seed := int64(1); seed <= 10 && !found; seed++ {
+		res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(seed), RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := race.Analyze(res.Trace)
+		for _, r := range d.Races() {
+			if res.Symbols.VarName(r.Var) == "best" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tsp's documented bound race never manifested across 10 seeds")
+	}
+}
+
+func TestRaytracerRacyManifests(t *testing.T) {
+	spec, _ := Get("raytracer-racy")
+	found := false
+	for seed := int64(1); seed <= 10 && !found; seed++ {
+		res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(seed), RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := race.Analyze(res.Trace)
+		for _, r := range d.Races() {
+			if res.Symbols.VarName(r.Var) == "checksum" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("raytracer-racy checksum race never detected")
+	}
+}
+
+func TestBankBuggyOverdraftReachable(t *testing.T) {
+	spec, _ := Get("bank-buggy")
+	reached := false
+	for seed := int64(1); seed <= 40 && !reached; seed++ {
+		res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// overdrafts counter is the last declared counter var; find by name.
+		for i, name := range res.Symbols.Vars {
+			if name == "overdrafts.v" && res.FinalVars[i] > 0 {
+				reached = true
+			}
+		}
+	}
+	if !reached {
+		t.Fatal("bank-buggy overdraft never manifested across 40 seeds")
+	}
+	// Under cooperative scheduling the bug cannot manifest: the unlocked
+	// check and the locked move run without preemption.
+	res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.Cooperative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range res.Symbols.Vars {
+		if name == "overdrafts.v" && res.FinalVars[i] != 0 {
+			t.Fatal("overdraft manifested under cooperative scheduling")
+		}
+	}
+}
+
+func TestStringBufferCorruptionReachable(t *testing.T) {
+	spec, _ := Get("stringbuffer-buggy")
+	reached := false
+	for seed := int64(1); seed <= 40 && !reached; seed++ {
+		res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range res.Symbols.Vars {
+			if name == "corrupt.v" && res.FinalVars[i] > 0 {
+				reached = true
+			}
+		}
+	}
+	if !reached {
+		t.Fatal("stringbuffer corruption never manifested across 40 seeds")
+	}
+	// All accesses are locked: the buggy trace must still be race-free.
+	res, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: sched.NewRandom(1), RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := race.Analyze(res.Trace); len(d.Races()) != 0 {
+		t.Fatalf("stringbuffer-buggy should be race-free, got %v", d.Races())
+	}
+}
+
+func TestSpecDefaultsApplied(t *testing.T) {
+	spec, _ := Get("sor")
+	p := spec.New(0, 0)
+	if p.Name() != "sor" {
+		t.Fatalf("program name = %q", p.Name())
+	}
+	// Custom parameters produce more work.
+	small, err := sched.Run(spec.New(2, 6), sched.Options{Strategy: sched.Cooperative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := sched.Run(spec.New(2, 12), sched.Options{Strategy: sched.Cooperative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Events <= small.Events {
+		t.Fatalf("size scaling broken: %d !> %d", big.Events, small.Events)
+	}
+}
+
+func TestWorkloadsUnderPCT(t *testing.T) {
+	for _, name := range []string{"crawler", "elevator", "bank"} {
+		spec, _ := Get(name)
+		for seed := int64(1); seed <= 3; seed++ {
+			if _, err := sched.Run(spec.New(0, 0), sched.Options{Strategy: &sched.PCT{SeedVal: seed, Depth: 3}}); err != nil {
+				// PCT may starve a workload into its event budget, but must
+				// not deadlock the monitor disciplines.
+				if errors.Is(err, sched.ErrDeadlock) {
+					t.Fatalf("%s seed %d: %v", name, seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package yield infers yield annotations: the smallest set of source
+// locations (found greedily) at which inserting a `yield` makes the
+// observed traces cooperable. The inferred count is the paper's
+// *annotation burden* metric — how many yields a programmer must write —
+// and the complement of the per-method yield statistics is the headline
+// "% of methods that are yield-free".
+package yield
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Result summarizes an inference run.
+type Result struct {
+	// Yields is the inferred yield set: events at these locations behave
+	// as if a yield annotation preceded them.
+	Yields map[trace.LocID]bool
+	// Residual counts violations that cannot be fixed by a location-based
+	// yield (events without source locations).
+	Residual int
+	// Rounds is the number of fixpoint iterations executed.
+	Rounds int
+	// Converged reports whether the final pass over every trace was clean
+	// (except Residual).
+	Converged bool
+	// MethodsSeen and YieldingMethods aggregate the final-pass per-method
+	// statistics across all traces.
+	MethodsSeen     int
+	YieldingMethods int
+}
+
+// YieldFreeFraction is the final-pass fraction of methods with no yield
+// points (1 when no methods were observed).
+func (r *Result) YieldFreeFraction() float64 {
+	if r.MethodsSeen == 0 {
+		return 1
+	}
+	return float64(r.MethodsSeen-r.YieldingMethods) / float64(r.MethodsSeen)
+}
+
+// Count returns the number of inferred yield locations.
+func (r *Result) Count() int { return len(r.Yields) }
+
+// Locations resolves the inferred yield set against a string table, sorted.
+func (r *Result) Locations(strs *trace.Strings) []string {
+	out := make([]string, 0, len(r.Yields))
+	for loc := range r.Yields {
+		out = append(out, strs.Name(loc))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infer computes a yield set making every trace in traces cooperable.
+//
+// Each round runs the checker (in its default infer mode, which resets the
+// transaction at a violation exactly as the missing yield would) on every
+// trace and adds each violation's location to the yield set; it stops when
+// a round adds nothing. Inserting a yield only splits transactions — it
+// never creates new violations — so the loop converges, normally in two
+// rounds (one to collect, one to confirm).
+//
+// opts.Yields seeds the set (programmer-provided annotations); opts is not
+// mutated. maxRounds bounds the loop (0 means 8).
+func Infer(traces []*trace.Trace, opts core.Options, maxRounds int) *Result {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	yields := make(map[trace.LocID]bool, len(opts.Yields))
+	for l := range opts.Yields {
+		yields[l] = true
+	}
+	res := &Result{Yields: yields}
+
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		added := false
+		res.Residual = 0
+		res.MethodsSeen = 0
+		res.YieldingMethods = 0
+		yieldingMethods := make(map[uint64]bool)
+		clean := true
+		for _, tr := range traces {
+			o := opts
+			o.Yields = yields
+			o.StopAfterViolation = false
+			c := core.AnalyzeTwoPass(tr, o)
+			for _, v := range c.Violations() {
+				clean = false
+				if v.Event.Loc == 0 {
+					res.Residual++
+					continue
+				}
+				if !yields[v.Event.Loc] {
+					yields[v.Event.Loc] = true
+					added = true
+				}
+			}
+			// Method statistics from this pass. Method ids are per-run
+			// dense ids; traces from the same workload share them, which
+			// is the only aggregation the harness performs.
+			for m := range c.YieldingMethods() {
+				yieldingMethods[m] = true
+			}
+			res.MethodsSeen = maxInt(res.MethodsSeen, c.MethodsSeen())
+		}
+		res.YieldingMethods = len(yieldingMethods)
+		if clean {
+			res.Converged = true
+			return res
+		}
+		if !added {
+			// Only residual (location-less) violations remain.
+			res.Converged = res.Residual == 0
+			return res
+		}
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Minimize greedily shrinks a sufficient yield set: it tries to drop each
+// location (iterating by descending LocID — later code positions first)
+// and keeps the removal when every trace stays cooperable. The result is a
+// *minimal* set (no single location can be removed), though not
+// necessarily minimum.
+//
+// Inference can over-approximate: a site collected early in a round may be
+// made redundant by another site added in the same round (the elevator
+// workload exhibits this — 8 inferred, 6 minimal), so the honest
+// annotation-burden number is the minimized one; Table 2 reports both.
+func Minimize(traces []*trace.Trace, opts core.Options, yields map[trace.LocID]bool) map[trace.LocID]bool {
+	current := make(map[trace.LocID]bool, len(yields))
+	for l := range yields {
+		current[l] = true
+	}
+	clean := func() bool {
+		for _, tr := range traces {
+			o := opts
+			o.Yields = current
+			o.StopAfterViolation = false
+			if !core.AnalyzeTwoPass(tr, o).Cooperable() {
+				return false
+			}
+		}
+		return true
+	}
+	if !clean() {
+		// The input set is not sufficient; nothing sound to minimize.
+		return current
+	}
+	locs := make([]trace.LocID, 0, len(current))
+	for l := range current {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] > locs[j] })
+	for _, l := range locs {
+		delete(current, l)
+		if !clean() {
+			current[l] = true
+		}
+	}
+	return current
+}

@@ -1,0 +1,195 @@
+package yield
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/trace"
+)
+
+func lockCoupledTrace() *trace.Trace {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).At("a.go:10").Acq(10).At("a.go:11").Rel(10).At("a.go:12").Acq(10).At("a.go:13").Rel(10)
+	b.On(1).Begin().At("b.go:20").Acq(10).At("b.go:21").Rel(10).At("b.go:22").Acq(10).At("b.go:23").Rel(10).End()
+	b.On(0).Join(1).End()
+	return b.Trace()
+}
+
+func TestInferFindsBothYieldSites(t *testing.T) {
+	tr := lockCoupledTrace()
+	res := Infer([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("yields = %v, want 2", res.Locations(tr.Strings))
+	}
+	locs := res.Locations(tr.Strings)
+	if locs[0] != "a.go:12" || locs[1] != "b.go:22" {
+		t.Fatalf("locations = %v", locs)
+	}
+	if res.Residual != 0 {
+		t.Fatalf("residual = %d", res.Residual)
+	}
+}
+
+func TestInferredSetMakesTraceCooperable(t *testing.T) {
+	tr := lockCoupledTrace()
+	res := Infer([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: res.Yields})
+	if !c.Cooperable() {
+		t.Fatalf("inferred set does not fix trace: %v", c.Violations())
+	}
+}
+
+func TestInferCleanTraceNeedsNothing(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Acq(10).Read(1).Write(1).Rel(10).End()
+	res := Infer([]*trace.Trace{b.Trace()}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if res.Count() != 0 || !res.Converged || res.Rounds != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestInferSeedsFromOptions(t *testing.T) {
+	tr := lockCoupledTrace()
+	seed := map[trace.LocID]bool{tr.Strings.Intern("a.go:12"): true}
+	res := Infer([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy(), Yields: seed}, 0)
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if !res.Yields[tr.Strings.Intern("a.go:12")] {
+		t.Fatal("seed lost")
+	}
+	if res.Count() != 2 {
+		t.Fatalf("yields = %v", res.Locations(tr.Strings))
+	}
+}
+
+func TestInferResidualForLocationlessViolations(t *testing.T) {
+	// Violations at Loc 0 cannot carry annotations.
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Acq(10).Rel(10).Acq(10).Rel(10) // no At(): all locations 0
+	b.On(1).Begin().End()
+	b.On(0).Join(1).End()
+	res := Infer([]*trace.Trace{b.Trace()}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if res.Converged {
+		t.Fatal("should not converge with location-less violations")
+	}
+	if res.Residual == 0 {
+		t.Fatal("residual not counted")
+	}
+}
+
+func TestInferAcrossMultipleTraces(t *testing.T) {
+	// Two traces of the "same program" with different interleavings; the
+	// union of yield sites must fix both.
+	tr1 := lockCoupledTrace()
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(1).Begin().At("b.go:20").Acq(10).At("b.go:21").Rel(10).At("b.go:22").Acq(10).At("b.go:23").Rel(10).End()
+	b.On(0).At("a.go:10").Acq(10).At("a.go:11").Rel(10).At("a.go:12").Acq(10).At("a.go:13").Rel(10)
+	b.On(0).Join(1).End()
+	tr2 := b.Trace()
+	res := Infer([]*trace.Trace{tr1, tr2}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	for _, tr := range []*trace.Trace{tr1, tr2} {
+		c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: res.Yields})
+		if !c.Cooperable() {
+			t.Fatalf("union set does not fix: %v", c.Violations())
+		}
+	}
+}
+
+func TestMethodStatistics(t *testing.T) {
+	b := trace.NewBuilder()
+	b.On(0).Begin().Fork(1)
+	b.On(0).Enter(0).At("m.go:1").Acq(10).At("m.go:2").Rel(10).At("m.go:3").Acq(10).At("m.go:4").Rel(10).Exit(0)
+	// Yield between the methods so the second starts a fresh transaction;
+	// the yield itself happens with an empty method stack and marks nothing.
+	b.On(0).At("").Yield()
+	b.On(0).Enter(1).At("n.go:1").Acq(10).Read(1).At("n.go:2").Rel(10).Exit(1)
+	b.On(1).Begin().End()
+	b.On(0).Join(1).End()
+	res := Infer([]*trace.Trace{b.Trace()}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	if res.MethodsSeen != 2 {
+		t.Fatalf("MethodsSeen = %d", res.MethodsSeen)
+	}
+	if res.YieldingMethods != 1 {
+		t.Fatalf("YieldingMethods = %d", res.YieldingMethods)
+	}
+	if f := res.YieldFreeFraction(); f != 0.5 {
+		t.Fatalf("YieldFreeFraction = %v", f)
+	}
+}
+
+func TestYieldFreeFractionEmpty(t *testing.T) {
+	r := &Result{}
+	if r.YieldFreeFraction() != 1 {
+		t.Fatal("empty result fraction should be 1")
+	}
+}
+
+func TestInferRoundsBounded(t *testing.T) {
+	tr := lockCoupledTrace()
+	res := Infer([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, 1)
+	// One round collects but cannot confirm.
+	if res.Rounds != 1 || res.Converged {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMinimizeDropsRedundantSeeds(t *testing.T) {
+	tr := lockCoupledTrace()
+	// Seed with every acquire/release location — grossly redundant.
+	seeds := map[trace.LocID]bool{}
+	for _, loc := range []string{"a.go:10", "a.go:11", "a.go:12", "a.go:13",
+		"b.go:20", "b.go:21", "b.go:22", "b.go:23"} {
+		seeds[tr.Strings.Intern(loc)] = true
+	}
+	minimal := Minimize([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, seeds)
+	if len(minimal) >= len(seeds) {
+		t.Fatalf("nothing dropped: %d -> %d", len(seeds), len(minimal))
+	}
+	// The minimal set must still fix the trace.
+	c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: minimal})
+	if !c.Cooperable() {
+		t.Fatalf("minimal set insufficient: %v", c.Violations())
+	}
+	// And be locally minimal: removing any member breaks it.
+	for l := range minimal {
+		trial := map[trace.LocID]bool{}
+		for k := range minimal {
+			if k != l {
+				trial[k] = true
+			}
+		}
+		c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: trial})
+		if c.Cooperable() {
+			t.Fatalf("set not minimal: %s removable", tr.Strings.Name(l))
+		}
+	}
+}
+
+func TestMinimizeKeepsInferredSets(t *testing.T) {
+	tr := lockCoupledTrace()
+	res := Infer([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, 0)
+	minimal := Minimize([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, res.Yields)
+	if len(minimal) != res.Count() {
+		t.Fatalf("inference emitted a non-minimal set: %d -> %d", res.Count(), len(minimal))
+	}
+}
+
+func TestMinimizeInsufficientInputUnchanged(t *testing.T) {
+	tr := lockCoupledTrace()
+	// Empty set is insufficient; Minimize must return it untouched.
+	got := Minimize([]*trace.Trace{tr}, core.Options{Policy: movers.DefaultPolicy()}, nil)
+	if len(got) != 0 {
+		t.Fatalf("got = %v", got)
+	}
+}

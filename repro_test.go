@@ -1,0 +1,236 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// lockedCounter builds a correct two-worker counter with yields between
+// critical sections.
+func lockedCounter(yields bool) *Program {
+	p := NewProgram("counter")
+	c := p.Var("count")
+	m := p.Mutex("mu")
+	p.SetMain(func(t *T) {
+		worker := func(t *T) {
+			for i := 0; i < 3; i++ {
+				t.Call("increment", func() {
+					t.Acquire(m)
+					t.Write(c, t.Read(c)+1)
+					t.Release(m)
+				})
+				if yields {
+					t.Yield()
+				}
+			}
+		}
+		h1 := t.Fork("w1", worker)
+		h2 := t.Fork("w2", worker)
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+func TestCheckCooperabilityAnnotated(t *testing.T) {
+	rep, err := CheckCooperability(lockedCounter(true), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cooperable {
+		t.Fatalf("annotated counter not cooperable: %v", rep.ViolationText)
+	}
+	if rep.Schedules != 6 {
+		t.Fatalf("schedules = %d", rep.Schedules)
+	}
+	if rep.YieldFreeFraction != 0 { // the single method contains... no yield
+		// increment itself has no yield (yield is between calls), so the
+		// method is yield-free and the fraction is 1.
+		if rep.YieldFreeFraction != 1 {
+			t.Fatalf("yield-free fraction = %v", rep.YieldFreeFraction)
+		}
+	}
+}
+
+func TestCheckCooperabilityMissingYield(t *testing.T) {
+	rep, err := CheckCooperability(lockedCounter(false), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cooperable {
+		t.Fatal("unannotated counter should violate")
+	}
+	if len(rep.Violations) == 0 || len(rep.ViolationText) != len(rep.Violations) {
+		t.Fatalf("violations/text mismatch: %d/%d", len(rep.Violations), len(rep.ViolationText))
+	}
+	if !strings.Contains(rep.ViolationText[0], "repro_test.go") {
+		t.Fatalf("violation text lacks source location: %s", rep.ViolationText[0])
+	}
+}
+
+func TestInferYields(t *testing.T) {
+	rep, err := InferYields(lockedCounter(false), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Residual != 0 {
+		t.Fatalf("inference failed: %+v", rep)
+	}
+	if len(rep.Locations) != 1 {
+		t.Fatalf("locations = %v, want the single acquire site", rep.Locations)
+	}
+	if !strings.Contains(rep.Locations[0], "repro_test.go") {
+		t.Fatalf("location = %q", rep.Locations[0])
+	}
+}
+
+func TestCheckRaces(t *testing.T) {
+	rep, err := CheckRaces(lockedCounter(true), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RaceFree {
+		t.Fatalf("locked counter racy: %v", rep.RacyVars)
+	}
+
+	// Racy variant: no lock.
+	p := NewProgram("racy")
+	x := p.Var("shared")
+	p.SetMain(func(t *T) {
+		h := t.Fork("w", func(t *T) { t.Write(x, 2) })
+		t.Write(x, 1)
+		t.Join(h)
+	})
+	rep, err = CheckRaces(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RaceFree || len(rep.RacyVars) != 1 || rep.RacyVars[0] != "shared" {
+		t.Fatalf("racy program: %+v", rep)
+	}
+}
+
+func TestRunReturnsTrace(t *testing.T) {
+	tr, err := Run(lockedCounter(true), CooperativeSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 10 {
+		t.Fatalf("trace too small: %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyConstructors(t *testing.T) {
+	if CooperativeSchedule().Name() != "cooperative" {
+		t.Error("CooperativeSchedule")
+	}
+	if !strings.Contains(PreemptiveSchedule(2).Name(), "roundrobin") {
+		t.Error("PreemptiveSchedule")
+	}
+	if !strings.Contains(RandomSchedule(1).Name(), "random") {
+		t.Error("RandomSchedule")
+	}
+}
+
+func TestCertifyCooperability(t *testing.T) {
+	cert, err := CertifyCooperability(lockedCounter(true), 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Cooperable || !cert.Exhausted {
+		t.Fatalf("annotated counter certificate = %+v", cert)
+	}
+	if cert.Schedules < 10 {
+		t.Fatalf("schedules = %d, expected a real exploration", cert.Schedules)
+	}
+
+	cert, err = CertifyCooperability(lockedCounter(false), 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Cooperable {
+		t.Fatal("unannotated counter should fail certification")
+	}
+	if cert.Counterexample == nil || len(cert.Violations) == 0 {
+		t.Fatal("certificate lacks counterexample evidence")
+	}
+}
+
+func TestCheckTraceAndReducible(t *testing.T) {
+	tr, err := Run(lockedCounter(true), CooperativeSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckTrace(tr); len(vs) != 0 {
+		t.Fatalf("CheckTrace = %v", vs)
+	}
+	ok, err := Reducible(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cooperative trace must be reducible")
+	}
+}
+
+func TestCheckAtomicity(t *testing.T) {
+	// The annotated counter's increment method IS atomic (one critical
+	// section) — both checkers stay quiet.
+	rep, err := CheckAtomicity(lockedCounter(true), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Atomic || rep.Unserializable != 0 {
+		t.Fatalf("atomic counter flagged: %+v", rep)
+	}
+
+	// A method spanning two critical sections with interference is not.
+	p := NewProgram("two-sections")
+	x := p.Var("x")
+	m := p.Mutex("m")
+	body := func(t *T) {
+		for i := 0; i < 2; i++ {
+			t.Call("readThenBump", func() {
+				t.Acquire(m)
+				v := t.Read(x)
+				t.Release(m)
+				t.Acquire(m)
+				t.Write(x, v+1)
+				t.Release(m)
+			})
+			t.Yield()
+		}
+	}
+	p.SetMain(func(t *T) {
+		h := t.Fork("w", body)
+		body(t)
+		t.Join(h)
+	})
+	rep, err = CheckAtomicity(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReductionViolations == 0 {
+		t.Fatalf("atomizer missed the split critical section: %+v", rep)
+	}
+	if rep.Atomic {
+		t.Fatalf("velodrome missed the unserializable method: %+v", rep)
+	}
+}
+
+func TestCooperativeWitnessFacade(t *testing.T) {
+	tr, err := Run(lockedCounter(true), RandomSchedule(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := CooperativeWitness(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || w.Len() != tr.Len() {
+		t.Fatal("witness missing for cooperable trace")
+	}
+}

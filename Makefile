@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench fuzz vet fmt tables html examples clean
+.PHONY: all build test test-race test-short cover bench bench-smoke fuzz vet fmt tables html examples clean
 
 all: build test
 
@@ -22,8 +22,16 @@ test-short:
 cover:
 	$(GO) test -cover ./...
 
+# Full benchmark sweep. The raw text (benchstat-comparable) is kept in
+# BENCH_latest.txt and a machine-diffable JSON form in BENCH_latest.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee BENCH_latest.txt
+	$(GO) run ./cmd/benchjson < BENCH_latest.txt > BENCH_latest.json
+
+# One iteration per benchmark — CI smoke test that every benchmark still
+# runs, without paying for stable numbers.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
 fuzz:
 	$(GO) test ./internal/trace -run FuzzRead -fuzz=FuzzRead -fuzztime=30s
@@ -49,4 +57,4 @@ examples:
 	$(GO) run ./examples/deadlock
 
 clean:
-	rm -f evaluation.html test_output.txt bench_output.txt
+	rm -f evaluation.html test_output.txt bench_output.txt BENCH_latest.txt BENCH_latest.json

@@ -59,15 +59,23 @@ func BenchmarkFig2Scaling(b *testing.B) {
 	}
 }
 
-// BenchmarkFig3Convergence times the schedule-coverage sweep over the
-// buggy variants.
-func BenchmarkFig3Convergence(b *testing.B) {
+func benchmarkFig3(b *testing.B, parallel int) {
+	cfg := benchCfg()
+	cfg.Parallel = parallel
 	for i := 0; i < b.N; i++ {
-		if _, _, err := harness.Fig3(benchCfg()); err != nil {
+		if _, _, err := harness.Fig3(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkFig3Convergence times the schedule-coverage sweep over the
+// buggy variants with the full worker pool (Parallel=0 → GOMAXPROCS).
+func BenchmarkFig3Convergence(b *testing.B) { benchmarkFig3(b, 0) }
+
+// BenchmarkFig3ConvergenceSequential is the Parallel=1 baseline the pooled
+// run is compared against (same work, no extra workers).
+func BenchmarkFig3ConvergenceSequential(b *testing.B) { benchmarkFig3(b, 1) }
 
 // BenchmarkTable5Ablation times the mover-policy ablation sweep.
 func BenchmarkTable5Ablation(b *testing.B) {

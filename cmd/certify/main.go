@@ -30,6 +30,7 @@ func main() {
 		preemptions = flag.Int("preemptions", 2, "preemption bound")
 		maxRuns     = flag.Int("maxruns", 20000, "schedule cap")
 		dpor        = flag.Bool("dpor", false, "conflict-directed exploration (bug hunting) instead of exhaustive")
+		parallel    = flag.Int("parallel", 1, "replay workers for exhaustive mode (output is identical at any value; ignored with -dpor)")
 	)
 	flag.Parse()
 	if *workload == "" {
@@ -53,6 +54,7 @@ func main() {
 		MaxRuns:        *maxRuns,
 		MaxPreemptions: *preemptions,
 		RecordTrace:    true,
+		Parallel:       *parallel,
 		Visit: func(res *sched.Result, runErr error) bool {
 			if runErr != nil {
 				deadlocks++

@@ -91,7 +91,9 @@ type Options struct {
 
 type threadState struct {
 	phase       Phase
+	live        bool // the thread has been observed (txStart is meaningful)
 	txStart     int
+	txLen       int
 	commit      trace.Event
 	commitMover movers.Mover
 	// methodStack tracks Enter/Exit spans for per-method statistics.
@@ -117,13 +119,20 @@ type Stats struct {
 // sched.Observer, so it can run online inside the virtual runtime or over a
 // recorded trace via Analyze.
 type Checker struct {
-	opts    Options
-	cls     *movers.Classifier
-	threads map[trace.TID]*threadState
+	opts Options
+	cls  *movers.Classifier
+	// threads is dense per-TID state: the runtime assigns consecutive ids,
+	// so a slice replaces the former map on the per-event hot path.
+	threads []threadState
 
 	violations []Violation
-	seen       map[vioKey]bool
+	seen       vioSet
 	dropped    int
+
+	// yieldLocs is Options.Yields flattened to a bitset indexed by LocID;
+	// locations past the end were interned after the option set was built
+	// and therefore cannot be in it.
+	yieldLocs []bool
 
 	// yieldingMethods collects method ids that contained a yield point or a
 	// violation (i.e. methods that are not yield-free).
@@ -132,7 +141,6 @@ type Checker struct {
 	seenMethods map[uint64]bool
 
 	stats   Stats
-	txLen   map[trace.TID]int
 	current int // current event index (from Event.Idx)
 }
 
@@ -155,15 +163,27 @@ func New(opts Options) *Checker {
 	if opts.MaxViolations <= 0 {
 		opts.MaxViolations = 10000
 	}
-	return &Checker{
+	c := &Checker{
 		opts:            opts,
 		cls:             cls,
-		threads:         make(map[trace.TID]*threadState),
-		seen:            make(map[vioKey]bool),
 		yieldingMethods: make(map[uint64]bool),
 		seenMethods:     make(map[uint64]bool),
-		txLen:           make(map[trace.TID]int),
 	}
+	if len(opts.Yields) > 0 {
+		max := trace.LocID(0)
+		for loc := range opts.Yields {
+			if loc > max {
+				max = loc
+			}
+		}
+		c.yieldLocs = make([]bool, max+1)
+		for loc, on := range opts.Yields {
+			if on && loc >= 0 {
+				c.yieldLocs[loc] = true
+			}
+		}
+	}
+	return c
 }
 
 // Classifier exposes the underlying mover classifier (and, in online mode,
@@ -171,10 +191,19 @@ func New(opts Options) *Checker {
 func (c *Checker) Classifier() *movers.Classifier { return c.cls }
 
 func (c *Checker) state(t trace.TID) *threadState {
-	s, ok := c.threads[t]
-	if !ok {
-		s = &threadState{txStart: c.current}
-		c.threads[t] = s
+	if n := int(t) + 1; n > len(c.threads) {
+		if n > cap(c.threads) {
+			grown := make([]threadState, n, 2*n)
+			copy(grown, c.threads)
+			c.threads = grown
+		} else {
+			c.threads = c.threads[:n]
+		}
+	}
+	s := &c.threads[t]
+	if !s.live {
+		s.live = true
+		s.txStart = c.current
 	}
 	return s
 }
@@ -196,14 +225,14 @@ func (c *Checker) Event(e trace.Event) {
 	}
 
 	// Programmer-specified or inferred yield annotation before this event.
-	if e.Loc != 0 && c.opts.Yields[e.Loc] {
+	if e.Loc > 0 && int(e.Loc) < len(c.yieldLocs) && c.yieldLocs[e.Loc] {
 		c.stats.ImplicitYields++
 		c.markYieldPoint(s)
-		c.resetTx(e.Tid, s, e.Idx)
+		c.resetTx(s, e.Idx)
 	}
 
 	m := c.cls.Classify(e)
-	c.txLen[e.Tid]++
+	s.txLen++
 
 	switch m {
 	case movers.Boundary:
@@ -219,9 +248,9 @@ func (c *Checker) Event(e trace.Event) {
 		// like) operation. Including join in the previous transaction would
 		// wrongly demand the child's final events commute around it.
 		if e.Op == trace.OpJoin {
-			c.resetTx(e.Tid, s, e.Idx)
+			c.resetTx(s, e.Idx)
 		} else {
-			c.resetTx(e.Tid, s, e.Idx+1)
+			c.resetTx(s, e.Idx+1)
 		}
 	case movers.Right:
 		if s.phase == PostCommit {
@@ -255,11 +284,11 @@ func (c *Checker) markYieldPoint(s *threadState) {
 	}
 }
 
-func (c *Checker) resetTx(t trace.TID, s *threadState, nextStart int) {
-	if l := c.txLen[t]; l > c.stats.MaxTxLen {
-		c.stats.MaxTxLen = l
+func (c *Checker) resetTx(s *threadState, nextStart int) {
+	if s.txLen > c.stats.MaxTxLen {
+		c.stats.MaxTxLen = s.txLen
 	}
-	c.txLen[t] = 0
+	s.txLen = 0
 	c.stats.Transactions++
 	s.phase = PreCommit
 	s.txStart = nextStart
@@ -270,8 +299,7 @@ func (c *Checker) resetTx(t trace.TID, s *threadState, nextStart int) {
 func (c *Checker) report(s *threadState, e trace.Event, m movers.Mover) {
 	v := Violation{Event: e, Mover: m, Commit: s.commit, CommitMover: s.commitMover, TxStart: s.txStart}
 	key := vioKey{loc: e.Loc, op: e.Op, mover: m, commitLoc: s.commit.Loc, commitOp: s.commit.Op}
-	if !c.seen[key] {
-		c.seen[key] = true
+	if c.seen.Add(key) {
 		if len(c.violations) < c.opts.MaxViolations {
 			c.violations = append(c.violations, v)
 		} else {
@@ -284,7 +312,7 @@ func (c *Checker) report(s *threadState, e trace.Event, m movers.Mover) {
 		// Behave as if the inferred yield were present right before e:
 		// the offending event starts a fresh transaction in which it is
 		// re-interpreted.
-		c.resetTx(e.Tid, s, e.Idx)
+		c.resetTx(s, e.Idx)
 		if m == movers.Non {
 			s.phase = PostCommit
 			s.commit = e

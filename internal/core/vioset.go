@@ -1,0 +1,75 @@
+package core
+
+// vioSet is a small open-addressed hash set for vioKey deduplication on the
+// checker's report path. Violation keys are two packed words, so the set
+// stores them inline — no per-entry allocation, no map header churn when a
+// checker is created per trace (the common harness pattern), and O(1)
+// membership with linear probing.
+type vioSet struct {
+	entries []vioEntry
+	n       int
+}
+
+type vioEntry struct {
+	hi, lo uint64
+	used   bool
+}
+
+// pack flattens a vioKey into two words: the pair of locations in hi, the
+// op/mover bytes in lo.
+func (k vioKey) pack() (hi, lo uint64) {
+	hi = uint64(uint32(k.loc))<<32 | uint64(uint32(k.commitLoc))
+	lo = uint64(k.op)<<16 | uint64(k.mover)<<8 | uint64(k.commitOp)
+	return hi, lo
+}
+
+func vioHash(hi, lo uint64) uint64 {
+	// splitmix64-style mixing of both words.
+	x := hi*0x9E3779B97F4A7C15 ^ (lo + 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x
+}
+
+// Add inserts k and reports whether it was absent (i.e. newly added).
+func (s *vioSet) Add(k vioKey) bool {
+	if s.n*4 >= len(s.entries)*3 {
+		s.grow()
+	}
+	hi, lo := k.pack()
+	mask := uint64(len(s.entries) - 1)
+	i := vioHash(hi, lo) & mask
+	for s.entries[i].used {
+		if s.entries[i].hi == hi && s.entries[i].lo == lo {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.entries[i] = vioEntry{hi: hi, lo: lo, used: true}
+	s.n++
+	return true
+}
+
+// Len returns the number of distinct keys added.
+func (s *vioSet) Len() int { return s.n }
+
+func (s *vioSet) grow() {
+	old := s.entries
+	size := 16
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	s.entries = make([]vioEntry, size)
+	mask := uint64(size - 1)
+	for _, e := range old {
+		if !e.used {
+			continue
+		}
+		i := vioHash(e.hi, e.lo) & mask
+		for s.entries[i].used {
+			i = (i + 1) & mask
+		}
+		s.entries[i] = e
+	}
+}

@@ -49,7 +49,8 @@ func Table5(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+	cfg.ensurePool()
+	rows, err := mapSpecs(specs, cfg, func(spec workloads.Spec) ([]string, error) {
 		col, err := Collect(spec, cfg)
 		if err != nil {
 			return nil, err

@@ -16,6 +16,7 @@ import (
 // count grows, for three structurally different workloads (barrier-bound
 // sor, queue-bound tsp, lock-bound philo).
 func Fig2(cfg Config) (*report.Table, *report.Chart, error) {
+	cfg = cfg.sequentialTiming() // wall-clock data; never shares the machine
 	threadCounts := []int{2, 4, 8}
 	if !cfg.Quick {
 		threadCounts = append(threadCounts, 16)
@@ -67,43 +68,73 @@ func Fig2(cfg Config) (*report.Table, *report.Chart, error) {
 
 // Fig3 measures schedule-coverage convergence on the buggy variants: how
 // many distinct violation sites are known after k schedules, k = 1..N.
+//
+// Each (workload, seed) cell is an independent deterministic run+analysis,
+// so the whole grid fans out across cfg's shared pool: workloads via
+// mapSpecs, seeds via a nested mapIdx drawing on the same budget. Only the
+// per-seed violation-site lists cross goroutines; the convergence curve is
+// then folded sequentially in seed order, so the output is byte-identical
+// at any Parallel setting.
 func Fig3(cfg Config) (*report.Table, *report.Chart, error) {
 	n := 24
 	if cfg.Quick {
 		n = 8
 	}
+	cfg.ensurePool()
 	t := report.NewTable("Figure 3 (data): violation sites found vs schedules explored",
 		"benchmark", "schedules", "sites", "first-hit")
 	c := report.NewChart("Figure 3: distinct violation sites after N seeded schedules", "sites")
-	for _, spec := range workloads.BuggyOnes() {
-		seen := map[trace.LocID]bool{}
-		firstHit := 0
-		var counts []int
-		for seed := 1; seed <= n; seed++ {
+	type curve struct {
+		counts   []int
+		firstHit int
+	}
+	specs := workloads.BuggyOnes()
+	curves, err := mapSpecs(specs, cfg, func(spec workloads.Spec) (curve, error) {
+		perSeed, err := mapIdx(cfg.pool, n, func(i int) ([]trace.LocID, error) {
+			seed := i + 1
 			res, err := sched.Run(spec.New(cfg.Threads, cfg.Size), sched.Options{
 				Strategy:    sched.NewRandom(int64(seed)),
 				RecordTrace: true,
 			})
 			if err != nil {
-				return nil, nil, fmt.Errorf("harness: fig3 %s seed %d: %w", spec.Name, seed, err)
+				return nil, fmt.Errorf("harness: fig3 %s seed %d: %w", spec.Name, seed, err)
 			}
 			ck := core.AnalyzeTwoPass(res.Trace, core.Options{Policy: movers.DefaultPolicy()})
+			var locs []trace.LocID
 			for _, v := range ck.Violations() {
-				seen[v.Event.Loc] = true
+				locs = append(locs, v.Event.Loc)
 			}
-			if firstHit == 0 && len(seen) > 0 {
-				firstHit = seed
-			}
-			counts = append(counts, len(seen))
+			return locs, nil
+		})
+		if err != nil {
+			return curve{}, err
 		}
+		var cv curve
+		seen := map[trace.LocID]bool{}
+		for seed := 1; seed <= n; seed++ {
+			for _, loc := range perSeed[seed-1] {
+				seen[loc] = true
+			}
+			if cv.firstHit == 0 && len(seen) > 0 {
+				cv.firstHit = seed
+			}
+			cv.counts = append(cv.counts, len(seen))
+		}
+		return cv, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, spec := range specs {
+		cv := curves[i]
 		for _, k := range []int{1, n / 4, n / 2, n} {
 			if k < 1 {
 				k = 1
 			}
-			t.AddRow(spec.Name, report.Itoa(k), report.Itoa(counts[k-1]), report.Itoa(firstHit))
+			t.AddRow(spec.Name, report.Itoa(k), report.Itoa(cv.counts[k-1]), report.Itoa(cv.firstHit))
 		}
-		c.AddWithText(spec.Name, float64(counts[n-1]),
-			fmt.Sprintf("%d sites (first at seed %d)", counts[n-1], firstHit))
+		c.AddWithText(spec.Name, float64(cv.counts[n-1]),
+			fmt.Sprintf("%d sites (first at seed %d)", cv.counts[n-1], cv.firstHit))
 	}
 	t.AddNote("sites = distinct source locations of cooperability violations (two-pass) across seeds so far")
 	return t, c, nil

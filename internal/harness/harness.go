@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -24,11 +25,20 @@ type Config struct {
 	Workloads []string
 	// Quick shrinks the overhead/scaling experiments for test runs.
 	Quick bool
-	// Parallel bounds how many workloads are collected and analyzed
-	// concurrently (real OS parallelism; each workload's virtual runs stay
-	// deterministic). 0 means GOMAXPROCS; 1 forces sequential. The timing
-	// experiments (Table 4, Figure 2) always run sequentially.
+	// Parallel is the experiment's single concurrency knob: the total
+	// number of OS-parallel workers shared by every fan-out level
+	// (workloads, each workload's strategy battery, per-figure seed
+	// sweeps). Real OS parallelism only wraps whole deterministic virtual
+	// runs, and results are always merged in canonical order, so any value
+	// produces byte-identical tables and figures. 0 means GOMAXPROCS;
+	// 1 forces fully sequential execution. The timing experiments
+	// (Table 4 / Figure 1, Figure 2) hard-set 1 — see sequentialTiming.
 	Parallel int
+
+	// pool is the shared worker budget; created once per experiment entry
+	// point (ensurePool) and propagated by value-copying the Config into
+	// every nested helper.
+	pool *workPool
 }
 
 func (c Config) seeds() int {
@@ -36,6 +46,29 @@ func (c Config) seeds() int {
 		return 4
 	}
 	return c.Seeds
+}
+
+// ensurePool installs the shared worker pool on first use.
+func (c *Config) ensurePool() {
+	if c.pool == nil {
+		c.pool = newWorkPool(c.Parallel)
+	}
+}
+
+// timingSequentialized counts sequentialTiming calls; tests assert the
+// timing experiments actually normalize their configs through it.
+var timingSequentialized atomic.Int64
+
+// sequentialTiming returns cfg pinned to sequential execution, discarding
+// any wider pool. The wall-clock experiments compare instrumentation
+// stacks against each other; letting other workloads share the machine
+// while one is being timed would corrupt exactly the numbers the tables
+// exist to report, so Table4/Fig1/Fig2 enforce (not just document) this.
+func (c Config) sequentialTiming() Config {
+	timingSequentialized.Add(1)
+	c.Parallel = 1
+	c.pool = newWorkPool(1)
+	return c
 }
 
 // specs resolves the configured workload subset.
@@ -63,8 +96,11 @@ type Collected struct {
 
 // Collect executes the workload under the standard schedule battery —
 // cooperative, round-robin quantum 1 and 5, and cfg.Seeds random seeds —
-// recording full traces.
+// recording full traces. The battery's runs are independent deterministic
+// executions, so they fan out across cfg's shared worker pool; results
+// keep the canonical strategy order regardless of parallelism.
 func Collect(spec workloads.Spec, cfg Config) (*Collected, error) {
+	cfg.ensurePool()
 	strategies := []sched.Strategy{
 		sched.Cooperative{},
 		&sched.RoundRobin{Quantum: 1},
@@ -73,15 +109,32 @@ func Collect(spec workloads.Spec, cfg Config) (*Collected, error) {
 	for s := 1; s <= cfg.seeds(); s++ {
 		strategies = append(strategies, sched.NewRandom(int64(s)))
 	}
-	col := &Collected{Spec: spec}
-	for _, strat := range strategies {
+	runOne := func(strat sched.Strategy, hint int) (*sched.Result, error) {
 		res, err := sched.Run(spec.New(cfg.Threads, cfg.Size), sched.Options{
 			Strategy:    strat,
 			RecordTrace: true,
+			EventsHint:  hint,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s under %s: %w", spec.Name, strat.Name(), err)
 		}
+		return res, nil
+	}
+	// The first run sizes the event buffers of the rest: schedules differ,
+	// but the event count of one workload configuration barely moves.
+	first, err := runOne(strategies[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	hint := first.Events + first.Events/8
+	rest, err := mapIdx(cfg.pool, len(strategies)-1, func(i int) (*sched.Result, error) {
+		return runOne(strategies[i+1], hint)
+	})
+	if err != nil {
+		return nil, err
+	}
+	col := &Collected{Spec: spec}
+	for _, res := range append([]*sched.Result{first}, rest...) {
 		col.Traces = append(col.Traces, res.Trace)
 		col.Results = append(col.Results, res)
 	}

@@ -108,7 +108,11 @@ type OverheadRow struct {
 }
 
 // Overhead measures Table 4's data: wall time per instrumentation stack.
+// It always runs sequentially, whatever cfg.Parallel says: concurrent
+// workloads would contend for the cores being timed.
 func Overhead(cfg Config) ([]OverheadRow, error) {
+	cfg = cfg.sequentialTiming()
+	_ = cfg.pool // timing loops below are deliberately plain sequential code
 	reps := 3
 	if cfg.Quick {
 		reps = 1

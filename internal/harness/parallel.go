@@ -7,49 +7,65 @@ import (
 	"repro/internal/workloads"
 )
 
-// mapSpecs runs fn over the specs with bounded real parallelism, returning
-// results in spec order. Each fn call owns its programs, runtimes, and
-// checkers end to end (nothing in the analysis pipeline is shared between
-// workloads), so this is safe, and it is where the harness uses actual Go
-// concurrency — everything under test runs on the deterministic *virtual*
-// scheduler inside each call. The first error wins and is returned after
-// all workers drain.
-func mapSpecs[T any](specs []workloads.Spec, parallel int, fn func(workloads.Spec) (T, error)) ([]T, error) {
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	if parallel > len(specs) {
-		parallel = len(specs)
-	}
-	if parallel <= 1 {
-		out := make([]T, len(specs))
-		for i, s := range specs {
-			r, err := fn(s)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
-		}
-		return out, nil
-	}
+// workPool is the experiment-wide concurrency budget behind Config.Parallel.
+// One pool is created per experiment entry point and shared by every nested
+// fan-out level — workloads, per-workload strategy batteries, per-figure
+// seed sweeps — so Parallel is a single global knob rather than a
+// per-level multiplier.
+//
+// The budget counts *extra* OS-parallel workers: the calling goroutine
+// always keeps working inline, and a nested helper that finds the pool
+// exhausted simply computes on the caller's goroutine instead of queueing.
+// That makes nested use deadlock-free by construction (no level ever blocks
+// waiting for capacity another level holds) and caps busy goroutines at
+// Parallel across all levels combined.
+type workPool struct {
+	sem chan struct{}
+}
 
-	out := make([]T, len(specs))
-	errs := make([]error, len(specs))
-	next := make(chan int)
+// newWorkPool sizes the budget: n <= 0 means GOMAXPROCS; 1 means fully
+// sequential (no extra workers, every helper runs inline, deterministic
+// goroutine structure).
+func newWorkPool(n int) *workPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &workPool{sem: make(chan struct{}, n-1)}
+}
+
+// tryAcquire claims one extra-worker slot without blocking.
+func (p *workPool) tryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *workPool) release() { <-p.sem }
+
+// mapIdx runs fn(0..n-1) with the pool's parallelism and returns results in
+// index order; fn calls must be independent of each other. Indices that
+// cannot get an extra worker run inline on the caller's goroutine. The
+// first error by index wins — the same error the sequential loop would
+// have returned — and is reported after all in-flight calls drain.
+func mapIdx[T any](pl *workPool, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = fn(specs[i])
-			}
-		}()
+	for i := 0; i < n; i++ {
+		if pl.tryAcquire() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer pl.release()
+				out[i], errs[i] = fn(i)
+			}(i)
+		} else {
+			out[i], errs[i] = fn(i)
+		}
 	}
-	for i := range specs {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -57,4 +73,15 @@ func mapSpecs[T any](specs []workloads.Spec, parallel int, fn func(workloads.Spe
 		}
 	}
 	return out, nil
+}
+
+// mapSpecs runs fn over the specs under cfg's shared pool, returning
+// results in spec order. Each fn call owns its programs, runtimes, and
+// checkers end to end (nothing in the analysis pipeline is shared between
+// workloads), so this is safe, and it is where the harness uses actual Go
+// concurrency — everything under test runs on the deterministic *virtual*
+// scheduler inside each call.
+func mapSpecs[T any](specs []workloads.Spec, cfg Config, fn func(workloads.Spec) (T, error)) ([]T, error) {
+	cfg.ensurePool()
+	return mapIdx(cfg.pool, len(specs), func(i int) (T, error) { return fn(specs[i]) })
 }

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFig3ParallelDeterminism: the nested (workloads × seeds) fan-out must
+// be a pure performance knob — table and chart render byte-identically at
+// Parallel 1 and 8.
+func TestFig3ParallelDeterminism(t *testing.T) {
+	seq := quickCfg()
+	seq.Parallel = 1
+	par := seq
+	par.Parallel = 8
+	ta, ca, err := Fig3(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, cb, err := Fig3(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatalf("fig3 table differs across parallelism:\n%s\nvs\n%s", ta.String(), tb.String())
+	}
+	if ca.String() != cb.String() {
+		t.Fatalf("fig3 chart differs across parallelism:\n%s\nvs\n%s", ca.String(), cb.String())
+	}
+}
+
+// TestTimingExperimentsSequential asserts the timing experiments *enforce*
+// sequential execution: even when handed a wide Parallel, Table4/Fig1 (via
+// Overhead) and Fig2 must normalize their config through sequentialTiming.
+func TestTimingExperimentsSequential(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Parallel = 8
+
+	before := timingSequentialized.Load()
+	if _, err := Overhead(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if timingSequentialized.Load() == before {
+		t.Fatal("Overhead (Table4/Fig1) did not pin itself to sequential execution")
+	}
+
+	before = timingSequentialized.Load()
+	if _, _, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if timingSequentialized.Load() == before {
+		t.Fatal("Fig2 did not pin itself to sequential execution")
+	}
+}
+
+// TestSequentialTimingPinsConfig checks the normalization itself.
+func TestSequentialTimingPinsConfig(t *testing.T) {
+	cfg := Config{Parallel: 16}
+	cfg.ensurePool()
+	seq := cfg.sequentialTiming()
+	if seq.Parallel != 1 {
+		t.Fatalf("Parallel = %d, want 1", seq.Parallel)
+	}
+	if seq.pool == cfg.pool {
+		t.Fatal("sequentialTiming kept the wide pool")
+	}
+	if seq.pool.tryAcquire() {
+		t.Fatal("sequential pool granted an extra worker")
+	}
+}
+
+// TestWorkPoolBudget: the pool counts *extra* workers — capacity n-1 — so
+// Parallel=1 grants none and Parallel=3 grants exactly two.
+func TestWorkPoolBudget(t *testing.T) {
+	if newWorkPool(1).tryAcquire() {
+		t.Fatal("pool of 1 should run everything inline")
+	}
+	p := newWorkPool(3)
+	if !p.tryAcquire() || !p.tryAcquire() {
+		t.Fatal("pool of 3 should grant two extra workers")
+	}
+	if p.tryAcquire() {
+		t.Fatal("pool of 3 granted a third extra worker")
+	}
+	p.release()
+	if !p.tryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+// TestMapIdxOrderAndErrors: results come back in index order and the first
+// error by index wins, exactly as the sequential loop would report.
+func TestMapIdxOrderAndErrors(t *testing.T) {
+	pl := newWorkPool(4)
+	out, err := mapIdx(pl, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	_, err = mapIdx(pl, 50, func(i int) (int, error) {
+		if i >= 7 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail 7" {
+		t.Fatalf("err = %v, want first error by index (fail 7)", err)
+	}
+}

@@ -40,7 +40,8 @@ func ComputeSummary(cfg Config) (*Summary, error) {
 		buggy, raceFree, clean           bool
 		events, sites, methods, yielding int
 	}
-	parts, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) (part, error) {
+	cfg.ensurePool()
+	parts, err := mapSpecs(specs, cfg, func(spec workloads.Spec) (part, error) {
 		var pt part
 		col, err := Collect(spec, cfg)
 		if err != nil {

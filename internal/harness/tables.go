@@ -24,7 +24,8 @@ func Table1(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+	cfg.ensurePool()
+	rows, err := mapSpecs(specs, cfg, func(spec workloads.Spec) ([]string, error) {
 		col, err := Collect(spec, cfg)
 		if err != nil {
 			return nil, err
@@ -77,7 +78,8 @@ func Table2(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+	cfg.ensurePool()
+	rows, err := mapSpecs(specs, cfg, func(spec workloads.Spec) ([]string, error) {
 		col, err := Collect(spec, cfg)
 		if err != nil {
 			return nil, err
@@ -140,7 +142,8 @@ func Table3(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+	cfg.ensurePool()
+	rows, err := mapSpecs(specs, cfg, func(spec workloads.Spec) ([]string, error) {
 		col, err := Collect(spec, cfg)
 		if err != nil {
 			return nil, err

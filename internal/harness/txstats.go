@@ -22,7 +22,8 @@ func Table6(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := mapSpecs(specs, cfg.Parallel, func(spec workloads.Spec) ([]string, error) {
+	cfg.ensurePool()
+	rows, err := mapSpecs(specs, cfg, func(spec workloads.Spec) ([]string, error) {
 		col, err := Collect(spec, cfg)
 		if err != nil {
 			return nil, err
@@ -58,16 +59,19 @@ func Table6(cfg Config) (*report.Table, error) {
 // every event whose location is in the yield set, so downstream structure
 // analyses see the annotated program.
 func withVirtualYields(tr *trace.Trace, yields map[trace.LocID]bool) *trace.Trace {
+	extra := 0
+	for _, e := range tr.Events {
+		if e.Loc != 0 && yields[e.Loc] {
+			extra++
+		}
+	}
 	out := &trace.Trace{Meta: tr.Meta, Strings: tr.Strings}
+	out.Grow(len(tr.Events) + extra)
 	for _, e := range tr.Events {
 		if e.Loc != 0 && yields[e.Loc] {
 			out.Append(trace.Event{Tid: e.Tid, Op: trace.OpYield, Loc: e.Loc})
 		}
-		out.Append(e)
-	}
-	// Reindex.
-	for i := range out.Events {
-		out.Events[i].Idx = i
+		out.Append(e) // Append re-assigns Idx, keeping the copy consistent
 	}
 	return out
 }

@@ -69,6 +69,9 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 				decisionOf[pt.EventIdx] = pi
 			}
 		}
+		// Running preemption counts, shared by every flip considered below
+		// (recounting per pair was quadratic in trace depth).
+		pre := preemptionPrefix(g.Points)
 
 		// For each event j, consider the latest earlier conflicting events
 		// of each other thread: reversing such a pair is the only
@@ -103,7 +106,7 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 				if pt.Current >= 0 && containsTID(pt.Runnable, pt.Current) && ej.Tid != pt.Current {
 					cost = 1
 				}
-				if preemptionsIn(g.Points[:dp])+cost > opts.MaxPreemptions {
+				if pre[dp]+cost > opts.MaxPreemptions {
 					continue
 				}
 				np := make([]trace.TID, dp+1)

@@ -18,11 +18,21 @@ type ExploreOptions struct {
 	// RecordTrace forwards to Options.RecordTrace for each run.
 	RecordTrace bool
 	// Observers are fresh-per-run observer factories (checkers keep state,
-	// so each run needs new instances).
+	// so each run needs new instances). With Parallel > 1 the factory is
+	// called from multiple goroutines and possibly more often than Visit
+	// (speculative replays past an early stop are discarded), so it must be
+	// safe for concurrent use.
 	Observers func() []Observer
 	// Visit is called after every run with the result; returning false
-	// stops the exploration early. Required.
+	// stops the exploration early. Required. Visit is always invoked from
+	// a single goroutine, in a deterministic order independent of Parallel.
 	Visit func(res *Result, err error) bool
+	// Parallel is the number of OS-parallel replay workers; values <= 1
+	// explore sequentially. Because every forced-decision prefix replays
+	// deterministically on its own Program run, workers only *compute*
+	// results; Visit still observes them in exactly the sequential DFS
+	// order, so output is bit-identical across Parallel values.
+	Parallel int
 }
 
 // Explore systematically enumerates schedules of p using depth-first search
@@ -31,9 +41,16 @@ type ExploreOptions struct {
 // executed. Program-level errors (deadlocks on some schedule, panics) are
 // passed to Visit rather than aborting the search; infrastructure errors
 // abort.
+//
+// With opts.Parallel > 1 the replays are fanned out across a work-sharing
+// worker pool (see explore_parallel.go); the visit sequence and run count
+// are identical to the sequential search.
 func Explore(p *Program, opts ExploreOptions) (int, error) {
 	if opts.Visit == nil {
 		return 0, fmt.Errorf("sched: ExploreOptions.Visit is required")
+	}
+	if opts.Parallel > 1 {
+		return exploreParallel(p, opts)
 	}
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
@@ -57,33 +74,56 @@ func Explore(p *Program, opts ExploreOptions) (int, error) {
 			return runs, nil
 		}
 
-		// Expand alternatives at every decision point at or beyond the
-		// forced prefix, pushed deepest-first so DFS explores nearby
-		// schedules before distant ones.
-		for i := len(g.Points) - 1; i >= len(prefix); i-- {
-			pt := g.Points[i]
-			used := preemptionsIn(g.Points[:i])
-			for _, alt := range pt.Runnable {
-				if alt == pt.Chosen {
-					continue
-				}
-				cost := 0
-				if containsTID(pt.Runnable, pt.Current) && alt != pt.Current {
-					cost = 1
-				}
-				if used+cost > opts.MaxPreemptions {
-					continue
-				}
-				np := make([]trace.TID, i+1)
-				for j := 0; j < i; j++ {
-					np[j] = g.Points[j].Chosen
-				}
-				np[i] = alt
-				stack = append(stack, np)
-			}
-		}
+		expandPrefixes(g.Points, len(prefix), opts.MaxPreemptions, func(np []trace.TID) {
+			stack = append(stack, np)
+		})
 	}
 	return runs, nil
+}
+
+// expandPrefixes pushes the alternative forced-decision prefixes branching
+// off points[prefixLen:], in the DFS expansion order (deepest decision
+// first, so the search explores nearby schedules before distant ones).
+// The preemption budget is tracked with a running prefix sum instead of
+// recounting points[:i] per decision, which was quadratic in trace depth.
+func expandPrefixes(points []ChoicePoint, prefixLen, maxPreemptions int, push func([]trace.TID)) {
+	pre := preemptionPrefix(points)
+	for i := len(points) - 1; i >= prefixLen; i-- {
+		pt := points[i]
+		used := pre[i]
+		for _, alt := range pt.Runnable {
+			if alt == pt.Chosen {
+				continue
+			}
+			cost := 0
+			if containsTID(pt.Runnable, pt.Current) && alt != pt.Current {
+				cost = 1
+			}
+			if used+cost > maxPreemptions {
+				continue
+			}
+			np := make([]trace.TID, i+1)
+			for j := 0; j < i; j++ {
+				np[j] = points[j].Chosen
+			}
+			np[i] = alt
+			push(np)
+		}
+	}
+}
+
+// preemptionPrefix returns the running preemption counts of a decision-point
+// path: out[i] = preemptionsIn(points[:i]), computed in one linear sweep.
+func preemptionPrefix(points []ChoicePoint) []int {
+	out := make([]int, len(points)+1)
+	for i, pt := range points {
+		cost := 0
+		if pt.Current >= 0 && containsTID(pt.Runnable, pt.Current) && pt.Chosen != pt.Current {
+			cost = 1
+		}
+		out[i+1] = out[i] + cost
+	}
+	return out
 }
 
 // preemptionsIn counts the non-forced switches in a decision-point path:

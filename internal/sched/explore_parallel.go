@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Parallel exploration with a deterministic merge.
+//
+// Every entry of the sequential DFS stack is a forced-decision prefix whose
+// replay is an independent, fully deterministic Program run — the only
+// ordering constraint in Explore is that Visit observes results in DFS
+// order and that a run's choice points seed its children. That makes the
+// search an ideal work-sharing problem: a driver goroutine walks the exact
+// sequential stack discipline while a pool of workers speculatively replays
+// pending prefixes pulled from a shared LIFO frontier. Because replays are
+// deterministic, a speculative result is byte-identical to what the driver
+// would have computed itself, so the merged visit sequence — and therefore
+// every table, figure, and certificate built on top — is bit-identical to
+// the sequential search, at any worker count.
+//
+// The frontier is kept in the same order as the driver's stack: workers
+// take from the top, which is exactly the prefix the driver needs next, so
+// speculation always runs ahead of the merge point rather than sideways.
+// When the driver reaches a task no worker has claimed, it claims and
+// replays the task inline; when a worker got there first, the driver blocks
+// on that task alone while the pool keeps filling the results of deeper
+// prefixes.
+
+// exTask is one forced-decision prefix queued for replay.
+type exTask struct {
+	prefix []trace.TID
+	done   chan struct{} // closed once res/err/points are filled
+	res    *Result
+	err    error
+	points []ChoicePoint
+}
+
+// exFrontier is the shared LIFO of unclaimed tasks. Claiming removes a task,
+// so each task is replayed exactly once.
+type exFrontier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	stack  []*exTask
+	closed bool
+}
+
+func newExFrontier() *exFrontier {
+	f := &exFrontier{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *exFrontier) push(t *exTask) {
+	f.mu.Lock()
+	f.stack = append(f.stack, t)
+	f.mu.Unlock()
+	f.cond.Signal()
+}
+
+// take blocks until a task is available (returning the top of the stack) or
+// the frontier is closed (returning nil).
+func (f *exFrontier) take() *exTask {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.stack) == 0 && !f.closed {
+		f.cond.Wait()
+	}
+	if len(f.stack) == 0 {
+		return nil
+	}
+	t := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return t
+}
+
+// claim removes t if it is still unclaimed and reports success. The driver
+// only ever claims the task it is about to visit, which is the most recent
+// unclaimed push — the top of the stack — so an identity check there
+// suffices: anything else means a worker already owns t.
+func (f *exFrontier) claim(t *exTask) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.stack); n > 0 && f.stack[n-1] == t {
+		f.stack = f.stack[:n-1]
+		return true
+	}
+	return false
+}
+
+func (f *exFrontier) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// replayTask executes one guided run and publishes the outcome.
+func replayTask(p *Program, opts *ExploreOptions, t *exTask) {
+	g := &Guided{Prefix: t.prefix}
+	ro := Options{Strategy: g, RecordTrace: opts.RecordTrace}
+	if opts.Observers != nil {
+		ro.Observers = opts.Observers()
+	}
+	t.res, t.err = Run(p, ro)
+	t.points = g.Points
+	close(t.done)
+}
+
+// exploreParallel is Explore's work-sharing engine for opts.Parallel > 1.
+func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 10000
+	}
+	frontier := newExFrontier()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallel-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := frontier.take()
+				if t == nil {
+					return
+				}
+				replayTask(p, &opts, t)
+			}
+		}()
+	}
+	// Stop the pool (abandoning unclaimed speculation) and wait for in-
+	// flight replays before returning, so no goroutine outlives the search.
+	defer func() {
+		frontier.close()
+		wg.Wait()
+	}()
+
+	newTask := func(prefix []trace.TID) *exTask {
+		t := &exTask{prefix: prefix, done: make(chan struct{})}
+		frontier.push(t)
+		return t
+	}
+
+	// stack mirrors the sequential DFS stack; frontier holds the subset of
+	// it not yet claimed by a worker, in the same order.
+	stack := []*exTask{newTask(nil)}
+	runs := 0
+	for len(stack) > 0 && runs < maxRuns {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if frontier.claim(t) {
+			replayTask(p, &opts, t)
+		} else {
+			<-t.done
+		}
+		runs++
+		if !opts.Visit(t.res, t.err) {
+			return runs, nil
+		}
+		expandPrefixes(t.points, len(t.prefix), opts.MaxPreemptions, func(np []trace.TID) {
+			stack = append(stack, newTask(np))
+		})
+	}
+	return runs, nil
+}

@@ -22,6 +22,11 @@ type Options struct {
 	RecordTrace bool
 	// MaxEvents aborts runaway executions; 0 means the default (5M).
 	MaxEvents int
+	// EventsHint presizes the schedule and trace buffers for runs whose
+	// approximate event count is known up front (e.g. re-running one
+	// workload under many schedules). Purely an allocation hint; 0 means
+	// grow from empty.
+	EventsHint int
 	// DisableLocations skips source-location capture (faster; used by the
 	// overhead experiments' baseline configurations).
 	DisableLocations bool
@@ -232,11 +237,15 @@ func Run(p *Program, opts Options) (*Result, error) {
 		Volatiles: names(p.volatiles),
 		Mutexes:   names(p.mutexes),
 	}
+	if opts.EventsHint > 0 {
+		rt.schedule = make([]trace.TID, 0, opts.EventsHint)
+	}
 	if opts.RecordTrace {
 		rt.tr = &trace.Trace{Strings: rt.strings}
 		rt.tr.Meta.Workload = p.name
 		rt.tr.Meta.Strategy = opts.Strategy.Name()
 		rt.tr.Meta.Seed = opts.Strategy.Seed()
+		rt.tr.Grow(opts.EventsHint)
 	}
 	for _, o := range rt.observers {
 		if sa, ok := o.(StringsAware); ok {

@@ -212,6 +212,16 @@ func (t *Trace) Append(e Event) int {
 // Len returns the number of events.
 func (t *Trace) Len() int { return len(t.Events) }
 
+// Grow ensures capacity for at least n further events, like the standard
+// library's slices.Grow; n <= 0 is a no-op.
+func (t *Trace) Grow(n int) {
+	if need := len(t.Events) + n; need > cap(t.Events) {
+		grown := make([]Event, len(t.Events), need)
+		copy(grown, t.Events)
+		t.Events = grown
+	}
+}
+
 // Threads returns the number of distinct thread ids (max tid + 1).
 func (t *Trace) Threads() int {
 	max := TID(-1)

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden snapshots instead of comparing")
+
+// goldenConfig pins the determinism guard's inputs: a fixed workload
+// subset, seed count, and sizes, so the snapshot is a function of analysis
+// code only.
+func goldenConfig() Config {
+	return Config{
+		Seeds:     2,
+		Workloads: []string{"bank", "philo", "rwcache"},
+		Quick:     true,
+	}
+}
+
+// TestTable3GoldenDeterminism guards the dense-state observer rewrite: the
+// checker-comparison table (FastTrack races, lockset warnings, Atomizer and
+// Velodrome violations, cooperability before/after inference) and the
+// distinct cooperability violation sites must be byte-identical to the
+// committed snapshot on the pinned schedule battery. Any layout or
+// fast-path change that alters warning counts, ordering, or dedup keys
+// shows up here as a diff. Refresh with: go test ./internal/harness
+// -run TestTable3Golden -update-golden
+func TestTable3GoldenDeterminism(t *testing.T) {
+	cfg := goldenConfig()
+	tbl, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+
+	// Distinct cooperability violation sites per workload, resolved to
+	// names so the snapshot is stable across LocID assignment details.
+	specs, err := cfg.specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs := distinctViolationLocs(col.Traces, core.Options{Policy: movers.DefaultPolicy()})
+		fmt.Fprintf(&b, "\n%s violation sites (%d):\n", spec.Name, len(locs))
+		for _, site := range SortedLocs(locs, col.Results[0].Strings) {
+			fmt.Fprintf(&b, "  %s\n", site)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "table3_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden snapshot rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden snapshot missing (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Table 3 output diverged from golden snapshot %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -6,12 +6,22 @@
 // particular interleaving hides but also produces the false positives
 // (e.g. fork/join transfer, publication idioms) the paper-era literature
 // documents.
+//
+// State layout follows the dense-checker design (DESIGN.md, "Analysis state
+// layout"): variable states live in a paged table keyed by the near-dense
+// variable ids, and per-thread held-lock multisets are small slices scanned
+// linearly (lock nesting depth is tiny), so the per-event hot path does no
+// map operations and no allocation. Candidate locksets are slices refined
+// in place; the former heldSet, which allocated a fresh map on every
+// shared-variable access, now snapshots into the variable's candidate
+// slice directly.
 package lockset
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dense"
 	"repro/internal/trace"
 )
 
@@ -19,7 +29,8 @@ import (
 type State uint8
 
 const (
-	// Virgin: never accessed.
+	// Virgin: never accessed. (The zero value, so an untouched table slot
+	// is already a valid Virgin state.)
 	Virgin State = iota
 	// Exclusive: accessed by a single thread so far.
 	Exclusive
@@ -61,36 +72,99 @@ func (w Warning) String() string {
 		w.Var, w.Event.Tid, w.Event.Op, w.Event.Idx)
 }
 
+// varState is one variable's Eraser state. The zero value is a Virgin
+// variable, so paged-table slots need no initialization.
 type varState struct {
 	state    State
-	owner    trace.TID
-	set      map[uint64]bool // candidate lockset; nil = "all locks" (virgin)
 	reported bool
+	owner    trace.TID
+	set      []uint64 // candidate lockset; meaningful once state ≥ Shared
+}
+
+// heldLocks is one thread's lock multiset: parallel slices of lock id and
+// hold count, scanned linearly. Lock nesting depth is small (single
+// digits), so linear scans beat any map while allocating only when the
+// depth high-water mark grows.
+type heldLocks struct {
+	ids []uint64
+	ns  []int32
+}
+
+func (h *heldLocks) count(lock uint64) int32 {
+	for i, id := range h.ids {
+		if id == lock {
+			return h.ns[i]
+		}
+	}
+	return 0
+}
+
+func (h *heldLocks) add(lock uint64, delta int32) {
+	for i, id := range h.ids {
+		if id == lock {
+			if n := h.ns[i] + delta; n >= 0 {
+				h.ns[i] = n
+			}
+			return
+		}
+	}
+	if delta > 0 {
+		h.ids = append(h.ids, lock)
+		h.ns = append(h.ns, delta)
+	}
+}
+
+func (h *heldLocks) drop(lock uint64) {
+	for i, id := range h.ids {
+		if id == lock {
+			h.ns[i] = 0
+			return
+		}
+	}
 }
 
 // Checker is a streaming Eraser analysis; it implements sched.Observer.
 type Checker struct {
-	vars     map[uint64]*varState
-	held     map[trace.TID]map[uint64]int
+	vars     dense.Table[varState]
+	held     []heldLocks // indexed by TID
 	warnings []Warning
 	events   int
 }
 
 // New returns an empty lockset checker.
-func New() *Checker {
-	return &Checker{
-		vars: make(map[uint64]*varState),
-		held: make(map[trace.TID]map[uint64]int),
+func New() *Checker { return &Checker{} }
+
+// NewSized returns an empty checker presized for a trace of about hint
+// events (an allocation hint, matching sched.Options.EventsHint).
+func NewSized(hint int) *Checker {
+	c := New()
+	c.HintEvents(hint)
+	return c
+}
+
+// HintEvents presizes internal buffers; the virtual runtime forwards
+// sched.Options.EventsHint here before a run starts.
+func (c *Checker) HintEvents(n int) {
+	if n <= 0 || c.events > 0 {
+		return
+	}
+	if c.held == nil {
+		c.held = make([]heldLocks, 0, 16)
 	}
 }
 
-func (c *Checker) locksOf(t trace.TID) map[uint64]int {
-	m, ok := c.held[t]
-	if !ok {
-		m = make(map[uint64]int)
-		c.held[t] = m
+func (c *Checker) locksOf(t trace.TID) *heldLocks {
+	ti := int(t)
+	if ti >= len(c.held) {
+		if ti >= cap(c.held) {
+			grown := make([]heldLocks, ti+1, 2*(ti+1))
+			copy(grown, c.held)
+			c.held = grown
+		} else {
+			c.held = c.held[:ti+1]
+		}
 	}
-	return m
+	return &c.held[ti]
 }
 
 // Event processes one event in trace order.
@@ -98,27 +172,20 @@ func (c *Checker) Event(e trace.Event) {
 	c.events++
 	switch e.Op {
 	case trace.OpAcquire:
-		c.locksOf(e.Tid)[e.Target]++
+		c.locksOf(e.Tid).add(e.Target, 1)
 	case trace.OpRelease:
-		m := c.locksOf(e.Tid)
-		if m[e.Target] > 0 {
-			m[e.Target]--
-		}
+		c.locksOf(e.Tid).add(e.Target, -1)
 	case trace.OpWait:
 		// Wait releases the guarding lock entirely; the reacquisition
 		// arrives as a separate acquire event.
-		delete(c.locksOf(e.Tid), e.Target)
+		c.locksOf(e.Tid).drop(e.Target)
 	case trace.OpRead, trace.OpWrite:
 		c.access(e)
 	}
 }
 
 func (c *Checker) access(e trace.Event) {
-	s, ok := c.vars[e.Target]
-	if !ok {
-		s = &varState{state: Virgin}
-		c.vars[e.Target] = s
-	}
+	s := c.vars.At(e.Target)
 	isWrite := e.Op == trace.OpWrite
 	switch s.state {
 	case Virgin:
@@ -136,7 +203,7 @@ func (c *Checker) access(e trace.Event) {
 		} else {
 			s.state = Shared
 		}
-		s.set = c.heldSet(e.Tid)
+		c.snapshotHeld(s, e.Tid)
 	case Shared:
 		if isWrite {
 			s.state = SharedModified
@@ -151,23 +218,30 @@ func (c *Checker) access(e trace.Event) {
 	}
 }
 
-func (c *Checker) heldSet(t trace.TID) map[uint64]bool {
-	out := make(map[uint64]bool)
-	for l, n := range c.locksOf(t) {
-		if n > 0 {
-			out[l] = true
+// snapshotHeld initializes s.set to the locks t currently holds, reusing
+// s.set's storage. This replaces the old heldSet, which allocated a fresh
+// map[uint64]bool on every Exclusive→Shared transition.
+func (c *Checker) snapshotHeld(s *varState, t trace.TID) {
+	held := c.locksOf(t)
+	set := s.set[:0]
+	for i, id := range held.ids {
+		if held.ns[i] > 0 {
+			set = append(set, id)
 		}
 	}
-	return out
+	s.set = set
 }
 
+// refine intersects s.set with the locks held at e, in place.
 func (c *Checker) refine(s *varState, e trace.Event) {
 	held := c.locksOf(e.Tid)
-	for l := range s.set {
-		if held[l] == 0 {
-			delete(s.set, l)
+	out := s.set[:0]
+	for _, l := range s.set {
+		if held.count(l) > 0 {
+			out = append(out, l)
 		}
 	}
+	s.set = out
 }
 
 // Warnings returns the per-variable warnings in detection order.
@@ -188,7 +262,7 @@ func (c *Checker) Events() int { return c.events }
 
 // Analyze runs a fresh checker over a complete trace.
 func Analyze(tr *trace.Trace) *Checker {
-	c := New()
+	c := NewSized(tr.Len())
 	for _, e := range tr.Events {
 		c.Event(e)
 	}

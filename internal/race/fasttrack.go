@@ -7,12 +7,20 @@
 // warnings), and it supplies the mover classification substrate — an access
 // is a both-mover exactly when it is race-free, which is what Lipton
 // reduction and therefore the cooperability checker consume.
+//
+// State layout follows the dense-checker design (DESIGN.md, "Analysis state
+// layout"): thread clocks live in a TID-indexed slice, variable and
+// lock/volatile state in paged tables keyed by their near-dense ids, race
+// dedup in an open-addressed set, and the per-release clock snapshots reuse
+// per-lock buffers instead of allocating a fresh copy each time. The
+// analysis semantics are unchanged — warning output is byte-identical to
+// the former map-based layout.
 package race
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/dense"
 	"repro/internal/trace"
 	"repro/internal/vc"
 )
@@ -62,72 +70,152 @@ func (r Race) String() string {
 		r.Kind, r.Var, r.Access.Tid, r.Access.Op, r.Access.Idx, r.PrevTid)
 }
 
+// varState is one variable's FastTrack metadata. The zero value of the
+// slot means "never accessed" (live distinguishes it, since the zero Epoch
+// is a real epoch, not NoEpoch); vs initializes the slot on first touch.
 type varState struct {
 	w      vc.Epoch // last write
 	r      vc.Epoch // last read when unshared
 	rvc    vc.VC    // read clocks when shared
 	shared bool
+	live   bool
 	wLoc   trace.LocID
 	wTid   trace.TID
 	rLoc   trace.LocID
 	rTid   trace.TID
 }
 
+// lockKey and volKey interleave locks and volatiles into one table's key
+// space: both are "synchronization object → clock snapshot" maps, so
+// sharing a table halves the page overhead of a fresh detector. Small ids
+// stay dense; runtime volatile ids (offset by 1<<32) land in the table's
+// overflow map, exactly as sparse map keys did before.
+func lockKey(id uint64) uint64 { return id << 1 }
+func volKey(id uint64) uint64  { return id<<1 | 1 }
+
 // Detector is a streaming FastTrack race detector. Feed it every event of a
 // trace in order via Event; it implements sched.Observer.
-// The zero value is not usable; call New.
+// The zero value is not usable; call New or NewSized.
 type Detector struct {
-	threads map[trace.TID]vc.VC
-	locks   map[uint64]vc.VC
-	vols    map[uint64]vc.VC
-	vars    map[uint64]*varState
+	// threads[t] is thread t's clock, nil until the thread is observed.
+	// TIDs are dense (the runtime assigns consecutive ids), so a slice
+	// replaces the former map on every event.
+	threads []vc.VC
+	// sync holds the per-lock and per-volatile clock snapshot buffers
+	// (see lockKey/volKey). Buffers are reused across releases: the release
+	// rule copies the thread clock into place instead of allocating.
+	sync dense.Table[vc.VC]
+	// vars holds per-variable epochs/read clocks in a paged table: plain
+	// variable ids are small and near-dense (Table 1 in EXPERIMENTS.md).
+	vars dense.Table[varState]
 
-	races     []Race
-	seen      map[raceKey]bool
-	racyVars  map[uint64]bool
+	races []Race
+	seen  raceSet
+	// racy flags raced variables; racyN counts them. The mover classifier
+	// queries IsRacyVar on every access, so this is hot-path state.
+	racy      dense.Table[bool]
+	racyN     int
 	lastRaced bool
 	events    int
-}
 
-type raceKey struct {
-	v        uint64
-	kind     Kind
-	loc      trace.LocID
-	prevLoc  trace.LocID
-	tidPair  uint64
-	accessOp trace.Op
+	// arena is carved into thread clocks, read vectors, and sync snapshot
+	// buffers so a whole analysis costs O(1) clock allocations instead of
+	// O(threads + releases).
+	arena []vc.Clock
 }
 
 // New returns an empty detector.
-func New() *Detector {
-	return &Detector{
-		threads:  make(map[trace.TID]vc.VC),
-		locks:    make(map[uint64]vc.VC),
-		vols:     make(map[uint64]vc.VC),
-		vars:     make(map[uint64]*varState),
-		seen:     make(map[raceKey]bool),
-		racyVars: make(map[uint64]bool),
+func New() *Detector { return &Detector{} }
+
+// NewSized returns an empty detector presized for a trace of about hint
+// events (purely an allocation hint, matching sched.Options.EventsHint).
+func NewSized(hint int) *Detector {
+	d := &Detector{}
+	d.HintEvents(hint)
+	return d
+}
+
+// HintEvents presizes internal buffers for a run of about n events; the
+// virtual runtime forwards sched.Options.EventsHint here before a run
+// starts. A no-op once events have been processed.
+func (d *Detector) HintEvents(n int) {
+	if n <= 0 || d.events > 0 {
+		return
+	}
+	if d.threads == nil {
+		d.threads = make([]vc.VC, 0, 16)
+	}
+	if d.arena == nil {
+		size := n / 4
+		if size < arenaBlock {
+			size = arenaBlock
+		}
+		if size > 1<<16 {
+			size = 1 << 16
+		}
+		d.arena = make([]vc.Clock, 0, size)
 	}
 }
 
+const arenaBlock = 1024
+
+// carve returns a zeroed clock of length n whose backing region (rounded up
+// to a power of two, at least 16) comes from the shared arena, so in-place
+// growth up to the region size never reallocates.
+func (d *Detector) carve(n int) vc.VC {
+	region := 16
+	for region < n {
+		region *= 2
+	}
+	if len(d.arena)+region > cap(d.arena) {
+		size := arenaBlock
+		if region > size {
+			size = region
+		}
+		d.arena = make([]vc.Clock, 0, size)
+	}
+	off := len(d.arena)
+	d.arena = d.arena[:off+region]
+	return vc.VC(d.arena[off : off+n : off+region])
+}
+
+// snapshot copies src into dst reusing dst's storage, carving a fresh
+// buffer from the arena only when dst is too small.
+func (d *Detector) snapshot(dst, src vc.VC) vc.VC {
+	if cap(dst) < len(src) {
+		dst = d.carve(len(src))
+	}
+	return src.CopyInto(dst)
+}
+
+// clock returns thread t's vector clock, materializing it on first use.
 func (d *Detector) clock(t trace.TID) vc.VC {
-	c, ok := d.threads[t]
-	if !ok {
-		c = vc.New(int(t)+1).Set(int(t), 1)
-		d.threads[t] = c
+	ti := int(t)
+	if ti >= len(d.threads) {
+		if ti >= cap(d.threads) {
+			grown := make([]vc.VC, ti+1, 2*(ti+1))
+			copy(grown, d.threads)
+			d.threads = grown
+		} else {
+			d.threads = d.threads[:ti+1]
+		}
+	}
+	c := d.threads[ti]
+	if c == nil {
+		c = d.carve(ti + 1)
+		c[ti] = 1
+		d.threads[ti] = c
 	}
 	return c
 }
 
-func (d *Detector) epoch(t trace.TID) vc.Epoch {
-	return vc.MakeEpoch(int(t), d.clock(t).Get(int(t)))
-}
-
+// vs returns variable x's state, initializing the slot on first touch.
 func (d *Detector) vs(x uint64) *varState {
-	s, ok := d.vars[x]
-	if !ok {
-		s = &varState{w: vc.NoEpoch, r: vc.NoEpoch, wTid: -1, rTid: -1}
-		d.vars[x] = s
+	s := d.vars.At(x)
+	if !s.live {
+		s.live = true
+		s.w, s.r = vc.NoEpoch, vc.NoEpoch
+		s.wTid, s.rTid = -1, -1
 	}
 	return s
 }
@@ -153,16 +241,26 @@ func (d *Detector) Event(e trace.Event) {
 		child := trace.TID(e.Target)
 		d.threads[t] = d.clock(t).Join(d.clock(child))
 	case trace.OpAcquire:
-		d.threads[t] = d.clock(t).Join(d.locks[e.Target])
+		if lp := d.sync.Probe(lockKey(e.Target)); lp != nil && *lp != nil {
+			d.threads[t] = d.clock(t).Join(*lp)
+		} else {
+			d.clock(t) // materialize, as the map layout's Join(nil) did
+		}
 	case trace.OpRelease, trace.OpWait:
 		// Wait's release half; its reacquire arrives as a normal acquire.
-		d.locks[e.Target] = d.clock(t).Copy()
+		lp := d.sync.At(lockKey(e.Target))
+		*lp = d.snapshot(*lp, d.clock(t))
 		d.threads[t] = d.clock(t).Tick(int(t))
 	case trace.OpVolWrite:
-		d.vols[e.Target] = d.clock(t).Copy()
+		vp := d.sync.At(volKey(e.Target))
+		*vp = d.snapshot(*vp, d.clock(t))
 		d.threads[t] = d.clock(t).Tick(int(t))
 	case trace.OpVolRead:
-		d.threads[t] = d.clock(t).Join(d.vols[e.Target])
+		if vp := d.sync.Probe(volKey(e.Target)); vp != nil && *vp != nil {
+			d.threads[t] = d.clock(t).Join(*vp)
+		} else {
+			d.clock(t)
+		}
 	case trace.OpRead:
 		d.read(e)
 	case trace.OpWrite:
@@ -175,7 +273,7 @@ func (d *Detector) read(e trace.Event) {
 	t := e.Tid
 	c := d.clock(t)
 	s := d.vs(e.Target)
-	ep := d.epoch(t)
+	ep := vc.MakeEpoch(int(t), c[t])
 
 	if !s.shared && s.r == ep {
 		// Same-epoch read; nothing to do, not even a write check (already
@@ -186,17 +284,17 @@ func (d *Detector) read(e trace.Event) {
 		d.report(Race{Kind: WriteRead, Var: e.Target, Access: e, PrevTid: s.wTid, PrevLoc: s.wLoc})
 	}
 	if s.shared {
-		s.rvc = s.rvc.Set(int(t), c.Get(int(t)))
+		s.rvc = s.rvc.Set(int(t), c[t])
 	} else if s.r == vc.NoEpoch || s.r.LeqVC(c) {
 		// Exclusive read that supersedes the previous one.
 		s.r = ep
 	} else {
 		// Concurrent reads: inflate to a read vector.
-		s.shared = true
-		s.rvc = vc.New(int(t) + 1)
+		s.rvc = d.carve(int(t) + 1)
 		s.rvc = s.rvc.Set(s.r.Tid(), s.r.Clock())
-		s.rvc = s.rvc.Set(int(t), c.Get(int(t)))
+		s.rvc = s.rvc.Set(int(t), c[t])
 		s.r = vc.NoEpoch
+		s.shared = true
 	}
 	s.rTid = t
 	s.rLoc = e.Loc
@@ -207,10 +305,14 @@ func (d *Detector) write(e trace.Event) {
 	t := e.Tid
 	c := d.clock(t)
 	s := d.vs(e.Target)
-	ep := d.epoch(t)
+	ep := vc.MakeEpoch(int(t), c[t])
 
 	if !s.shared && s.w == ep {
-		return // same-epoch write
+		// Same-epoch write fast path, the mirror of the read one: a repeat
+		// write by the same thread with no intervening release needs no
+		// checks (they were performed at the first write of this epoch, and
+		// exclusive state rules out unchecked concurrent reads).
+		return
 	}
 	if !s.w.LeqVC(c) {
 		d.report(Race{Kind: WriteWrite, Var: e.Target, Access: e, PrevTid: s.wTid, PrevLoc: s.wLoc})
@@ -233,19 +335,13 @@ func (d *Detector) write(e trace.Event) {
 
 func (d *Detector) report(r Race) {
 	d.lastRaced = true
-	d.racyVars[r.Var] = true
-	key := raceKey{
-		v:        r.Var,
-		kind:     r.Kind,
-		loc:      r.Access.Loc,
-		prevLoc:  r.PrevLoc,
-		tidPair:  uint64(r.Access.Tid)<<32 | uint64(uint32(r.PrevTid)),
-		accessOp: r.Access.Op,
+	if rp := d.racy.At(r.Var); !*rp {
+		*rp = true
+		d.racyN++
 	}
-	if d.seen[key] {
+	if !d.seen.Add(r) {
 		return
 	}
-	d.seen[key] = true
 	d.races = append(d.races, r)
 }
 
@@ -257,25 +353,29 @@ func (d *Detector) LastRaced() bool { return d.lastRaced }
 func (d *Detector) Races() []Race { return d.races }
 
 // RacyVars returns the ids of variables involved in at least one race, in
-// ascending order.
+// ascending order (dense.Table.Range visits keys ascending).
 func (d *Detector) RacyVars() []uint64 {
-	out := make([]uint64, 0, len(d.racyVars))
-	for v := range d.racyVars {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]uint64, 0, d.racyN)
+	d.racy.Range(func(v uint64, on *bool) {
+		if *on {
+			out = append(out, v)
+		}
+	})
 	return out
 }
 
 // IsRacyVar reports whether variable x has raced so far.
-func (d *Detector) IsRacyVar(x uint64) bool { return d.racyVars[x] }
+func (d *Detector) IsRacyVar(x uint64) bool {
+	p := d.racy.Probe(x)
+	return p != nil && *p
+}
 
 // Events returns the number of events processed.
 func (d *Detector) Events() int { return d.events }
 
 // Analyze runs a fresh detector over a complete trace and returns it.
 func Analyze(tr *trace.Trace) *Detector {
-	d := New()
+	d := NewSized(tr.Len())
 	for _, e := range tr.Events {
 		d.Event(e)
 	}
@@ -285,9 +385,11 @@ func Analyze(tr *trace.Trace) *Detector {
 // RacyVarsOf is a convenience: the racy-variable set of a trace, as a map.
 func RacyVarsOf(tr *trace.Trace) map[uint64]bool {
 	d := Analyze(tr)
-	out := make(map[uint64]bool, len(d.racyVars))
-	for v := range d.racyVars {
-		out[v] = true
-	}
+	out := make(map[uint64]bool, d.racyN)
+	d.racy.Range(func(v uint64, on *bool) {
+		if *on {
+			out[v] = true
+		}
+	})
 	return out
 }

@@ -287,6 +287,162 @@ func TestPropFastTrackAgreesWithOracle(t *testing.T) {
 	}
 }
 
+// fastPathVarPool is the variable-id pool of the fast-path fuzz below:
+// ids straddling every boundary of the detector's paged state — within the
+// first page, across the 256-entry page edges, and on both sides of the
+// dense/overflow cutover at dense.MaxDense (1<<21) — so page materialization
+// and overflow-map fallback are exercised against the oracle.
+var fastPathVarPool = []uint64{
+	0, 1, 2, 3,
+	254, 255, 256, 257,
+	511, 512,
+	1<<21 - 1, 1 << 21, 1<<21 + 1,
+}
+
+// randomFastPathTrace is randomSyncTrace biased toward the dense detector's
+// new fast paths: bursts of same-thread repeat accesses (same-epoch read and
+// write paths), tight acquire/release cycles on one lock (reused per-lock
+// clock snapshots), and variable ids drawn from fastPathVarPool (paged table
+// growth boundaries).
+func randomFastPathTrace(r *rand.Rand) *trace.Trace {
+	b := trace.NewBuilder()
+	nthreads := 2 + r.Intn(3)
+	b.On(0).Begin()
+	for tid := 1; tid < nthreads; tid++ {
+		b.On(0).Fork(trace.TID(tid))
+		b.On(trace.TID(tid)).Begin()
+	}
+	held := make([]map[uint64]int, nthreads)
+	for i := range held {
+		held[i] = map[uint64]int{}
+	}
+	owner := map[uint64]int{}
+	v := func() uint64 { return fastPathVarPool[r.Intn(len(fastPathVarPool))] }
+	steps := 10 + r.Intn(80)
+	for i := 0; i < steps; i++ {
+		tid := trace.TID(r.Intn(nthreads))
+		b.On(tid)
+		switch r.Intn(10) {
+		case 0, 1:
+			b.Read(v())
+		case 2, 3:
+			b.Write(v())
+		case 4:
+			// Same-epoch burst: repeat accesses to one variable with no
+			// intervening synchronization, so every access after the first
+			// hits the same-epoch fast path.
+			x := v()
+			for n := 3 + r.Intn(6); n > 0; n-- {
+				if r.Intn(2) == 0 {
+					b.Read(x)
+				} else {
+					b.Write(x)
+				}
+			}
+		case 5:
+			// Acquire/release churn: repeated cycles on the same free lock
+			// overwrite the per-lock clock snapshot buffer each release.
+			m := uint64(10 + r.Intn(2))
+			if owner[m] == 0 {
+				for n := 1 + r.Intn(3); n > 0; n-- {
+					b.Acq(m)
+					b.Write(v())
+					b.Rel(m)
+				}
+			}
+		case 6:
+			m := uint64(10 + r.Intn(2))
+			if owner[m] == 0 || owner[m] == int(tid)+1 {
+				b.Acq(m)
+				owner[m] = int(tid) + 1
+				held[tid][m]++
+			}
+		case 7:
+			for m, n := range held[tid] {
+				if n > 0 {
+					b.Rel(m)
+					held[tid][m]--
+					if held[tid][m] == 0 {
+						owner[m] = 0
+					}
+					break
+				}
+			}
+		case 8:
+			b.VolWrite(uint64(100 + r.Intn(2)))
+		case 9:
+			b.VolRead(uint64(100 + r.Intn(2)))
+		}
+	}
+	for tid := nthreads - 1; tid >= 1; tid-- {
+		b.On(trace.TID(tid))
+		for m, n := range held[tid] {
+			for ; n > 0; n-- {
+				b.Rel(m)
+			}
+		}
+		b.End()
+		b.On(0).Join(trace.TID(tid))
+	}
+	b.On(0)
+	for m, n := range held[0] {
+		for ; n > 0; n-- {
+			b.Rel(m)
+		}
+	}
+	b.On(0).End()
+	return b.Trace()
+}
+
+// TestPropFastPathsAgreeWithOracle sweeps the dense detector's fast paths
+// (same-epoch accesses, reused lock clock buffers, paged-table growth
+// boundaries) on 200 random seeds, asserting the detector's race set is
+// internally consistent and its racy-variable set matches the full-VC
+// oracle exactly.
+func TestPropFastPathsAgreeWithOracle(t *testing.T) {
+	const seeds = 200
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomFastPathTrace(r)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid trace: %v", seed, err)
+		}
+		d := Analyze(tr)
+		or := NewOracle(tr).RacyVars()
+
+		// Racy-variable sets must coincide with the oracle.
+		ft := make(map[uint64]bool, len(or))
+		for _, v := range d.RacyVars() {
+			ft[v] = true
+		}
+		if !reflect.DeepEqual(ft, or) {
+			t.Fatalf("seed %d: racy vars: fasttrack %v oracle %v", seed, ft, or)
+		}
+
+		// The race reports must name exactly the racy variables, and the
+		// dedup set must admit no duplicate keys.
+		fromRaces := map[uint64]bool{}
+		dup := map[Race]bool{}
+		for _, rc := range d.Races() {
+			fromRaces[rc.Var] = true
+			if dup[rc] {
+				t.Fatalf("seed %d: duplicate race report %+v", seed, rc)
+			}
+			dup[rc] = true
+		}
+		if !reflect.DeepEqual(fromRaces, or) {
+			t.Fatalf("seed %d: race-report vars %v, oracle %v", seed, fromRaces, or)
+		}
+
+		// Determinism: a second fresh pass produces the identical report
+		// list (same races, same order).
+		d2 := Analyze(tr)
+		if !reflect.DeepEqual(d.Races(), d2.Races()) {
+			t.Fatalf("seed %d: re-analysis diverged:\n%v\nvs\n%v", seed, d.Races(), d2.Races())
+		}
+	}
+}
+
 func TestOracleHappensBeforeBasics(t *testing.T) {
 	b := trace.NewBuilder()
 	b.On(0).Begin().Write(1).Fork(1) // 0,1,2

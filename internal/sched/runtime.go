@@ -43,6 +43,14 @@ type StringsAware interface {
 	SetStrings(s *trace.Strings)
 }
 
+// EventsHinted is implemented by observers that can presize their internal
+// state for an expected event count; the runtime forwards
+// Options.EventsHint before execution starts, so analysis state grows once
+// instead of rehashing/reallocating throughout the run.
+type EventsHinted interface {
+	HintEvents(n int)
+}
+
 // Symbols maps the dense ids appearing in trace Targets back to the names
 // declared when the Program was built.
 type Symbols struct {
@@ -250,6 +258,9 @@ func Run(p *Program, opts Options) (*Result, error) {
 	for _, o := range rt.observers {
 		if sa, ok := o.(StringsAware); ok {
 			sa.SetStrings(rt.strings)
+		}
+		if eh, ok := o.(EventsHinted); ok && opts.EventsHint > 0 {
+			eh.HintEvents(opts.EventsHint)
 		}
 	}
 	rt.strat.Reset()

@@ -464,6 +464,39 @@ func TestObserversSeeEveryEvent(t *testing.T) {
 	}
 }
 
+// hintObserver records the event hint forwarded by the runtime.
+type hintObserver struct {
+	hint int
+}
+
+func (h *hintObserver) Event(trace.Event) {}
+func (h *hintObserver) HintEvents(n int)  { h.hint = n }
+
+func TestEventsHintForwardedToObservers(t *testing.T) {
+	var ho hintObserver
+	if _, err := Run(counterProgram(2, 3, true), Options{
+		Observers:  []Observer{&ho},
+		Strategy:   NewRandom(11),
+		EventsHint: 4096,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ho.hint != 4096 {
+		t.Fatalf("observer hint = %d, want 4096", ho.hint)
+	}
+	// Without a hint the runtime must not call HintEvents at all.
+	ho.hint = -1
+	if _, err := Run(counterProgram(2, 3, true), Options{
+		Observers: []Observer{&ho},
+		Strategy:  NewRandom(11),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ho.hint != -1 {
+		t.Fatalf("observer hinted %d without Options.EventsHint", ho.hint)
+	}
+}
+
 func TestAtomicSpansEmitted(t *testing.T) {
 	p := NewProgram("atomic")
 	x := p.Var("x")

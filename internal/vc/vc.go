@@ -78,6 +78,27 @@ func (v VC) Copy() VC {
 	return w
 }
 
+// CopyInto copies v into dst, reusing dst's backing array when it has
+// capacity, and returns the result (length exactly len(v)). Use as:
+// dst = src.CopyInto(dst). It is the allocation-lean replacement for
+// dst = src.Copy() on hot paths that overwrite the same buffer repeatedly
+// (per-lock and per-volatile clock snapshots).
+func (v VC) CopyInto(dst VC) VC {
+	if cap(dst) < len(v) {
+		dst = make(VC, len(v))
+	} else {
+		dst = dst[:len(v)]
+	}
+	copy(dst, v)
+	return dst
+}
+
+// JoinInto merges v into dst pointwise (dst := dst ⊔ v) and returns the
+// result, reusing dst's backing array when it has capacity. It is Join with
+// the destination spelled explicitly, for call sites that keep a long-lived
+// accumulation buffer.
+func (v VC) JoinInto(dst VC) VC { return dst.Join(v) }
+
 // Join merges u into v pointwise (v := v ⊔ u) and returns the result.
 func (v VC) Join(u VC) VC {
 	v = v.grow(len(u))

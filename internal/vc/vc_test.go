@@ -251,3 +251,45 @@ func BenchmarkEpochLeqVC(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyInto(t *testing.T) {
+	src := New(4).Set(0, 3).Set(2, 7)
+	// Into nil: allocates.
+	dst := src.CopyInto(nil)
+	if !dst.Equal(src) || len(dst) != len(src) {
+		t.Fatalf("CopyInto(nil) = %v, want %v", dst, src)
+	}
+	// Into a larger buffer: reuses storage and truncates.
+	big := New(10).Set(9, 99)
+	out := src.CopyInto(big)
+	if !out.Equal(src) || len(out) != len(src) {
+		t.Fatalf("CopyInto(big) = %v, want %v", out, src)
+	}
+	if &out[0] != &big[0] {
+		t.Fatal("CopyInto should reuse the destination's backing array")
+	}
+	// Mutating the copy must not alias the source.
+	out = out.Tick(0)
+	if src.Get(0) != 3 {
+		t.Fatal("CopyInto result aliases the source")
+	}
+	// Into a smaller-capacity buffer: reallocates correctly.
+	small := make(VC, 1)
+	out2 := src.CopyInto(small)
+	if !out2.Equal(src) {
+		t.Fatalf("CopyInto(small) = %v, want %v", out2, src)
+	}
+}
+
+func TestJoinInto(t *testing.T) {
+	acc := New(3).Set(0, 5)
+	u := New(3).Set(0, 2).Set(2, 9)
+	got := u.JoinInto(acc)
+	want := New(3).Set(0, 5).Set(2, 9)
+	if !got.Equal(want) {
+		t.Fatalf("JoinInto = %v, want %v", got, want)
+	}
+	if &got[0] != &acc[0] {
+		t.Fatal("JoinInto should reuse the destination's backing array")
+	}
+}

@@ -11,23 +11,38 @@
 // observed trace, and cooperability sits beside both with its yield-based
 // specification. Comparing the three on the same traces reproduces the
 // lineage the paper builds on.
+//
+// State layout follows the dense-checker design (DESIGN.md, "Analysis state
+// layout"): nodes are values in one slice (ids are indices), successor
+// edges live in a shared arena as per-node linked lists (the former
+// per-node map allocated on every non-transactional event), per-thread
+// open-node/depth/last-node state is TID-indexed, and the last-writer /
+// last-readers / last-release communication indexes are paged tables keyed
+// by the near-dense target ids. Violation output is byte-identical to the
+// former map-based layout.
 package velodrome
 
 import (
 	"fmt"
 
+	"repro/internal/dense"
 	"repro/internal/trace"
 )
 
-// node is one transaction instance (or a unary non-transactional event run).
+// node is one transaction instance (or a unary non-transactional event
+// run). Node ids are indices into Checker.nodes.
 type node struct {
-	id    int
 	tid   trace.TID
-	start int  // first event index
-	end   int  // last event index (-1 while open)
-	inTx  bool // true when this node is a declared atomic block
-	// succ holds edge targets (node ids).
-	succ map[int]struct{}
+	start int   // first event index
+	end   int   // last event index (-1 while open)
+	inTx  bool  // true when this node is a declared atomic block
+	edge  int32 // head of its successor list in Checker.edges; -1 = none
+}
+
+// edge is one successor-list cell in the shared edge arena.
+type edge struct {
+	to   int32
+	next int32
 }
 
 // Violation reports a non-serializable transaction: a happens-before cycle
@@ -52,76 +67,129 @@ type Options struct {
 	// MethodsAtomic treats every method span as an atomic block, matching
 	// atom.Options.MethodsAtomic for apples-to-apples comparison.
 	MethodsAtomic bool
+	// EventsHint presizes internal state for a trace of about this many
+	// events (an allocation hint, matching sched.Options.EventsHint).
+	EventsHint int
 }
 
 // Checker builds the transactional happens-before graph online and detects
 // cycles at Report time. It implements sched.Observer.
 type Checker struct {
 	opts  Options
-	nodes []*node
-	// current open node per thread.
-	current map[trace.TID]*node
-	// depth of nested atomic regions per thread.
-	depth map[trace.TID]int
-	// lastRelease maps a lock to the node that last released it.
-	lastRelease map[uint64]int
-	// lastVolWrite maps a volatile to the node that last wrote it.
-	lastVolWrite map[uint64]int
-	// lastWrite / lastReads map variables to writer node and reader nodes.
-	lastWrite map[uint64]int
-	lastReads map[uint64]map[int]struct{}
-	// endOf maps a thread to its last closed node (for fork/join edges).
-	lastNode map[trace.TID]int
-	events   int
-	blocks   int
+	nodes []node
+	edges []edge
+	// Per-thread state, indexed by TID. Node ids are stored +1 so the
+	// zero value means "none".
+	current  []int32 // open node per thread
+	depth    []int32 // nesting depth of atomic regions per thread
+	lastNode []int32 // last closed node per thread (fork/join edges)
+	// Communication indexes, storing node ids +1 (zero = none). Lock and
+	// variable ids are near-dense; runtime volatile ids (offset by 1<<32)
+	// land in the tables' overflow maps.
+	lastRelease  dense.Table[int32]
+	lastVolWrite dense.Table[int32]
+	lastWrite    dense.Table[int32]
+	// lastReads collects reader nodes per variable since the last write;
+	// cleared slices keep their storage for reuse.
+	lastReads dense.Table[[]int32]
+	events    int
+	blocks    int
 }
 
 // New returns an empty checker.
 func New(opts Options) *Checker {
-	return &Checker{
-		opts:         opts,
-		current:      make(map[trace.TID]*node),
-		depth:        make(map[trace.TID]int),
-		lastRelease:  make(map[uint64]int),
-		lastVolWrite: make(map[uint64]int),
-		lastWrite:    make(map[uint64]int),
-		lastReads:    make(map[uint64]map[int]struct{}),
-		lastNode:     make(map[trace.TID]int),
+	c := &Checker{opts: opts}
+	if hint := opts.EventsHint; hint > 0 {
+		c.HintEvents(hint)
+	}
+	return c
+}
+
+// HintEvents presizes the node and edge arenas; the virtual runtime
+// forwards sched.Options.EventsHint here before a run starts. A no-op once
+// events have been processed.
+func (c *Checker) HintEvents(n int) {
+	if n <= 0 || c.events > 0 {
+		return
+	}
+	// Every event creates at most one node and one edge; cap the presize so
+	// multi-million-event hints do not balloon resident memory.
+	size := n
+	if size > 1<<15 {
+		size = 1 << 15
+	}
+	if c.nodes == nil {
+		c.nodes = make([]node, 0, size)
+	}
+	if c.edges == nil {
+		c.edges = make([]edge, 0, size)
 	}
 }
 
-// cur returns the open node for t, creating a non-transactional unary node
-// if none is open.
-func (c *Checker) cur(t trace.TID, idx int, inTx bool) *node {
-	n := c.current[t]
-	if n == nil {
-		n = &node{id: len(c.nodes), tid: t, start: idx, end: -1, inTx: inTx, succ: map[int]struct{}{}}
-		c.nodes = append(c.nodes, n)
-		c.current[t] = n
-		// Program order: previous node of this thread precedes this one.
-		if prev, ok := c.lastNode[t]; ok {
-			c.nodes[prev].succ[n.id] = struct{}{}
-		}
+// growTID ensures the per-thread slices cover tid.
+func (c *Checker) growTID(ti int) {
+	if ti < len(c.current) {
+		return
 	}
-	return n
+	n := ti + 1
+	if n < cap(c.current) {
+		c.current = c.current[:n]
+		c.depth = c.depth[:n]
+		c.lastNode = c.lastNode[:n]
+		return
+	}
+	grow := func(s []int32) []int32 {
+		g := make([]int32, n, 2*n)
+		copy(g, s)
+		return g
+	}
+	c.current = grow(c.current)
+	c.depth = grow(c.depth)
+	c.lastNode = grow(c.lastNode)
+}
+
+// cur returns the id of the open node for t, creating a non-transactional
+// unary node if none is open.
+func (c *Checker) cur(t trace.TID, idx int, inTx bool) int32 {
+	ti := int(t)
+	c.growTID(ti)
+	if id := c.current[ti]; id != 0 {
+		return id - 1
+	}
+	id := int32(len(c.nodes))
+	c.nodes = append(c.nodes, node{tid: t, start: idx, end: -1, inTx: inTx, edge: -1})
+	c.current[ti] = id + 1
+	// Program order: previous node of this thread precedes this one.
+	if prev := c.lastNode[ti]; prev != 0 {
+		c.addEdge(prev-1, id)
+	}
+	return id
 }
 
 // closeNode ends the open node of t.
 func (c *Checker) closeNode(t trace.TID, idx int) {
-	n := c.current[t]
-	if n == nil {
+	ti := int(t)
+	c.growTID(ti)
+	id := c.current[ti]
+	if id == 0 {
 		return
 	}
-	n.end = idx
-	c.lastNode[t] = n.id
-	delete(c.current, t)
+	c.nodes[id-1].end = idx
+	c.lastNode[ti] = id
+	c.current[ti] = 0
 }
 
-// edge adds from -> to (by node id), ignoring self-edges.
-func (c *Checker) edge(from, to int) {
-	if from != to {
-		c.nodes[from].succ[to] = struct{}{}
+// addEdge adds from -> to (by node id), ignoring self-edges. Duplicate
+// edges are tolerated: Tarjan visits each edge once, so duplicates cost a
+// little memory but never extra traversal complexity — unlike the former
+// per-node successor maps, which paid an allocation per node to dedup.
+func (c *Checker) addEdge(from, to int32) {
+	if from == to {
+		return
 	}
+	n := &c.nodes[from]
+	c.edges = append(c.edges, edge{to: to, next: n.edge})
+	n.edge = int32(len(c.edges) - 1)
 }
 
 // Event processes one event in trace order.
@@ -133,16 +201,18 @@ func (c *Checker) Event(e trace.Event) {
 	exit := e.Op == trace.OpAtomicEnd || (c.opts.MethodsAtomic && e.Op == trace.OpExit)
 	switch {
 	case enter:
+		c.growTID(int(t))
 		if c.depth[t] == 0 {
 			// Close any non-transactional run and open a transaction node.
 			c.closeNode(t, e.Idx)
-			n := c.cur(t, e.Idx, true)
-			n.inTx = true
+			id := c.cur(t, e.Idx, true)
+			c.nodes[id].inTx = true
 			c.blocks++
 		}
 		c.depth[t]++
 		return
 	case exit:
+		c.growTID(int(t))
 		if c.depth[t] > 0 {
 			c.depth[t]--
 			if c.depth[t] == 0 {
@@ -152,51 +222,52 @@ func (c *Checker) Event(e trace.Event) {
 		return
 	}
 
-	n := c.cur(t, e.Idx, false)
+	id := c.cur(t, e.Idx, false)
 
 	switch e.Op {
 	case trace.OpAcquire:
-		if prev, ok := c.lastRelease[e.Target]; ok {
-			c.edge(prev, n.id)
+		if prev := *c.lastRelease.At(e.Target); prev != 0 {
+			c.addEdge(prev-1, id)
 		}
 	case trace.OpRelease, trace.OpWait:
-		c.lastRelease[e.Target] = n.id
+		*c.lastRelease.At(e.Target) = id + 1
 	case trace.OpVolWrite:
-		c.lastVolWrite[e.Target] = n.id
+		*c.lastVolWrite.At(e.Target) = id + 1
 	case trace.OpVolRead:
-		if prev, ok := c.lastVolWrite[e.Target]; ok {
-			c.edge(prev, n.id)
+		if prev := *c.lastVolWrite.At(e.Target); prev != 0 {
+			c.addEdge(prev-1, id)
 		}
 	case trace.OpFork:
 		// Edge from this node to the child's first node is created when
 		// the child's first event arrives, via lastNode bootstrapping:
 		// record ourselves as the child's predecessor.
-		child := trace.TID(e.Target)
-		c.lastNode[child] = n.id
+		child := int(trace.TID(e.Target))
+		c.growTID(child)
+		c.lastNode[child] = id + 1
 	case trace.OpJoin:
-		child := trace.TID(e.Target)
-		if prev, ok := c.lastNode[child]; ok {
-			c.edge(prev, n.id)
+		child := int(trace.TID(e.Target))
+		c.growTID(child)
+		if prev := c.lastNode[child]; prev != 0 {
+			c.addEdge(prev-1, id)
 		}
 	case trace.OpRead:
-		if w, ok := c.lastWrite[e.Target]; ok {
-			c.edge(w, n.id)
+		if w := *c.lastWrite.At(e.Target); w != 0 {
+			c.addEdge(w-1, id)
 		}
-		rs := c.lastReads[e.Target]
-		if rs == nil {
-			rs = map[int]struct{}{}
-			c.lastReads[e.Target] = rs
+		rs := c.lastReads.At(e.Target)
+		if !containsNode(*rs, id) {
+			*rs = append(*rs, id)
 		}
-		rs[n.id] = struct{}{}
 	case trace.OpWrite:
-		if w, ok := c.lastWrite[e.Target]; ok {
-			c.edge(w, n.id)
+		if w := *c.lastWrite.At(e.Target); w != 0 {
+			c.addEdge(w-1, id)
 		}
-		for r := range c.lastReads[e.Target] {
-			c.edge(r, n.id)
+		rs := c.lastReads.At(e.Target)
+		for _, r := range *rs {
+			c.addEdge(r, id)
 		}
-		delete(c.lastReads, e.Target)
-		c.lastWrite[e.Target] = n.id
+		*rs = (*rs)[:0] // clear, keeping storage
+		*c.lastWrite.At(e.Target) = id + 1
 	case trace.OpEnd:
 		c.closeNode(t, e.Idx)
 	}
@@ -204,9 +275,21 @@ func (c *Checker) Event(e trace.Event) {
 	// Outside transactions, every event is its own unary node so that
 	// non-transactional communication cannot fabricate cycles through an
 	// artificial grouping.
-	if !n.inTx {
+	if !c.nodes[id].inTx {
 		c.closeNode(t, e.Idx)
 	}
+}
+
+// containsNode reports whether id is already in the reader list; lists are
+// short (cleared on every write), so a linear scan replaces the former
+// per-variable set map.
+func containsNode(rs []int32, id int32) bool {
+	for _, r := range rs {
+		if r == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Violations finds unserializable transactions: transactional nodes lying
@@ -214,40 +297,35 @@ func (c *Checker) Event(e trace.Event) {
 // non-trivial SCC is a violation).
 func (c *Checker) Violations() []Violation {
 	// Close any still-open nodes.
-	for t := range c.current {
-		c.closeNode(t, c.events)
+	for ti := range c.current {
+		if c.current[ti] != 0 {
+			c.closeNode(trace.TID(ti), c.events)
+		}
 	}
 	n := len(c.nodes)
-	index := make([]int, n)
-	low := make([]int, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
 	onStack := make([]bool, n)
 	for i := range index {
 		index[i] = -1
 	}
-	var stack []int
-	var counter int
-	sccID := make([]int, n)
-	sccSize := map[int]int{}
-	var nextSCC int
+	var stack []int32
+	var counter int32
+	sccID := make([]int32, n)
+	var sccSize []int32
 
-	// Iterative Tarjan to survive deep graphs.
+	// Iterative Tarjan to survive deep graphs; the successor iterator walks
+	// the edge arena's linked list directly, so no adjacency slices are
+	// built.
 	type frame struct {
-		v    int
-		iter []int
-		pos  int
+		v    int32
+		iter int32 // next edge cell to visit, -1 when exhausted
 	}
-	adj := func(v int) []int {
-		out := make([]int, 0, len(c.nodes[v].succ))
-		for w := range c.nodes[v].succ {
-			out = append(out, w)
-		}
-		return out
-	}
-	for root := 0; root < n; root++ {
+	for root := int32(0); root < int32(n); root++ {
 		if index[root] != -1 {
 			continue
 		}
-		frames := []frame{{v: root, iter: adj(root)}}
+		frames := []frame{{v: root, iter: c.nodes[root].edge}}
 		index[root] = counter
 		low[root] = counter
 		counter++
@@ -255,16 +333,17 @@ func (c *Checker) Violations() []Violation {
 		onStack[root] = true
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			if f.pos < len(f.iter) {
-				w := f.iter[f.pos]
-				f.pos++
+			if f.iter != -1 {
+				cell := c.edges[f.iter]
+				w := cell.to
+				f.iter = cell.next
 				if index[w] == -1 {
 					index[w] = counter
 					low[w] = counter
 					counter++
 					stack = append(stack, w)
 					onStack[w] = true
-					frames = append(frames, frame{v: w, iter: adj(w)})
+					frames = append(frames, frame{v: w, iter: c.nodes[w].edge})
 				} else if onStack[w] {
 					if index[w] < low[f.v] {
 						low[f.v] = index[w]
@@ -281,8 +360,8 @@ func (c *Checker) Violations() []Violation {
 				}
 			}
 			if low[v] == index[v] {
-				id := nextSCC
-				nextSCC++
+				id := int32(len(sccSize))
+				sccSize = append(sccSize, 0)
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
@@ -298,14 +377,15 @@ func (c *Checker) Violations() []Violation {
 	}
 
 	var out []Violation
-	for _, nd := range c.nodes {
+	for i := range c.nodes {
+		nd := &c.nodes[i]
 		if !nd.inTx {
 			continue
 		}
-		// Self-edges cannot exist (edge() drops them), so a cycle means a
+		// Self-edges cannot exist (addEdge drops them), so a cycle means a
 		// non-trivial SCC.
-		if sccSize[sccID[nd.id]] > 1 {
-			out = append(out, Violation{Tid: nd.tid, Start: nd.start, CycleLen: sccSize[sccID[nd.id]]})
+		if sz := sccSize[sccID[i]]; sz > 1 {
+			out = append(out, Violation{Tid: nd.tid, Start: nd.start, CycleLen: int(sz)})
 		}
 	}
 	return out
@@ -320,6 +400,9 @@ func (c *Checker) Events() int { return c.events }
 // Analyze runs a fresh checker over a complete trace and returns its
 // violations.
 func Analyze(tr *trace.Trace, opts Options) []Violation {
+	if opts.EventsHint <= 0 {
+		opts.EventsHint = tr.Len()
+	}
 	c := New(opts)
 	for _, e := range tr.Events {
 		c.Event(e)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke fuzz vet fmt tables html examples clean
+.PHONY: all build test test-race test-short cover bench bench-smoke profile fuzz vet fmt tables html examples clean
 
 all: build test
 
@@ -33,6 +33,18 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
+# CPU + heap profile of a checker hot loop. Writes cpu.prof / mem.prof and
+# prints the pprof -top summaries. Override the package or benchmark:
+#   make profile PROFILE_PKG=./internal/core PROFILE_BENCH=BenchmarkCheckerEvent
+PROFILE_PKG   ?= ./internal/race
+PROFILE_BENCH ?= .
+profile:
+	$(GO) test -run='^$$' -bench='$(PROFILE_BENCH)' -benchmem \
+		-cpuprofile cpu.prof -memprofile mem.prof \
+		-o profile.test $(PROFILE_PKG)
+	$(GO) tool pprof -top -nodecount 15 profile.test cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space profile.test mem.prof
+
 fuzz:
 	$(GO) test ./internal/trace -run FuzzRead -fuzz=FuzzRead -fuzztime=30s
 
@@ -58,3 +70,4 @@ examples:
 
 clean:
 	rm -f evaluation.html test_output.txt bench_output.txt BENCH_latest.txt BENCH_latest.json
+	rm -f cpu.prof mem.prof profile.test telemetry.json

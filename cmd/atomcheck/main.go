@@ -20,18 +20,16 @@ import (
 )
 
 func main() {
-	var (
-		workload = flag.String("w", "", "workload name")
-		seeds    = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
-		threads  = flag.Int("threads", 0, "worker override")
-		size     = flag.Int("size", 0, "size override")
-		methods  = flag.Bool("methods", true, "treat every method span as an atomic block")
-	)
+	common := cli.RegisterCommon("atomcheck")
+	methods := flag.Bool("methods", true, "treat every method span as an atomic block")
 	flag.Parse()
-	if *workload == "" {
+	if common.Workload == "" {
 		fatal(fmt.Errorf("-w is required"))
 	}
-	traces, _, err := cli.Battery(*workload, *seeds, *threads, *size)
+	if err := common.Start(); err != nil {
+		fatal(err)
+	}
+	traces, _, err := common.Battery()
 	if err != nil {
 		fatal(err)
 	}
@@ -49,6 +47,9 @@ func main() {
 		}
 		azTotal += len(az.Violations())
 		veloTotal += len(velo)
+	}
+	if err := common.Close(); err != nil {
+		fatal(err)
 	}
 	switch {
 	case azTotal == 0 && veloTotal == 0:

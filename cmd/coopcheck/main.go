@@ -24,12 +24,9 @@ import (
 )
 
 func main() {
+	common := cli.RegisterCommon("coopcheck")
 	var (
-		workload  = flag.String("w", "", "workload name (see -list)")
 		traceFile = flag.String("trace", "", "analyze a recorded trace file instead of running a workload")
-		seeds     = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
-		threads   = flag.Int("threads", 0, "worker override (0 = workload default)")
-		size      = flag.Int("size", 0, "size override (0 = workload default)")
 		strict    = flag.Bool("strict", false, "stay post-commit after a violation instead of resetting")
 		online    = flag.Bool("online", false, "single-pass mover classification (default is two-pass)")
 		volYield  = flag.Bool("volatile-yield", false, "treat volatile accesses as yield points")
@@ -48,6 +45,10 @@ func main() {
 		}
 		fmt.Println("(* = planted concurrency defect)")
 		return
+	}
+
+	if err := common.Start(); err != nil {
+		fatal(err)
 	}
 
 	policy := movers.DefaultPolicy()
@@ -76,9 +77,9 @@ func main() {
 			fatal(err)
 		}
 		traces = []*trace.Trace{tr}
-	case *workload != "":
+	case common.Workload != "":
 		var err error
-		traces, _, err = cli.Battery(*workload, *seeds, *threads, *size)
+		traces, _, err = common.Battery()
 		if err != nil {
 			fatal(err)
 		}
@@ -116,6 +117,9 @@ func main() {
 		}
 		fmt.Printf("  yield-free methods: %.1f%% (%d methods)\n",
 			c.YieldFreeFraction()*100, c.MethodsSeen())
+	}
+	if err := common.Close(); err != nil {
+		fatal(err)
 	}
 	if total == 0 {
 		fmt.Println("COOPERABLE: no violations on any analyzed schedule")

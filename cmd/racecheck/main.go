@@ -19,17 +19,15 @@ import (
 )
 
 func main() {
-	var (
-		workload = flag.String("w", "", "workload name")
-		seeds    = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
-		threads  = flag.Int("threads", 0, "worker override")
-		size     = flag.Int("size", 0, "size override")
-	)
+	common := cli.RegisterCommon("racecheck")
 	flag.Parse()
-	if *workload == "" {
+	if common.Workload == "" {
 		fatal(fmt.Errorf("-w is required"))
 	}
-	traces, results, err := cli.Battery(*workload, *seeds, *threads, *size)
+	if err := common.Start(); err != nil {
+		fatal(err)
+	}
+	traces, results, err := common.Battery()
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +64,9 @@ func main() {
 	}
 	fmt.Printf("summary: fasttrack flagged %d variable(s), lockset flagged %d, %d potential deadlock cycle(s)\n",
 		len(ftVars), len(lsVars), len(potential))
+	if err := common.Close(); err != nil {
+		fatal(err)
+	}
 	if ftReports+lsReports+len(potential) > 0 {
 		os.Exit(1)
 	}

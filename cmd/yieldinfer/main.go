@@ -20,19 +20,19 @@ import (
 )
 
 func main() {
+	common := cli.RegisterCommon("yieldinfer")
 	var (
-		workload = flag.String("w", "", "workload name")
-		seeds    = flag.Int("seeds", 4, "random schedules on top of the deterministic battery")
-		threads  = flag.Int("threads", 0, "worker override")
-		size     = flag.Int("size", 0, "size override")
 		out      = flag.String("o", "", "save the inferred annotations as a yield-spec JSON file")
 		minimize = flag.Bool("minimize", false, "greedily drop redundant annotations after inference")
 	)
 	flag.Parse()
-	if *workload == "" {
+	if common.Workload == "" {
 		fatal(fmt.Errorf("-w is required"))
 	}
-	traces, _, err := cli.Battery(*workload, *seeds, *threads, *size)
+	if err := common.Start(); err != nil {
+		fatal(err)
+	}
+	traces, _, err := common.Battery()
 	if err != nil {
 		fatal(err)
 	}
@@ -44,7 +44,7 @@ func main() {
 			fmt.Printf("minimization dropped %d redundant annotation(s)\n", dropped)
 		}
 	}
-	fmt.Printf("workload %s: %d schedules analyzed, %d round(s)\n", *workload, len(traces), res.Rounds)
+	fmt.Printf("workload %s: %d schedules analyzed, %d round(s)\n", common.Workload, len(traces), res.Rounds)
 	if res.Count() == 0 {
 		fmt.Println("no yield annotations needed: all schedules already cooperable")
 	} else {
@@ -59,11 +59,14 @@ func main() {
 	fmt.Printf("methods observed: %d, yield-free: %.1f%%\n",
 		res.MethodsSeen, res.YieldFreeFraction()*100)
 	if *out != "" {
-		s := spec.New(*workload, res.Yields, traces[0].Strings)
+		s := spec.New(common.Workload, res.Yields, traces[0].Strings)
 		if err := spec.Save(*out, s); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("saved %d annotation(s) to %s\n", len(s.Yields), *out)
+	}
+	if err := common.Close(); err != nil {
+		fatal(err)
 	}
 	if !res.Converged {
 		fmt.Println("NOT CONVERGED")

@@ -6,9 +6,20 @@ package cli
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workloads"
+)
+
+// Battery telemetry shares the explorer's metric names: each battery run
+// is one schedule replay, and its instrumented events are the "states"
+// the progress reporter rates. Handles are pre-resolved per the hot-path
+// rule (DESIGN.md "Observability").
+var (
+	mBatteryRuns   = obs.Default.Counter("explore.runs")
+	mBatteryStates = obs.Default.Counter("explore.states")
+	mBatteryTimer  = obs.Default.Timer("battery")
 )
 
 // ParseStrategy builds a scheduling strategy from tool flags:
@@ -45,6 +56,8 @@ func Battery(name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Re
 	for s := 1; s <= seeds; s++ {
 		strategies = append(strategies, sched.NewRandom(int64(s)))
 	}
+	sp := mBatteryTimer.Start()
+	defer sp.Stop()
 	var traces []*trace.Trace
 	var results []*sched.Result
 	for _, strat := range strategies {
@@ -52,6 +65,8 @@ func Battery(name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Re
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s under %s: %w", name, strat.Name(), err)
 		}
+		mBatteryRuns.Inc()
+		mBatteryStates.Add(int64(res.Events))
 		traces = append(traces, res.Trace)
 		results = append(results, res)
 	}

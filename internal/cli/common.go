@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Common holds the flag values every checker CLI shares: workload/battery
+// selection (-w, -seeds, -threads, -size) and the telemetry surfaces
+// (-telemetry, -metrics-addr, -progress). It replaces the flag boilerplate
+// that was repeated across cmd/coopcheck, cmd/racecheck, cmd/atomcheck and
+// cmd/yieldinfer.
+type Common struct {
+	// Workload is the registered workload name (-w).
+	Workload string
+	// Seeds is the number of random schedules on top of the deterministic
+	// battery (-seeds).
+	Seeds int
+	// Threads overrides the workload's worker count; 0 keeps the default
+	// (-threads).
+	Threads int
+	// Size overrides the workload's problem size; 0 keeps the default
+	// (-size).
+	Size int
+	// Telemetry, when set, is the path the run-report metrics snapshot is
+	// written to on Close (-telemetry).
+	Telemetry string
+	// MetricsAddr, when set, serves live metrics JSON and pprof over HTTP
+	// for the duration of the run (-metrics-addr).
+	MetricsAddr string
+	// Progress, when positive, is the interval of the stderr progress line
+	// (-progress).
+	Progress time.Duration
+
+	tool         string
+	stopProgress func()
+	shutdownHTTP func() error
+}
+
+// RegisterCommon registers the shared flags on the default flag set and
+// returns the destination struct. Call before flag.Parse; tool names the
+// binary in telemetry metadata and diagnostics.
+func RegisterCommon(tool string) *Common {
+	c := &Common{tool: tool}
+	flag.StringVar(&c.Workload, "w", "", "workload name (see -list on coopcheck)")
+	flag.IntVar(&c.Seeds, "seeds", 4, "random schedules on top of the deterministic battery")
+	flag.IntVar(&c.Threads, "threads", 0, "worker override (0 = workload default)")
+	flag.IntVar(&c.Size, "size", 0, "size override (0 = workload default)")
+	flag.StringVar(&c.Telemetry, "telemetry", "", "write the run-report metrics snapshot to this JSON file")
+	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
+	flag.DurationVar(&c.Progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 5s)")
+	return c
+}
+
+// Start brings up the live telemetry surfaces the flags requested (the
+// -metrics-addr HTTP endpoint and the -progress reporter). Call once after
+// flag.Parse.
+func (c *Common) Start() error {
+	if c.MetricsAddr != "" {
+		addr, shutdown, err := obs.Serve(c.MetricsAddr, obs.Default)
+		if err != nil {
+			return fmt.Errorf("%s: -metrics-addr: %w", c.tool, err)
+		}
+		c.shutdownHTTP = shutdown
+		fmt.Fprintf(os.Stderr, "%s: metrics at http://%s/metrics, pprof at http://%s/debug/pprof/\n",
+			c.tool, addr, addr)
+	}
+	if c.Progress > 0 {
+		c.stopProgress = obs.StartProgress(os.Stderr, c.Progress, obs.Default)
+	}
+	return nil
+}
+
+// Battery runs the standard schedule battery for the Common selection.
+func (c *Common) Battery() ([]*trace.Trace, []*sched.Result, error) {
+	return Battery(c.Workload, c.Seeds, c.Threads, c.Size)
+}
+
+// Close stops the live surfaces and writes the -telemetry run report. Call
+// it on every exit path (it is idempotent), including before os.Exit.
+func (c *Common) Close() error {
+	if c.stopProgress != nil {
+		c.stopProgress()
+		c.stopProgress = nil
+	}
+	if c.shutdownHTTP != nil {
+		c.shutdownHTTP() //nolint:errcheck // best-effort teardown
+		c.shutdownHTTP = nil
+	}
+	if c.Telemetry != "" {
+		s := obs.Default.Snapshot()
+		s.Meta = map[string]string{"tool": c.tool}
+		if c.Workload != "" {
+			s.Meta["workload"] = c.Workload
+		}
+		path := c.Telemetry
+		c.Telemetry = ""
+		if err := s.WriteFile(path); err != nil {
+			return fmt.Errorf("%s: -telemetry: %w", c.tool, err)
+		}
+	}
+	return nil
+}

@@ -142,6 +142,15 @@ type Checker struct {
 
 	stats   Stats
 	current int // current event index (from Event.Idx)
+
+	// Telemetry, counted in plain fields (a checker is single-goroutine
+	// per run) and flushed to the obs registry by FlushMetrics: commits
+	// counts PreCommit→PostCommit transitions (the automaton's slow path;
+	// both-mover events that keep the phase are the fast path).
+	commits       int
+	flushedEvents int
+	flushedTx     int
+	flushedVios   int
 }
 
 type vioKey struct {
@@ -258,6 +267,7 @@ func (c *Checker) Event(e trace.Event) {
 		}
 	case movers.Left:
 		if s.phase == PreCommit {
+			c.commits++
 			s.phase = PostCommit
 			s.commit = e
 			s.commitMover = m
@@ -267,6 +277,7 @@ func (c *Checker) Event(e trace.Event) {
 		if s.phase == PostCommit {
 			c.report(s, e, m)
 		} else {
+			c.commits++
 			s.phase = PostCommit
 			s.commit = e
 			s.commitMover = m
@@ -365,6 +376,7 @@ func Analyze(tr *trace.Trace, opts Options) *Checker {
 	for _, e := range tr.Events {
 		c.Event(e)
 	}
+	c.FlushMetrics()
 	return c
 }
 

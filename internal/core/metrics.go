@@ -1,0 +1,34 @@
+package core
+
+import "repro/internal/obs"
+
+// Pre-resolved handles on the obs.Default registry; the per-event hot path
+// counts into plain Checker fields and FlushMetrics publishes the totals
+// once per analysis (DESIGN.md "Observability").
+var (
+	mCheckerEvents = obs.Default.Counter("checker.events")
+	mEvents        = obs.Default.Counter("checker.core.events")
+	mTransactions  = obs.Default.Counter("checker.core.transactions")
+	mCommits       = obs.Default.Counter("checker.core.commits")
+	mViolations    = obs.Default.Counter("checker.core.violations")
+	mDedup         = obs.Default.Gauge("checker.core.dedup.occupancy")
+	mMaxTxLen      = obs.Default.Gauge("checker.core.max_tx_len")
+)
+
+// FlushMetrics publishes the checker's telemetry to the obs registry and
+// zeroes the flushed counts, so calling it again only adds the delta.
+// Analyze/AnalyzeTwoPass call it automatically; online users (the checker
+// as a live sched.Observer) may call it at the end of a run.
+func (c *Checker) FlushMetrics() {
+	mCheckerEvents.Add(int64(c.stats.Events - c.flushedEvents))
+	mEvents.Add(int64(c.stats.Events - c.flushedEvents))
+	mTransactions.Add(int64(c.stats.Transactions - c.flushedTx))
+	mCommits.Add(int64(c.commits))
+	mViolations.Add(int64(len(c.violations) + c.dropped - c.flushedVios))
+	mDedup.SetMax(int64(c.seen.Len()))
+	mMaxTxLen.SetMax(int64(c.stats.MaxTxLen))
+	c.flushedEvents = c.stats.Events
+	c.flushedTx = c.stats.Transactions
+	c.flushedVios = len(c.violations) + c.dropped
+	c.commits = 0
+}

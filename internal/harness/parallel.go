@@ -4,7 +4,20 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/workloads"
+)
+
+// Pre-resolved pool telemetry handles (DESIGN.md "Observability"). The
+// pool has no queue — helpers that find it exhausted compute inline — so
+// "queue depth" telemetry is the busy-worker gauge plus the split between
+// spawned and inline tasks, which together give worker utilization.
+var (
+	mPoolSpawned = obs.Default.Counter("pool.tasks.spawned")
+	mPoolInline  = obs.Default.Counter("pool.tasks.inline")
+	mPoolBusy    = obs.Default.Gauge("pool.busy")
+	mPoolBusyHWM = obs.Default.Gauge("pool.busy.hwm")
+	mPoolCap     = obs.Default.Gauge("pool.capacity")
 )
 
 // workPool is the experiment-wide concurrency budget behind Config.Parallel.
@@ -30,6 +43,7 @@ func newWorkPool(n int) *workPool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	mPoolCap.SetMax(int64(n - 1))
 	return &workPool{sem: make(chan struct{}, n-1)}
 }
 
@@ -37,13 +51,20 @@ func newWorkPool(n int) *workPool {
 func (p *workPool) tryAcquire() bool {
 	select {
 	case p.sem <- struct{}{}:
+		mPoolSpawned.Inc()
+		mPoolBusy.Add(1)
+		mPoolBusyHWM.SetMax(mPoolBusy.Load())
 		return true
 	default:
+		mPoolInline.Inc()
 		return false
 	}
 }
 
-func (p *workPool) release() { <-p.sem }
+func (p *workPool) release() {
+	mPoolBusy.Add(-1)
+	<-p.sem
+}
 
 // mapIdx runs fn(0..n-1) with the pool's parallelism and returns results in
 // index order; fn calls must be independent of each other. Indices that

@@ -124,11 +124,26 @@ func (h *heldLocks) drop(lock uint64) {
 }
 
 // Checker is a streaming Eraser analysis; it implements sched.Observer.
+//
+// The int32 counters keep the struct inside its 96-byte allocation class
+// (the size the pre-telemetry checker had) — growing past it measurably
+// slows the per-event benchmarks. A single checker is therefore bounded
+// to ~2 billion events, far beyond any trace the suite produces.
 type Checker struct {
 	vars     dense.Table[varState]
 	held     []heldLocks // indexed by TID
 	warnings []Warning
-	events   int
+	events   int32
+
+	// Telemetry, counted in plain fields (a checker is single-goroutine
+	// per run) and flushed to the obs registry by FlushMetrics. The access
+	// count is derived at flush time as events-nonAccess, so the dominant
+	// read/write path carries no added work at all: nonAccess counts the
+	// other ops (lock bookkeeping, boundaries), refines counts candidate-set
+	// intersections (the slow path), and fastpath = accesses - refines.
+	nonAccess     int32
+	refines       int32
+	flushedEvents int32
 }
 
 // New returns an empty lockset checker.
@@ -172,15 +187,20 @@ func (c *Checker) Event(e trace.Event) {
 	c.events++
 	switch e.Op {
 	case trace.OpAcquire:
+		c.nonAccess++
 		c.locksOf(e.Tid).add(e.Target, 1)
 	case trace.OpRelease:
+		c.nonAccess++
 		c.locksOf(e.Tid).add(e.Target, -1)
 	case trace.OpWait:
 		// Wait releases the guarding lock entirely; the reacquisition
 		// arrives as a separate acquire event.
+		c.nonAccess++
 		c.locksOf(e.Tid).drop(e.Target)
 	case trace.OpRead, trace.OpWrite:
 		c.access(e)
+	default:
+		c.nonAccess++
 	}
 }
 
@@ -215,6 +235,7 @@ func (c *Checker) access(e trace.Event) {
 	if s.state == SharedModified && len(s.set) == 0 && !s.reported {
 		s.reported = true
 		c.warnings = append(c.warnings, Warning{Var: e.Target, Event: e})
+		mWarnings.Inc() // cold: at most once per variable
 	}
 }
 
@@ -234,6 +255,7 @@ func (c *Checker) snapshotHeld(s *varState, t trace.TID) {
 
 // refine intersects s.set with the locks held at e, in place.
 func (c *Checker) refine(s *varState, e trace.Event) {
+	c.refines++
 	held := c.locksOf(e.Tid)
 	out := s.set[:0]
 	for _, l := range s.set {
@@ -258,7 +280,7 @@ func (c *Checker) WarnedVars() []uint64 {
 }
 
 // Events returns the number of events processed.
-func (c *Checker) Events() int { return c.events }
+func (c *Checker) Events() int { return int(c.events) }
 
 // Analyze runs a fresh checker over a complete trace.
 func Analyze(tr *trace.Trace) *Checker {
@@ -266,5 +288,6 @@ func Analyze(tr *trace.Trace) *Checker {
 	for _, e := range tr.Events {
 		c.Event(e)
 	}
+	c.FlushMetrics()
 	return c
 }

@@ -1,0 +1,33 @@
+package lockset
+
+import "repro/internal/obs"
+
+// Pre-resolved handles on the obs.Default registry; the per-event hot path
+// counts into plain Checker fields and FlushMetrics publishes the totals
+// once per analysis (DESIGN.md "Observability"). Warnings are the one
+// exception: they are published directly where they are appended (at most
+// once per variable), which keeps the Checker small enough to stay in its
+// allocation class.
+var (
+	mCheckerEvents = obs.Default.Counter("checker.events")
+	mEvents        = obs.Default.Counter("checker.lockset.events")
+	mFastPath      = obs.Default.Counter("checker.lockset.fastpath")
+	mRefines       = obs.Default.Counter("checker.lockset.refines")
+	mWarnings      = obs.Default.Counter("checker.lockset.warnings")
+)
+
+// FlushMetrics publishes the checker's telemetry to the obs registry and
+// zeroes the flushed counts, so calling it again only adds the delta.
+// Analyze calls it automatically.
+func (c *Checker) FlushMetrics() {
+	delta := c.events - c.flushedEvents
+	mCheckerEvents.Add(int64(delta))
+	mEvents.Add(int64(delta))
+	accesses := delta - c.nonAccess
+	if fast := accesses - c.refines; fast > 0 {
+		mFastPath.Add(int64(fast))
+	}
+	mRefines.Add(int64(c.refines))
+	c.flushedEvents = c.events
+	c.nonAccess, c.refines = 0, 0
+}

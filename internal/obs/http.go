@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication of the Default
+// registry (expvar.Publish panics on duplicate names).
+var expvarOnce sync.Once
+
+// Serve starts the live metrics endpoint for long explorations on addr
+// (the CLI tools' -metrics-addr flag) and returns the bound address (useful
+// with ":0") and a shutdown function.
+//
+// Layout:
+//
+//	/metrics        registry snapshot as key-sorted JSON
+//	/debug/vars     expvar JSON (includes the registry under "obs")
+//	/debug/pprof/   the standard net/http/pprof profile handlers
+func Serve(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	if r == Default {
+		expvarOnce.Do(func() {
+			expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := r.Snapshot().Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Close below reports ErrServerClosed
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress metric names the reporter reads. They are the explorer/battery
+// counters wired up in internal/sched and internal/cli; tools that update
+// them get a meaningful progress line for free.
+const (
+	ProgressStates   = "explore.states"
+	ProgressRuns     = "explore.runs"
+	ProgressFrontier = "explore.frontier.hwm"
+	ProgressMaxRuns  = "explore.max_runs"
+)
+
+// StartProgress emits a one-line progress report to w every interval (the
+// CLI tools' -progress flag): states/sec over the last interval, run count,
+// frontier high-water mark, and — when the run bound is known via the
+// explore.max_runs gauge — an ETA extrapolated from the average run rate.
+// The returned stop function ends the reporter and waits for it to exit.
+func StartProgress(w io.Writer, interval time.Duration, r *Registry) (stop func()) {
+	states := r.Counter(ProgressStates)
+	runs := r.Counter(ProgressRuns)
+	frontier := r.Gauge(ProgressFrontier)
+	maxRuns := r.Gauge(ProgressMaxRuns)
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		start := time.Now()
+		last := states.Load()
+		lastAt := start
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				cur := states.Load()
+				rate := float64(cur-last) / now.Sub(lastAt).Seconds()
+				last, lastAt = cur, now
+				line := fmt.Sprintf("progress: %s states (%s/s), %d runs, frontier hwm %d",
+					humanCount(cur), humanCount(int64(rate)), runs.Load(), frontier.Load())
+				if total, n := maxRuns.Load(), runs.Load(); total > 0 && n > 0 && n < total {
+					remain := time.Duration(float64(now.Sub(start)) / float64(n) * float64(total-n))
+					line += fmt.Sprintf(", eta %s", remain.Round(time.Second))
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// humanCount renders n with a k/M/G suffix for progress lines.
+func humanCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

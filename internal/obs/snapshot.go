@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// HistogramSnapshot is one histogram's state at snapshot time. Counts has
+// one entry per registered bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry — the structured run
+// report behind the CLI tools' -telemetry flag. Encoding is deterministic:
+// encoding/json marshals map keys in sorted order, and every value is a
+// plain integer, so two identical registry states produce identical bytes.
+type Snapshot struct {
+	// Meta carries run identity (tool name, workload, ...) set by the
+	// caller; it is not metric data.
+	Meta       map[string]string            `json:"meta,omitempty"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Values are read with the
+// same atomics updates use, so a snapshot taken while workers run is a
+// consistent-enough progress report; a snapshot taken after they finish is
+// exact.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Encode renders the snapshot as indented, key-sorted JSON with a trailing
+// newline.
+func (s *Snapshot) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the encoded snapshot to path.
+func (s *Snapshot) WriteFile(path string) error {
+	b, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// Timer measures named phases: each Stop adds one completion and the
+// elapsed nanoseconds to a pair of counters, so timers appear in snapshots
+// as `<name>.count` and `<name>.ns` with no extra encoding machinery.
+type Timer struct {
+	count *Counter
+	ns    *Counter
+}
+
+// Timer returns the named phase timer, creating its backing counters on
+// first use.
+func (r *Registry) Timer(name string) *Timer {
+	return &Timer{count: r.Counter(name + ".count"), ns: r.Counter(name + ".ns")}
+}
+
+// Span is one in-flight phase measurement.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start begins a span; callers hand the returned Span to Stop (typically
+// via defer) when the phase completes.
+func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
+
+// Stop records the span and returns its duration.
+func (s Span) Stop() time.Duration {
+	d := time.Since(s.start)
+	s.t.count.Inc()
+	s.t.ns.Add(int64(d))
+	return d
+}

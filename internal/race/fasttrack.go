@@ -118,6 +118,18 @@ type Detector struct {
 	lastRaced bool
 	events    int
 
+	// Telemetry, counted in plain fields (a detector is single-goroutine
+	// per run) and flushed to the obs registry by FlushMetrics: accesses is
+	// the read+write event count, fastHits the same-epoch fast-path exits,
+	// carved the cumulative clock slots taken from arenas.
+	accesses int
+	fastHits int
+	carved   int
+	// flushedEvents/flushedRaces remember what FlushMetrics already
+	// published so repeated flushes only add deltas.
+	flushedEvents int
+	flushedRaces  int
+
 	// arena is carved into thread clocks, read vectors, and sync snapshot
 	// buffers so a whole analysis costs O(1) clock allocations instead of
 	// O(threads + releases).
@@ -176,6 +188,7 @@ func (d *Detector) carve(n int) vc.VC {
 	}
 	off := len(d.arena)
 	d.arena = d.arena[:off+region]
+	d.carved += region
 	return vc.VC(d.arena[off : off+n : off+region])
 }
 
@@ -262,8 +275,10 @@ func (d *Detector) Event(e trace.Event) {
 			d.clock(t)
 		}
 	case trace.OpRead:
+		d.accesses++
 		d.read(e)
 	case trace.OpWrite:
+		d.accesses++
 		d.write(e)
 	}
 }
@@ -278,6 +293,7 @@ func (d *Detector) read(e trace.Event) {
 	if !s.shared && s.r == ep {
 		// Same-epoch read; nothing to do, not even a write check (already
 		// performed at the first read of this epoch).
+		d.fastHits++
 		return
 	}
 	if !s.w.LeqVC(c) {
@@ -312,6 +328,7 @@ func (d *Detector) write(e trace.Event) {
 		// write by the same thread with no intervening release needs no
 		// checks (they were performed at the first write of this epoch, and
 		// exclusive state rules out unchecked concurrent reads).
+		d.fastHits++
 		return
 	}
 	if !s.w.LeqVC(c) {
@@ -379,6 +396,7 @@ func Analyze(tr *trace.Trace) *Detector {
 	for _, e := range tr.Events {
 		d.Event(e)
 	}
+	d.FlushMetrics()
 	return d
 }
 

@@ -1,0 +1,34 @@
+package race
+
+import "repro/internal/obs"
+
+// Pre-resolved handles on the obs.Default registry. Per-event hot paths
+// never touch these — they count into plain Detector fields — and
+// FlushMetrics publishes the totals once per analysis (DESIGN.md
+// "Observability").
+var (
+	mCheckerEvents = obs.Default.Counter("checker.events")
+	mEvents        = obs.Default.Counter("checker.race.events")
+	mFastPath      = obs.Default.Counter("checker.race.fastpath")
+	mSlowPath      = obs.Default.Counter("checker.race.slowpath")
+	mRaces         = obs.Default.Counter("checker.race.races")
+	mDedup         = obs.Default.Gauge("checker.race.dedup.occupancy")
+	mArenaBytes    = obs.Default.Counter("checker.race.arena_bytes")
+)
+
+// FlushMetrics publishes the detector's telemetry to the obs registry and
+// zeroes the flushed counts, so calling it again only adds the delta.
+// Analyze calls it automatically; online users (the mover classifier's
+// embedded detector) may call it at the end of a run.
+func (d *Detector) FlushMetrics() {
+	mCheckerEvents.Add(int64(d.events - d.flushedEvents))
+	mEvents.Add(int64(d.events - d.flushedEvents))
+	mFastPath.Add(int64(d.fastHits))
+	mSlowPath.Add(int64(d.accesses - d.fastHits))
+	mRaces.Add(int64(len(d.races) - d.flushedRaces))
+	mDedup.SetMax(int64(d.seen.Len()))
+	mArenaBytes.Add(int64(d.carved) * 4) // vc.Clock is 4 bytes
+	d.flushedEvents = d.events
+	d.flushedRaces = len(d.races)
+	d.accesses, d.fastHits, d.carved = 0, 0, 0
+}

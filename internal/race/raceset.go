@@ -59,6 +59,9 @@ func (s *raceSet) Add(r Race) bool {
 	return true
 }
 
+// Len returns the number of distinct keys added.
+func (s *raceSet) Len() int { return s.n }
+
 func (s *raceSet) grow() {
 	old := s.entries
 	size := 16

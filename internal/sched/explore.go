@@ -56,6 +56,7 @@ func Explore(p *Program, opts ExploreOptions) (int, error) {
 	if maxRuns <= 0 {
 		maxRuns = 10000
 	}
+	mExploreMaxRuns.Set(int64(maxRuns))
 	// Each stack entry is a forced decision prefix.
 	stack := [][]trace.TID{nil}
 	runs := 0
@@ -70,6 +71,11 @@ func Explore(p *Program, opts ExploreOptions) (int, error) {
 		}
 		res, err := Run(p, ro)
 		runs++
+		mExploreRuns.Inc()
+		mExploreReplays.Inc()
+		if res != nil {
+			mExploreStates.Add(int64(res.Events))
+		}
 		if !opts.Visit(res, err) {
 			return runs, nil
 		}
@@ -77,6 +83,7 @@ func Explore(p *Program, opts ExploreOptions) (int, error) {
 		expandPrefixes(g.Points, len(prefix), opts.MaxPreemptions, func(np []trace.TID) {
 			stack = append(stack, np)
 		})
+		mExploreFrontier.SetMax(int64(len(stack)))
 	}
 	return runs, nil
 }

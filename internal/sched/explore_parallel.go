@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -55,7 +56,9 @@ func newExFrontier() *exFrontier {
 func (f *exFrontier) push(t *exTask) {
 	f.mu.Lock()
 	f.stack = append(f.stack, t)
+	depth := len(f.stack)
 	f.mu.Unlock()
+	mExploreFrontier.SetMax(int64(depth))
 	f.cond.Signal()
 }
 
@@ -105,6 +108,7 @@ func replayTask(p *Program, opts *ExploreOptions, t *exTask) {
 	}
 	t.res, t.err = Run(p, ro)
 	t.points = g.Points
+	mExploreReplays.Inc()
 	close(t.done)
 }
 
@@ -114,6 +118,7 @@ func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
 	if maxRuns <= 0 {
 		maxRuns = 10000
 	}
+	mExploreMaxRuns.Set(int64(maxRuns))
 	frontier := newExFrontier()
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Parallel-1; w++ {
@@ -121,11 +126,16 @@ func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				idle := time.Now()
 				t := frontier.take()
+				mWorkerIdleNs.Add(int64(time.Since(idle)))
 				if t == nil {
 					return
 				}
+				busy := time.Now()
 				replayTask(p, &opts, t)
+				mWorkerBusyNs.Add(int64(time.Since(busy)))
+				mExploreSteals.Inc()
 			}
 		}()
 	}
@@ -155,6 +165,10 @@ func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
 			<-t.done
 		}
 		runs++
+		mExploreRuns.Inc()
+		if t.res != nil {
+			mExploreStates.Add(int64(t.res.Events))
+		}
 		if !opts.Visit(t.res, t.err) {
 			return runs, nil
 		}

@@ -1,0 +1,39 @@
+package sched
+
+import "repro/internal/obs"
+
+// Pre-resolved metric handles on the obs.Default registry (the hot-path
+// rule from DESIGN.md "Observability": updates are plain atomic adds on
+// package-level handles, never name lookups). Explorer metrics are updated
+// per replayed schedule; runtime metrics are counted in plain Runtime
+// fields during a run and flushed here once when the run ends.
+var (
+	mExploreRuns     = obs.Default.Counter("explore.runs")
+	mExploreStates   = obs.Default.Counter("explore.states")
+	mExploreReplays  = obs.Default.Counter("explore.replays")
+	mExploreSteals   = obs.Default.Counter("explore.steals")
+	mExploreFrontier = obs.Default.Gauge("explore.frontier.hwm")
+	mExploreMaxRuns  = obs.Default.Gauge("explore.max_runs")
+	mWorkerBusyNs    = obs.Default.Counter("explore.worker.busy_ns")
+	mWorkerIdleNs    = obs.Default.Counter("explore.worker.idle_ns")
+
+	mRunRuns        = obs.Default.Counter("runtime.runs")
+	mRunEvents      = obs.Default.Counter("runtime.events")
+	mRunYields      = obs.Default.Counter("runtime.yields")
+	mRunSwitches    = obs.Default.Counter("runtime.switches")
+	mRunPreemptions = obs.Default.Counter("runtime.preemptions")
+	mRunThreadsHWM  = obs.Default.Gauge("runtime.threads.hwm")
+	mRunEventsHist  = obs.Default.Histogram("runtime.run_events", obs.PowersOf(64, 4, 9))
+)
+
+// flushMetrics publishes one finished run's counters; called exactly once
+// per Run, so concurrent explorations aggregate correctly via the atomics.
+func (rt *Runtime) flushMetrics() {
+	mRunRuns.Inc()
+	mRunEvents.Add(int64(rt.events))
+	mRunYields.Add(int64(rt.yields))
+	mRunSwitches.Add(int64(rt.switches))
+	mRunPreemptions.Add(int64(rt.preemptions))
+	mRunThreadsHWM.SetMax(int64(len(rt.threads)))
+	mRunEventsHist.Observe(int64(rt.events))
+}

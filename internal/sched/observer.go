@@ -15,6 +15,10 @@ type CountObserver struct {
 	Total int
 	// PerOp counts events by operation kind.
 	PerOp [32]int
+	// Other counts events whose op is outside PerOp's range (future or
+	// corrupted op kinds); previously these were silently dropped from the
+	// per-op breakdown, so Total and the sum of PerOp disagreed.
+	Other int
 }
 
 // Event implements Observer.
@@ -22,5 +26,7 @@ func (c *CountObserver) Event(e trace.Event) {
 	c.Total++
 	if int(e.Op) < len(c.PerOp) {
 		c.PerOp[e.Op]++
+	} else {
+		c.Other++
 	}
 }

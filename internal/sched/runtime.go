@@ -207,6 +207,12 @@ type Runtime struct {
 	events    int
 	maxEvents int
 
+	// Scheduling telemetry, counted in plain fields (one virtual thread
+	// runs at a time) and flushed to the obs registry when the run ends.
+	yields      int // OpYield events
+	switches    int // context switches (scheduler picked a different thread)
+	preemptions int // switches away from a still-runnable thread
+
 	locs locCache
 }
 
@@ -267,6 +273,7 @@ func Run(p *Program, opts Options) (*Result, error) {
 
 	rt.spawn("main", p.main)
 	err := rt.loop()
+	rt.flushMetrics()
 
 	res := &Result{
 		Trace:          rt.tr,
@@ -333,6 +340,12 @@ func (rt *Runtime) loop() error {
 				ErrReplayDiverged, rt.strat.Name(), next, runnable)
 			rt.killAll()
 			return rt.err
+		}
+		if next != rt.current {
+			rt.switches++
+			if rt.current >= 0 && containsTID(runnable, rt.current) {
+				rt.preemptions++
+			}
 		}
 		rt.current = next
 		t := rt.threads[next]
@@ -529,6 +542,9 @@ func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) 
 	}
 	e := trace.Event{Idx: rt.events, Tid: t.id, Op: op, Target: target, Loc: loc}
 	rt.events++
+	if op == trace.OpYield {
+		rt.yields++
+	}
 	if rt.events > rt.maxEvents {
 		if rt.err == nil {
 			rt.err = fmt.Errorf("sched: event budget exceeded (%d events); livelock?", rt.maxEvents)

@@ -94,6 +94,12 @@ type Checker struct {
 	lastReads dense.Table[[]int32]
 	events    int
 	blocks    int
+
+	// Flush high-water marks: what FlushMetrics already published, so
+	// repeated flushes only add deltas. Behind a pointer (allocated by the
+	// first flush) to keep the Checker in its 288-byte allocation class —
+	// inlining the four ints measurably slows the per-event benchmarks.
+	flushed *flushedCounts
 }
 
 // New returns an empty checker.
@@ -407,5 +413,7 @@ func Analyze(tr *trace.Trace, opts Options) []Violation {
 	for _, e := range tr.Events {
 		c.Event(e)
 	}
-	return c.Violations()
+	out := c.Violations()
+	c.FlushMetrics(len(out))
+	return out
 }

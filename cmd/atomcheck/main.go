@@ -52,6 +52,9 @@ func main() {
 		fatal(err)
 	}
 	switch {
+	case azTotal == 0 && veloTotal == 0 && common.Partial():
+		fmt.Printf("PARTIAL (%s): both checkers clean on the %d schedule(s) analyzed before cutoff\n",
+			common.Status(), len(traces))
 	case azTotal == 0 && veloTotal == 0:
 		fmt.Println("ATOMIC: both checkers clean on all analyzed schedules")
 	case veloTotal == 0:

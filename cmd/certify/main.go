@@ -5,22 +5,51 @@
 // reduction) to hunt for a violating schedule quickly instead of proving
 // their absence.
 //
+// Exploration runs under the shared budget flags (-timeout, -max-states,
+// -mem-budget) and SIGINT: a cutoff still prints the partial verdict with
+// the status explaining why, but a truncated space is never CERTIFIED.
+//
 // Usage:
 //
 //	certify -w philo -size 1 -preemptions 2
 //	certify -w bank-buggy -size 2 -dpor
+//	certify -w sor -timeout 30s -json
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/movers"
 	"repro/internal/sched"
 	"repro/internal/workloads"
 )
+
+// summary is the -json report: everything the human-readable output says,
+// machine-readable, with the budget status made explicit.
+type summary struct {
+	Workload    string `json:"workload"`
+	Mode        string `json:"mode"`
+	Threads     int    `json:"threads"`
+	Size        int    `json:"size"`
+	Bound       int    `json:"bound"`
+	Status      string `json:"status"`
+	Runs        int    `json:"runs"`
+	States      int64  `json:"states"`
+	Abandoned   int    `json:"abandoned"`
+	Panics      int    `json:"panics"`
+	Violations  int    `json:"violations"`
+	Deadlocks   int    `json:"deadlocks"`
+	Certified   bool   `json:"certified"`
+	FirstReport string `json:"first_report,omitempty"`
+}
 
 func main() {
 	var (
@@ -31,7 +60,12 @@ func main() {
 		maxRuns     = flag.Int("maxruns", 20000, "schedule cap")
 		dpor        = flag.Bool("dpor", false, "conflict-directed exploration (bug hunting) instead of exhaustive")
 		parallel    = flag.Int("parallel", 1, "replay workers for exhaustive mode (output is identical at any value; ignored with -dpor)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget; on expiry report partial results with status \"deadline\" (0 = none)")
+		maxStates   = flag.Int64("max-states", 0, "stop after this many instrumented events across all schedules (0 = unlimited)")
+		jsonOut     = flag.Bool("json", false, "print the summary as JSON instead of prose")
 	)
+	var memBudget cli.ByteSize
+	flag.Var(&memBudget, "mem-budget", "heap budget (e.g. 512MiB); stop with status \"budget-exhausted\" when exceeded (0 = unlimited)")
 	flag.Parse()
 	if *workload == "" {
 		fatal(fmt.Errorf("-w is required"))
@@ -40,6 +74,12 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown workload %q; available: %v", *workload, workloads.Names()))
 	}
+
+	// SIGINT cancels the exploration cooperatively; the partial verdict
+	// below still prints. A second SIGINT kills the process (the default
+	// disposition is restored once the context fires, per NotifyContext).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	explore := sched.Explore
 	mode := "exhaustive"
@@ -50,14 +90,25 @@ func main() {
 	violations := 0
 	deadlocks := 0
 	firstReport := ""
-	runs, err := explore(spec.New(*threads, *size), sched.ExploreOptions{
+	rep, err := explore(spec.New(*threads, *size), sched.ExploreOptions{
 		MaxRuns:        *maxRuns,
 		MaxPreemptions: *preemptions,
 		RecordTrace:    true,
 		Parallel:       *parallel,
+		Budget: sched.Budget{
+			Ctx:       ctx,
+			Timeout:   *timeout,
+			MaxStates: *maxStates,
+			MemBudget: int64(memBudget),
+		},
 		Visit: func(res *sched.Result, runErr error) bool {
 			if runErr != nil {
-				deadlocks++
+				// Crashed replays are tallied by rep.Panics; everything else
+				// that aborts a run in the virtual runtime is a deadlock.
+				var pe *sched.ExploreError
+				if !errors.As(runErr, &pe) {
+					deadlocks++
+				}
 				if firstReport == "" {
 					firstReport = runErr.Error()
 				}
@@ -77,18 +128,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s exploration of %s (threads=%d size=%d bound=%d): %d schedules\n",
-		mode, *workload, *threads, *size, *preemptions, runs)
-	exhausted := runs < *maxRuns
+	// A certificate means the search covered the whole bounded space: it
+	// finished (no budget/deadline/panic cutoff), no prefix was abandoned,
+	// nothing crashed, and the mode was actually exhaustive.
+	certified := violations == 0 && deadlocks == 0 && rep.Panics == 0 &&
+		rep.Status == sched.StatusComplete && rep.Abandoned == 0 && rep.Runs < *maxRuns && !*dpor
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary{
+			Workload: *workload, Mode: mode, Threads: *threads, Size: *size,
+			Bound: *preemptions, Status: string(rep.Status), Runs: rep.Runs,
+			States: rep.States, Abandoned: rep.Abandoned, Panics: rep.Panics,
+			Violations: violations, Deadlocks: deadlocks,
+			Certified: certified, FirstReport: firstReport,
+		}); err != nil {
+			fatal(err)
+		}
+		if violations > 0 || deadlocks > 0 || rep.Panics > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s exploration of %s (threads=%d size=%d bound=%d): %d schedules, %d states\n",
+		mode, *workload, *threads, *size, *preemptions, rep.Runs, rep.States)
+	if rep.Status != sched.StatusComplete {
+		fmt.Printf("cutoff (%s): %d prefix(es) abandoned unexplored\n", rep.Status, rep.Abandoned)
+	}
+	if rep.Panics > 0 {
+		fmt.Printf("%d schedule(s) crashed during replay (reported as findings, not certificates)\n", rep.Panics)
+	}
 	switch {
-	case violations == 0 && deadlocks == 0 && exhausted && !*dpor:
-		fmt.Println("CERTIFIED: cooperable and deadlock-free over the entire bounded schedule space")
-	case violations == 0 && deadlocks == 0:
-		fmt.Println("no violations found (not a certificate: space truncated or dpor mode)")
-	default:
-		fmt.Printf("FAILED: %d violating schedule(s), %d deadlocking schedule(s)\n", violations, deadlocks)
-		fmt.Println("first report:", firstReport)
+	case violations > 0 || deadlocks > 0 || rep.Panics > 0:
+		fmt.Printf("FAILED: %d violating schedule(s), %d deadlocking schedule(s), %d crashing schedule(s)\n",
+			violations, deadlocks, rep.Panics)
+		if firstReport != "" {
+			fmt.Println("first report:", firstReport)
+		}
 		os.Exit(1)
+	case certified:
+		fmt.Println("CERTIFIED: cooperable and deadlock-free over the entire bounded schedule space")
+	default:
+		fmt.Println("no violations found (not a certificate: space truncated or dpor mode)")
 	}
 }
 

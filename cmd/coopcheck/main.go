@@ -121,12 +121,17 @@ func main() {
 	if err := common.Close(); err != nil {
 		fatal(err)
 	}
-	if total == 0 {
+	switch {
+	case total > 0:
+		// Violations found are violations found, cutoff or not.
+		fmt.Printf("NOT COOPERABLE: %d violation report(s)\n", total)
+		os.Exit(1)
+	case common.Partial():
+		fmt.Printf("PARTIAL (%s): no violations in the %d schedule(s) analyzed before cutoff\n",
+			common.Status(), len(traces))
+	default:
 		fmt.Println("COOPERABLE: no violations on any analyzed schedule")
-		return
 	}
-	fmt.Printf("NOT COOPERABLE: %d violation report(s)\n", total)
-	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -36,6 +36,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(traces) == 0 {
+		common.Close() //nolint:errcheck
+		fmt.Printf("PARTIAL (%s): cutoff before any schedule completed; nothing to infer from\n", common.Status())
+		return
+	}
+	if common.Partial() {
+		fmt.Printf("PARTIAL (%s): inferring from the %d schedule(s) completed before cutoff\n",
+			common.Status(), len(traces))
+	}
 	res := yield.Infer(traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
 	if *minimize && res.Converged {
 		before := res.Count()

@@ -70,7 +70,7 @@ func main() {
 	// 2. DPOR exploration finds a schedule that actually deadlocks.
 	fmt.Println("\n== conflict-directed exploration ==")
 	var diagnosis string
-	runs, err := sched.ExploreDPOR(build(false), sched.ExploreOptions{
+	rep, err := sched.ExploreDPOR(build(false), sched.ExploreOptions{
 		MaxRuns:        1000,
 		MaxPreemptions: 2,
 		Visit: func(res *sched.Result, runErr error) bool {
@@ -85,9 +85,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if diagnosis == "" {
-		fmt.Printf("   no deadlock in %d runs — unexpected!\n", runs)
+		fmt.Printf("   no deadlock in %d runs — unexpected!\n", rep.Runs)
 	} else {
-		fmt.Printf("   deadlock manifested after %d schedules:\n", runs)
+		fmt.Printf("   deadlock manifested after %d schedules:\n", rep.Runs)
 		for _, line := range strings.Split(diagnosis, ";") {
 			fmt.Println("    ", strings.TrimSpace(line))
 		}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/obs"
@@ -17,9 +18,12 @@ import (
 // the progress reporter rates. Handles are pre-resolved per the hot-path
 // rule (DESIGN.md "Observability").
 var (
-	mBatteryRuns   = obs.Default.Counter("explore.runs")
-	mBatteryStates = obs.Default.Counter("explore.states")
-	mBatteryTimer  = obs.Default.Timer("battery")
+	mBatteryRuns      = obs.Default.Counter("explore.runs")
+	mBatteryStates    = obs.Default.Counter("explore.states")
+	mBatteryCancelled = obs.Default.Counter("explore.cancelled")
+	mBatteryDeadline  = obs.Default.Counter("explore.deadline")
+	mBatteryBudget    = obs.Default.Counter("explore.budget.exhausted")
+	mBatteryTimer     = obs.Default.Timer("battery")
 )
 
 // ParseStrategy builds a scheduling strategy from tool flags:
@@ -44,9 +48,19 @@ func ParseStrategy(name string, seed int64, quantum int) (sched.Strategy, error)
 // (cooperative, round-robin 1 and 5, `seeds` random schedules) and returns
 // the recorded traces with their run results.
 func Battery(name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Result, error) {
+	traces, results, _, err := BatteryBudget(sched.Budget{}, name, seeds, threads, size)
+	return traces, results, err
+}
+
+// BatteryBudget is Battery under a sched.Budget: the loop checks the
+// budget between runs, each run carries the budget's context so even a
+// single long execution is interruptible, and a cutoff returns the
+// completed prefix of the battery with the status explaining why — an
+// explicit partial result instead of an error or a silent truncation.
+func BatteryBudget(bud sched.Budget, name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Result, sched.Status, error) {
 	spec, ok := workloads.Get(name)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown workload %q; available: %v", name, workloads.Names())
+		return nil, nil, sched.StatusComplete, fmt.Errorf("unknown workload %q; available: %v", name, workloads.Names())
 	}
 	strategies := []sched.Strategy{
 		sched.Cooperative{},
@@ -56,19 +70,45 @@ func Battery(name string, seeds, threads, size int) ([]*trace.Trace, []*sched.Re
 	for s := 1; s <= seeds; s++ {
 		strategies = append(strategies, sched.NewRandom(int64(s)))
 	}
+	tr := sched.StartBudget(bud)
+	defer tr.Stop()
 	sp := mBatteryTimer.Start()
 	defer sp.Stop()
+	status := sched.StatusComplete
 	var traces []*trace.Trace
 	var results []*sched.Result
 	for _, strat := range strategies {
-		res, err := sched.Run(spec.New(threads, size), sched.Options{Strategy: strat, RecordTrace: true})
+		if st := tr.Cutoff(); st != "" {
+			status = st
+			break
+		}
+		res, err := sched.Run(spec.New(threads, size), sched.Options{
+			Strategy:    strat,
+			RecordTrace: true,
+			Ctx:         tr.RunContext(),
+		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s under %s: %w", name, strat.Name(), err)
+			if errors.Is(err, sched.ErrCancelled) {
+				// The run itself was interrupted mid-flight; its partial
+				// trace is a cutoff artifact, not a result.
+				status = tr.CancelStatus()
+				break
+			}
+			return nil, nil, status, fmt.Errorf("%s under %s: %w", name, strat.Name(), err)
 		}
 		mBatteryRuns.Inc()
 		mBatteryStates.Add(int64(res.Events))
+		tr.AddStates(int64(res.Events))
 		traces = append(traces, res.Trace)
 		results = append(results, res)
 	}
-	return traces, results, nil
+	switch status {
+	case sched.StatusCancelled:
+		mBatteryCancelled.Inc()
+	case sched.StatusDeadline:
+		mBatteryDeadline.Inc()
+	case sched.StatusBudget:
+		mBatteryBudget.Inc()
+	}
+	return traces, results, status, nil
 }

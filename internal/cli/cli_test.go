@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -58,5 +61,82 @@ func TestBatteryUnknownWorkload(t *testing.T) {
 	_, _, err := Battery("nope", 1, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"1048576", 1 << 20, false},
+		{"0", 0, false},
+		{"512MiB", 512 << 20, false},
+		{"512mib", 512 << 20, false},
+		{"2GB", 2_000_000_000, false},
+		{"2GiB", 2 << 30, false},
+		{"1kb", 1000, false},
+		{"64k", 64 << 10, false},
+		{"1.5MiB", 3 << 19, false},
+		{" 8 KiB ", 8 << 10, false},
+		{"12B", 12, false},
+		{"", 0, true},
+		{"MiB", 0, true},
+		{"-1", 0, true},
+		{"lots", 0, true},
+	}
+	for _, c := range cases {
+		var b ByteSize
+		err := b.Set(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Set(%q) accepted invalid input as %d", c.in, int64(b))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Set(%q): %v", c.in, err)
+			continue
+		}
+		if int64(b) != c.want {
+			t.Errorf("Set(%q) = %d, want %d", c.in, int64(b), c.want)
+		}
+	}
+}
+
+// TestBatteryBudgetCancelled: a pre-cancelled context yields an empty
+// battery with the cancelled status and no error.
+func TestBatteryBudgetCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	traces, results, status, err := BatteryBudget(sched.Budget{Ctx: ctx}, "philo", 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 || len(results) != 0 {
+		t.Fatalf("cancelled battery returned %d traces", len(traces))
+	}
+	if status != sched.StatusCancelled {
+		t.Fatalf("status = %s, want %s", status, sched.StatusCancelled)
+	}
+}
+
+// TestBatteryBudgetMaxStates: a one-state budget admits exactly the first
+// run (the budget is checked between runs) and reports the cutoff.
+func TestBatteryBudgetMaxStates(t *testing.T) {
+	traces, results, status, err := BatteryBudget(sched.Budget{MaxStates: 1}, "philo", 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || len(results) != 1 {
+		t.Fatalf("budgeted battery returned %d traces, want 1", len(traces))
+	}
+	if status != sched.StatusBudget {
+		t.Fatalf("status = %s, want %s", status, sched.StatusBudget)
+	}
+	// The one completed run is the battery's deterministic first strategy.
+	if traces[0].Meta.Strategy != "cooperative" {
+		t.Fatalf("first strategy = %q", traces[0].Meta.Strategy)
 	}
 }

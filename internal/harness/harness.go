@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -34,6 +35,11 @@ type Config struct {
 	// 1 forces fully sequential execution. The timing experiments
 	// (Table 4 / Figure 1, Figure 2) hard-set 1 — see sequentialTiming.
 	Parallel int
+	// Ctx, when non-nil, cancels the experiment's remaining fan-out
+	// cooperatively: the shared pool stops handing out new tasks once it
+	// fires (in-flight tasks run to completion), and the first skipped
+	// index reports the context error.
+	Ctx context.Context
 
 	// pool is the shared worker budget; created once per experiment entry
 	// point (ensurePool) and propagated by value-copying the Config into
@@ -52,6 +58,7 @@ func (c Config) seeds() int {
 func (c *Config) ensurePool() {
 	if c.pool == nil {
 		c.pool = newWorkPool(c.Parallel)
+		c.pool.ctx = c.Ctx
 	}
 }
 
@@ -68,6 +75,7 @@ func (c Config) sequentialTiming() Config {
 	timingSequentialized.Add(1)
 	c.Parallel = 1
 	c.pool = newWorkPool(1)
+	c.pool.ctx = c.Ctx
 	return c
 }
 

@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/obs"
@@ -34,16 +37,22 @@ var (
 // Parallel across all levels combined.
 type workPool struct {
 	sem chan struct{}
+	// ctx, when non-nil, cancels remaining fan-out: mapIdx stops starting
+	// new tasks once it fires (in-flight tasks run to completion).
+	ctx context.Context
 }
 
 // newWorkPool sizes the budget: n <= 0 means GOMAXPROCS; 1 means fully
 // sequential (no extra workers, every helper runs inline, deterministic
-// goroutine structure).
+// goroutine structure). The capacity gauge is a plain Set, not SetMax:
+// it reports the current pool, and a later, smaller pool in the same
+// process must not inherit a stale larger reading (pool.busy.hwm is the
+// only max-semantics pool gauge).
 func newWorkPool(n int) *workPool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	mPoolCap.SetMax(int64(n - 1))
+	mPoolCap.Set(int64(n - 1))
 	return &workPool{sem: make(chan struct{}, n-1)}
 }
 
@@ -71,20 +80,39 @@ func (p *workPool) release() {
 // cannot get an extra worker run inline on the caller's goroutine. The
 // first error by index wins — the same error the sequential loop would
 // have returned — and is reported after all in-flight calls drain.
+//
+// Faults are isolated: a panicking task (spawned or inline) is recovered
+// into that index's error instead of crashing the process or leaking the
+// WaitGroup, and once the pool's context is cancelled no further tasks
+// start (the skipped indices report the context error).
 func mapIdx[T any](pl *workPool, n int, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero T
+				out[i] = zero
+				errs[i] = fmt.Errorf("harness: panic in task %d: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		out[i], errs[i] = fn(i)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if pl.ctx != nil && pl.ctx.Err() != nil {
+			errs[i] = fmt.Errorf("harness: task %d not started: %w", i, pl.ctx.Err())
+			continue
+		}
 		if pl.tryAcquire() {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer pl.release()
-				out[i], errs[i] = fn(i)
+				call(i)
 			}(i)
 		} else {
-			out[i], errs[i] = fn(i)
+			call(i)
 		}
 	}
 	wg.Wait()

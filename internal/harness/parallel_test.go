@@ -1,8 +1,14 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestFig3ParallelDeterminism: the nested (workloads × seeds) fan-out must
@@ -109,5 +115,66 @@ func TestMapIdxOrderAndErrors(t *testing.T) {
 	})
 	if err == nil || err.Error() != "fail 7" {
 		t.Fatalf("err = %v, want first error by index (fail 7)", err)
+	}
+}
+
+// TestWorkPoolCapacityGauge: the capacity gauge tracks the *current* pool.
+// It used to be SetMax, so a narrow pool created after a wide one kept
+// advertising the stale wide capacity for the rest of the process.
+func TestWorkPoolCapacityGauge(t *testing.T) {
+	g := obs.Default.Gauge("pool.capacity")
+	newWorkPool(8)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("capacity after pool of 8 = %d, want 7", got)
+	}
+	newWorkPool(3)
+	if got := g.Load(); got != 2 {
+		t.Fatalf("capacity after pool of 3 = %d, want 2 (stale wide reading?)", got)
+	}
+}
+
+// TestMapIdxPanicIsolation: a panicking task — spawned or inline — becomes
+// that index's error instead of crashing the process, and the other tasks
+// still complete.
+func TestMapIdxPanicIsolation(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		pl := newWorkPool(width)
+		var completed atomic.Int32
+		_, err := mapIdx(pl, 20, func(i int) (int, error) {
+			if i == 2 {
+				panic("task exploded")
+			}
+			completed.Add(1)
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panic in task 2") ||
+			!strings.Contains(err.Error(), "task exploded") {
+			t.Fatalf("width %d: err = %v, want recovered panic for task 2", width, err)
+		}
+		if completed.Load() != 19 {
+			t.Fatalf("width %d: %d tasks completed, want 19", width, completed.Load())
+		}
+	}
+}
+
+// TestMapIdxContextCancel: once the pool's context fires, no further tasks
+// start and the skipped indices report the context error.
+func TestMapIdxContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pl := newWorkPool(1) // sequential: deterministic start order
+	pl.ctx = ctx
+	var started atomic.Int32
+	_, err := mapIdx(pl, 10, func(i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != 4 {
+		t.Fatalf("%d tasks started after cancel at index 3, want 4", got)
 	}
 }

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // expvarOnce guards the one-time expvar publication of the Default
@@ -49,6 +51,17 @@ func Serve(addr string, r *Registry) (bound string, shutdown func() error, err e
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Close below reports ErrServerClosed
-	return ln.Addr().String(), srv.Close, nil
+	go srv.Serve(ln) //nolint:errcheck // Shutdown below reports ErrServerClosed
+	// Graceful teardown: let in-flight /metrics and pprof responses finish
+	// (a profile download aborted mid-body is worthless) but bound the
+	// wait, falling back to a hard Close if a client stalls past it.
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

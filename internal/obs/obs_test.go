@@ -179,6 +179,28 @@ func TestServe(t *testing.T) {
 	}
 }
 
+// TestServeGracefulShutdown: shutdown drains cleanly (no error on the
+// graceful path) and the listener actually stops serving afterwards.
+func TestServeGracefulShutdown(t *testing.T) {
+	r := NewRegistry()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after shutdown")
+	}
+}
+
 func TestProgressLine(t *testing.T) {
 	r := NewRegistry()
 	r.Counter(ProgressStates).Add(50_000)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/trace"
@@ -27,31 +28,52 @@ func conflictsDPOR(a, b trace.Event) bool {
 // programs it is meant for (the tests cross-check the outcome sets).
 //
 // MaxPreemptions is interpreted as in Explore; fork/join/blocking-induced
-// switches are free.
-func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
+// switches are free. Budgets, cancellation, and panic isolation behave as
+// in Explore: the returned report says how far the reduced search got and
+// why it stopped, and a crashing replay is visited as an *ExploreError.
+func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	if opts.Visit == nil {
-		return 0, fmt.Errorf("sched: ExploreOptions.Visit is required")
+		return nil, fmt.Errorf("sched: ExploreOptions.Visit is required")
 	}
+	opts.RecordTrace = true // the conflict analysis below needs the trace
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = 10000
 	}
+	bud := StartBudget(opts.Budget)
+	defer bud.Stop()
+	rep := &ExploreReport{Status: StatusComplete}
 	stack := [][]trace.TID{nil}
 	seen := map[string]bool{"": true}
-	runs := 0
-	for len(stack) > 0 && runs < maxRuns {
+	for len(stack) > 0 {
+		if st := bud.Cutoff(); st != "" {
+			rep.Status = st
+			break
+		}
+		if rep.Runs >= maxRuns {
+			rep.Status = StatusBudget
+			break
+		}
 		prefix := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		g := &Guided{Prefix: prefix}
-		ro := Options{Strategy: g, RecordTrace: true}
-		if opts.Observers != nil {
-			ro.Observers = opts.Observers()
+		res, points, err := replayPrefix(p, &opts, bud.RunContext(), prefix)
+		if errors.Is(err, ErrCancelled) {
+			rep.Status = bud.CancelStatus()
+			rep.Abandoned++
+			break
 		}
-		res, err := Run(p, ro)
-		runs++
+		rep.Runs++
+		if res != nil {
+			rep.States += int64(res.Events)
+			bud.AddStates(int64(res.Events))
+		}
+		if _, ok := err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
+			rep.Panics++
+		}
 		if !opts.Visit(res, err) {
-			return runs, nil
+			rep.Abandoned += len(stack)
+			return finishReport(rep), nil
 		}
 		if res == nil || res.Trace == nil {
 			continue
@@ -64,14 +86,14 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 		for i := range decisionOf {
 			decisionOf[i] = -1
 		}
-		for pi, pt := range g.Points {
+		for pi, pt := range points {
 			if pt.EventIdx < len(decisionOf) {
 				decisionOf[pt.EventIdx] = pi
 			}
 		}
 		// Running preemption counts, shared by every flip considered below
 		// (recounting per pair was quadratic in trace depth).
-		pre := preemptionPrefix(g.Points)
+		pre := preemptionPrefix(points)
 
 		// For each event j, consider the latest earlier conflicting events
 		// of each other thread: reversing such a pair is the only
@@ -96,7 +118,7 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 				if dp < 0 || dp < len(prefix) {
 					continue // decision frozen by the current prefix
 				}
-				pt := g.Points[dp]
+				pt := points[dp]
 				if !containsTID(pt.Runnable, ej.Tid) || ej.Tid == pt.Chosen {
 					continue
 				}
@@ -111,7 +133,7 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 				}
 				np := make([]trace.TID, dp+1)
 				for k := 0; k < dp; k++ {
-					np[k] = g.Points[k].Chosen
+					np[k] = points[k].Chosen
 				}
 				np[dp] = ej.Tid
 				key := prefixKey(np)
@@ -122,7 +144,8 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (int, error) {
 			}
 		}
 	}
-	return runs, nil
+	rep.Abandoned += len(stack)
+	return finishReport(rep), nil
 }
 
 func prefixKey(p []trace.TID) string {

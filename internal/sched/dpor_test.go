@@ -7,10 +7,10 @@ import (
 
 // outcomeSet collects the distinct final shared-state vectors an explorer
 // reaches.
-func outcomeSet(t *testing.T, explore func(*Program, ExploreOptions) (int, error), build func() *Program, bound int) (map[string]bool, int) {
+func outcomeSet(t *testing.T, explore func(*Program, ExploreOptions) (*ExploreReport, error), build func() *Program, bound int) (map[string]bool, int) {
 	t.Helper()
 	outcomes := map[string]bool{}
-	runs, err := explore(build(), ExploreOptions{
+	rep, err := explore(build(), ExploreOptions{
 		MaxRuns:        5000,
 		MaxPreemptions: bound,
 		Visit: func(res *Result, err error) bool {
@@ -24,7 +24,10 @@ func outcomeSet(t *testing.T, explore func(*Program, ExploreOptions) (int, error
 	if err != nil {
 		t.Fatal(err)
 	}
-	return outcomes, runs
+	if rep.Status != StatusComplete {
+		t.Fatalf("exploration cut off: %s", rep.Status)
+	}
+	return outcomes, rep.Runs
 }
 
 // twoWriters: final value of x depends on write order.
@@ -138,7 +141,7 @@ func TestDPORRequiresVisit(t *testing.T) {
 }
 
 func TestDPORVisitCanStop(t *testing.T) {
-	runs, err := ExploreDPOR(twoWriters(), ExploreOptions{
+	rep, err := ExploreDPOR(twoWriters(), ExploreOptions{
 		MaxRuns:        100,
 		MaxPreemptions: 2,
 		Visit:          func(*Result, error) bool { return false },
@@ -146,8 +149,11 @@ func TestDPORVisitCanStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 1 {
-		t.Fatalf("runs = %d", runs)
+	if rep.Runs != 1 {
+		t.Fatalf("runs = %d", rep.Runs)
+	}
+	if rep.Status != StatusComplete {
+		t.Fatalf("Visit-stop should report complete, got %s", rep.Status)
 	}
 }
 

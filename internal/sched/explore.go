@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/trace"
 )
@@ -10,6 +13,10 @@ import (
 type ExploreOptions struct {
 	// MaxRuns caps the number of schedules executed; 0 means 10000.
 	MaxRuns int
+	// Budget bounds the search's wall clock, cancellation, state count,
+	// and memory (see Budget). Hitting any bound ends the search with a
+	// partial — but still deterministic — ExploreReport.
+	Budget Budget
 	// MaxPreemptions bounds non-forced context switches per schedule
 	// (choosing a thread other than the runnable current one); 0 means
 	// explore only forced switches (blocking points), matching the
@@ -37,17 +44,19 @@ type ExploreOptions struct {
 
 // Explore systematically enumerates schedules of p using depth-first search
 // over scheduling decision points with a preemption bound (iterative
-// context bounding, Musuvathi & Qadeer). It returns the number of runs
-// executed. Program-level errors (deadlocks on some schedule, panics) are
-// passed to Visit rather than aborting the search; infrastructure errors
-// abort.
+// context bounding, Musuvathi & Qadeer). It returns a report of how far
+// the search got and why it stopped. Program-level errors (deadlocks on
+// some schedule, panics during a replay) are passed to Visit rather than
+// aborting the search; infrastructure errors abort.
 //
 // With opts.Parallel > 1 the replays are fanned out across a work-sharing
-// worker pool (see explore_parallel.go); the visit sequence and run count
-// are identical to the sequential search.
-func Explore(p *Program, opts ExploreOptions) (int, error) {
+// worker pool (see explore_parallel.go); the visit sequence, run count,
+// and report are identical to the sequential search. When a budget or
+// cancellation cuts the search off, the visited sequence is still exactly
+// a prefix of the sequential search's, and no goroutine outlives the call.
+func Explore(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	if opts.Visit == nil {
-		return 0, fmt.Errorf("sched: ExploreOptions.Visit is required")
+		return nil, fmt.Errorf("sched: ExploreOptions.Visit is required")
 	}
 	if opts.Parallel > 1 {
 		return exploreParallel(p, opts)
@@ -57,35 +66,82 @@ func Explore(p *Program, opts ExploreOptions) (int, error) {
 		maxRuns = 10000
 	}
 	mExploreMaxRuns.Set(int64(maxRuns))
+	bud := StartBudget(opts.Budget)
+	defer bud.Stop()
+	rep := &ExploreReport{Status: StatusComplete}
 	// Each stack entry is a forced decision prefix.
 	stack := [][]trace.TID{nil}
-	runs := 0
-	for len(stack) > 0 && runs < maxRuns {
+	for len(stack) > 0 {
+		if st := bud.Cutoff(); st != "" {
+			rep.Status = st
+			break
+		}
+		if rep.Runs >= maxRuns {
+			rep.Status = StatusBudget
+			break
+		}
 		prefix := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		g := &Guided{Prefix: prefix}
-		ro := Options{Strategy: g, RecordTrace: opts.RecordTrace}
-		if opts.Observers != nil {
-			ro.Observers = opts.Observers()
-		}
-		res, err := Run(p, ro)
-		runs++
-		mExploreRuns.Inc()
+		res, points, err := replayPrefix(p, &opts, bud.RunContext(), prefix)
 		mExploreReplays.Inc()
+		if errors.Is(err, ErrCancelled) {
+			// Interrupted mid-run by the deadline or a cancellation: the
+			// partial run is an artifact of the cutoff, not a finding.
+			rep.Status = bud.CancelStatus()
+			rep.Abandoned++
+			break
+		}
+		rep.Runs++
+		mExploreRuns.Inc()
 		if res != nil {
+			rep.States += int64(res.Events)
+			bud.AddStates(int64(res.Events))
 			mExploreStates.Add(int64(res.Events))
 		}
+		if _, ok := err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
+			rep.Panics++
+		}
 		if !opts.Visit(res, err) {
-			return runs, nil
+			rep.Abandoned += len(stack)
+			return finishReport(rep), nil
 		}
 
-		expandPrefixes(g.Points, len(prefix), opts.MaxPreemptions, func(np []trace.TID) {
+		expandPrefixes(points, len(prefix), opts.MaxPreemptions, func(np []trace.TID) {
 			stack = append(stack, np)
 		})
 		mExploreFrontier.SetMax(int64(len(stack)))
 	}
-	return runs, nil
+	rep.Abandoned += len(stack)
+	return finishReport(rep), nil
+}
+
+// replayPrefix executes one guided run with panic isolation: a panic
+// anywhere in the replay — the observer factory, the strategy, the
+// scheduler loop, or (via the runtime's own recover) a virtual thread —
+// becomes an *ExploreError, so a crashing schedule is a deterministic
+// finding instead of a process abort. ctx, when non-nil, aborts the run
+// cooperatively with an error wrapping ErrCancelled.
+func replayPrefix(p *Program, opts *ExploreOptions, ctx context.Context, prefix []trace.TID) (res *Result, points []ChoicePoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, points = nil, nil
+			err = &ExploreError{Prefix: prefix, Panic: r, Stack: debug.Stack()}
+			mExplorePanics.Inc()
+		}
+	}()
+	g := &Guided{Prefix: prefix}
+	ro := Options{Strategy: g, RecordTrace: opts.RecordTrace, Ctx: ctx}
+	if opts.Observers != nil {
+		ro.Observers = opts.Observers()
+	}
+	res, err = Run(p, ro)
+	var tp *threadPanic
+	if errors.As(err, &tp) {
+		err = &ExploreError{Prefix: prefix, Panic: tp.val, Stack: tp.stack}
+		mExplorePanics.Inc()
+	}
+	return res, g.Points, err
 }
 
 // expandPrefixes pushes the alternative forced-decision prefixes branching

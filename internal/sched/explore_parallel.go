@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -99,26 +101,33 @@ func (f *exFrontier) close() {
 	f.cond.Broadcast()
 }
 
-// replayTask executes one guided run and publishes the outcome.
-func replayTask(p *Program, opts *ExploreOptions, t *exTask) {
-	g := &Guided{Prefix: t.prefix}
-	ro := Options{Strategy: g, RecordTrace: opts.RecordTrace}
-	if opts.Observers != nil {
-		ro.Observers = opts.Observers()
-	}
-	t.res, t.err = Run(p, ro)
-	t.points = g.Points
+// replayTask executes one guided run and publishes the outcome. The done
+// channel is closed unconditionally — and replayPrefix recovers panics
+// anywhere in the replay — so a crashing schedule can never leave the
+// driver blocked on t.done.
+func replayTask(p *Program, opts *ExploreOptions, ctx context.Context, t *exTask) {
+	defer close(t.done)
+	t.res, t.points, t.err = replayPrefix(p, opts, ctx, t.prefix)
 	mExploreReplays.Inc()
-	close(t.done)
 }
 
 // exploreParallel is Explore's work-sharing engine for opts.Parallel > 1.
-func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
+//
+// Budgets and cancellation are checked only on the driver, immediately
+// before it claims or merges the next task — never on workers — so the
+// cutoff lands between two visits and the visited sequence stays exactly
+// the sequential prefix. On cutoff the deferred close/wait drains the
+// pool: idle workers wake from take() and exit, and in-flight replays
+// either finish or (when a cancellation context is set) abort at their
+// next per-1024-event check.
+func exploreParallel(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	maxRuns := opts.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = 10000
 	}
 	mExploreMaxRuns.Set(int64(maxRuns))
+	bud := StartBudget(opts.Budget)
+	defer bud.Stop()
 	frontier := newExFrontier()
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Parallel-1; w++ {
@@ -133,7 +142,7 @@ func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
 					return
 				}
 				busy := time.Now()
-				replayTask(p, &opts, t)
+				replayTask(p, &opts, bud.RunContext(), t)
 				mWorkerBusyNs.Add(int64(time.Since(busy)))
 				mExploreSteals.Inc()
 			}
@@ -155,26 +164,46 @@ func exploreParallel(p *Program, opts ExploreOptions) (int, error) {
 	// stack mirrors the sequential DFS stack; frontier holds the subset of
 	// it not yet claimed by a worker, in the same order.
 	stack := []*exTask{newTask(nil)}
-	runs := 0
-	for len(stack) > 0 && runs < maxRuns {
+	rep := &ExploreReport{Status: StatusComplete}
+	for len(stack) > 0 {
+		if st := bud.Cutoff(); st != "" {
+			rep.Status = st
+			break
+		}
+		if rep.Runs >= maxRuns {
+			rep.Status = StatusBudget
+			break
+		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if frontier.claim(t) {
-			replayTask(p, &opts, t)
+			replayTask(p, &opts, bud.RunContext(), t)
 		} else {
 			<-t.done
 		}
-		runs++
+		if errors.Is(t.err, ErrCancelled) {
+			rep.Status = bud.CancelStatus()
+			rep.Abandoned++
+			break
+		}
+		rep.Runs++
 		mExploreRuns.Inc()
 		if t.res != nil {
+			rep.States += int64(t.res.Events)
+			bud.AddStates(int64(t.res.Events))
 			mExploreStates.Add(int64(t.res.Events))
 		}
+		if _, ok := t.err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
+			rep.Panics++
+		}
 		if !opts.Visit(t.res, t.err) {
-			return runs, nil
+			rep.Abandoned += len(stack)
+			return finishReport(rep), nil
 		}
 		expandPrefixes(t.points, len(t.prefix), opts.MaxPreemptions, func(np []trace.TID) {
 			stack = append(stack, newTask(np))
 		})
 	}
-	return runs, nil
+	rep.Abandoned += len(stack)
+	return finishReport(rep), nil
 }

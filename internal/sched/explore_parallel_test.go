@@ -24,11 +24,11 @@ func visitLog(t *testing.T, build func() *Program, opts ExploreOptions) ([]strin
 		}
 		return true
 	}
-	runs, err := Explore(build(), opts)
+	rep, err := Explore(build(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return log, runs
+	return log, rep.Runs
 }
 
 // TestExploreParallelBitIdentical asserts the tentpole property: the visit
@@ -73,7 +73,7 @@ func TestExploreParallelBitIdentical(t *testing.T) {
 func TestExploreParallelEarlyStop(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		visits := 0
-		runs, err := Explore(incrementers(), ExploreOptions{
+		rep, err := Explore(incrementers(), ExploreOptions{
 			MaxRuns:        4000,
 			MaxPreemptions: 2,
 			Parallel:       workers,
@@ -85,8 +85,8 @@ func TestExploreParallelEarlyStop(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if runs != 3 || visits != 3 {
-			t.Fatalf("parallel=%d: runs=%d visits=%d, want 3", workers, runs, visits)
+		if rep.Runs != 3 || visits != 3 {
+			t.Fatalf("parallel=%d: runs=%d visits=%d, want 3", workers, rep.Runs, visits)
 		}
 	}
 }
@@ -113,7 +113,7 @@ func TestExploreParallelMaxRuns(t *testing.T) {
 // visited run (speculative extras are allowed, missing instances are not).
 func TestExploreParallelObserverFactory(t *testing.T) {
 	var calls atomic.Int32
-	runs, err := Explore(twoWriters(), ExploreOptions{
+	rep, err := Explore(twoWriters(), ExploreOptions{
 		MaxRuns:        100,
 		MaxPreemptions: 1,
 		Parallel:       4,
@@ -126,8 +126,8 @@ func TestExploreParallelObserverFactory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int(calls.Load()) < runs {
-		t.Fatalf("observer factory called %d times for %d runs", calls.Load(), runs)
+	if int(calls.Load()) < rep.Runs {
+		t.Fatalf("observer factory called %d times for %d runs", calls.Load(), rep.Runs)
 	}
 }
 
@@ -162,7 +162,7 @@ func TestPreemptionPrefixMatchesNaive(t *testing.T) {
 // fix the per-run expansion was quadratic in depth and this blows up.
 func TestExploreDeepDecisionTree(t *testing.T) {
 	start := time.Now()
-	runs, err := Explore(counterProgram(2, 200, true), ExploreOptions{
+	rep, err := Explore(counterProgram(2, 200, true), ExploreOptions{
 		MaxRuns:        40,
 		MaxPreemptions: 1,
 		Visit:          func(res *Result, err error) bool { return err == nil },
@@ -170,8 +170,8 @@ func TestExploreDeepDecisionTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 40 {
-		t.Fatalf("runs = %d, want 40", runs)
+	if rep.Runs != 40 {
+		t.Fatalf("runs = %d, want 40", rep.Runs)
 	}
 	if d := time.Since(start); d > 30*time.Second {
 		t.Fatalf("deep exploration took %v; expansion likely superlinear again", d)

@@ -17,6 +17,18 @@ var (
 	mWorkerBusyNs    = obs.Default.Counter("explore.worker.busy_ns")
 	mWorkerIdleNs    = obs.Default.Counter("explore.worker.idle_ns")
 
+	// Fault-tolerance telemetry (DESIGN.md "Fault tolerance & budgets"):
+	// cutoff causes are counted once per exploration, panics once per
+	// crashing replay, and the configured budgets plus the abandoned
+	// frontier are published so a partial run report is self-describing.
+	mExploreCancelled    = obs.Default.Counter("explore.cancelled")
+	mExploreDeadline     = obs.Default.Counter("explore.deadline")
+	mExplorePanics       = obs.Default.Counter("explore.panics")
+	mExploreBudgetHit    = obs.Default.Counter("explore.budget.exhausted")
+	mExploreBudgetStates = obs.Default.Gauge("explore.budget.states")
+	mExploreBudgetMem    = obs.Default.Gauge("explore.budget.mem_bytes")
+	mExploreAbandoned    = obs.Default.Gauge("explore.abandoned")
+
 	mRunRuns        = obs.Default.Counter("runtime.runs")
 	mRunEvents      = obs.Default.Counter("runtime.events")
 	mRunYields      = obs.Default.Counter("runtime.yields")

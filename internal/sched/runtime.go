@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 
@@ -30,6 +32,11 @@ type Options struct {
 	// DisableLocations skips source-location capture (faster; used by the
 	// overhead experiments' baseline configurations).
 	DisableLocations bool
+	// Ctx, when non-nil, cancels the run cooperatively: the runtime checks
+	// it every 1024 events and aborts with an error wrapping ErrCancelled,
+	// unwinding every virtual thread so no goroutine leaks. nil (the
+	// default) keeps the per-event hot path free of context checks.
+	Ctx context.Context
 }
 
 // Observer consumes instrumented events as they are produced.
@@ -472,7 +479,10 @@ func (rt *Runtime) threadBody(t *thread) {
 	defer func() {
 		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
 			if rt.err == nil {
-				rt.err = fmt.Errorf("sched: panic in T%d (%s): %v", t.id, t.name, r)
+				// Structured so the explorer can rewrap it (with the
+				// schedule prefix) into an *ExploreError finding; the
+				// stack is captured here, where the panic frames live.
+				rt.err = &threadPanic{tid: t.id, name: t.name, val: r, stack: debug.Stack()}
 			}
 		}
 		t.state = stateDone
@@ -550,6 +560,14 @@ func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) 
 			rt.err = fmt.Errorf("sched: event budget exceeded (%d events); livelock?", rt.maxEvents)
 		}
 		panic(errKilled)
+	}
+	if rt.opts.Ctx != nil && rt.events&1023 == 0 {
+		if cerr := rt.opts.Ctx.Err(); cerr != nil {
+			if rt.err == nil {
+				rt.err = fmt.Errorf("%w after %d events: %v", ErrCancelled, rt.events, cerr)
+			}
+			panic(errKilled)
+		}
 	}
 	rt.schedule = append(rt.schedule, t.id)
 	if rt.tr != nil {

@@ -557,7 +557,7 @@ func TestExploreFindsRacyOutcome(t *testing.T) {
 		return p
 	}
 	outcomes := map[int64]bool{}
-	runs, err := Explore(build(), ExploreOptions{
+	rep, err := Explore(build(), ExploreOptions{
 		MaxRuns:        200,
 		MaxPreemptions: 2,
 		Visit: func(res *Result, err error) bool {
@@ -571,8 +571,8 @@ func TestExploreFindsRacyOutcome(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs < 2 {
-		t.Fatalf("explored %d runs, expected several", runs)
+	if rep.Runs < 2 {
+		t.Fatalf("explored %d runs, expected several", rep.Runs)
 	}
 	if !outcomes[1] || !outcomes[2] {
 		t.Fatalf("outcomes = %v, want both 1 and 2", outcomes)
@@ -580,7 +580,7 @@ func TestExploreFindsRacyOutcome(t *testing.T) {
 }
 
 func TestExploreVisitCanStop(t *testing.T) {
-	runs, err := Explore(counterProgram(2, 1, true), ExploreOptions{
+	rep, err := Explore(counterProgram(2, 1, true), ExploreOptions{
 		MaxRuns:        100,
 		MaxPreemptions: 1,
 		Visit:          func(*Result, error) bool { return false },
@@ -588,8 +588,8 @@ func TestExploreVisitCanStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs != 1 {
-		t.Fatalf("runs = %d, want 1 after early stop", runs)
+	if rep.Runs != 1 {
+		t.Fatalf("runs = %d, want 1 after early stop", rep.Runs)
 	}
 }
 

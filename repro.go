@@ -309,7 +309,7 @@ func CooperativeWitness(tr *Trace) (*Trace, error) { return equiv.CooperativeWit
 // given preemption bound), invoking visit with each run's trace or error.
 // visit returning false stops the search. It returns the number of runs.
 func Explore(p *Program, maxRuns, maxPreemptions int, visit func(tr *Trace, err error) bool) (int, error) {
-	return sched.Explore(p, sched.ExploreOptions{
+	rep, err := sched.Explore(p, sched.ExploreOptions{
 		MaxRuns:        maxRuns,
 		MaxPreemptions: maxPreemptions,
 		RecordTrace:    true,
@@ -321,6 +321,10 @@ func Explore(p *Program, maxRuns, maxPreemptions int, visit func(tr *Trace, err 
 			return visit(tr, err)
 		},
 	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Runs, nil
 }
 
 // ExploreReduced is Explore with dynamic partial-order reduction: it
@@ -329,7 +333,7 @@ func Explore(p *Program, maxRuns, maxPreemptions int, visit func(tr *Trace, err 
 // conflict-inequivalent outcome. Prefer it for bug hunting; prefer Explore
 // (exhaustive within the bound) for certification.
 func ExploreReduced(p *Program, maxRuns, maxPreemptions int, visit func(tr *Trace, err error) bool) (int, error) {
-	return sched.ExploreDPOR(p, sched.ExploreOptions{
+	rep, err := sched.ExploreDPOR(p, sched.ExploreOptions{
 		MaxRuns:        maxRuns,
 		MaxPreemptions: maxPreemptions,
 		RecordTrace:    true,
@@ -341,6 +345,10 @@ func ExploreReduced(p *Program, maxRuns, maxPreemptions int, visit func(tr *Trac
 			return visit(tr, err)
 		},
 	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Runs, nil
 }
 
 // Certificate is the outcome of an exhaustive cooperability certification.
@@ -356,6 +364,12 @@ type Certificate struct {
 	Counterexample *Trace
 	// Violations are the counterexample's reports.
 	Violations []Violation
+	// Status records how the underlying exploration ended ("complete",
+	// "budget-exhausted", "deadline", "cancelled", "worker-panic").
+	Status string
+	// Abandoned counts schedule prefixes queued but never explored
+	// because the search was cut off.
+	Abandoned int
 }
 
 // CertifyCooperability exhaustively explores every schedule of p with up to
@@ -370,18 +384,23 @@ func CertifyCooperability(p *Program, maxRuns, maxPreemptions int) (*Certificate
 		maxRuns = 10000
 	}
 	var runErr error
-	runs, err := Explore(p, maxRuns, maxPreemptions, func(tr *Trace, err error) bool {
-		if err != nil {
-			runErr = err
-			return false
-		}
-		if vs := CheckTrace(tr); len(vs) > 0 {
-			cert.Cooperable = false
-			cert.Counterexample = tr
-			cert.Violations = vs
-			return false
-		}
-		return true
+	rep, err := sched.Explore(p, sched.ExploreOptions{
+		MaxRuns:        maxRuns,
+		MaxPreemptions: maxPreemptions,
+		RecordTrace:    true,
+		Visit: func(res *sched.Result, err error) bool {
+			if err != nil {
+				runErr = err
+				return false
+			}
+			if vs := CheckTrace(res.Trace); len(vs) > 0 {
+				cert.Cooperable = false
+				cert.Counterexample = res.Trace
+				cert.Violations = vs
+				return false
+			}
+			return true
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -389,10 +408,13 @@ func CertifyCooperability(p *Program, maxRuns, maxPreemptions int) (*Certificate
 	if runErr != nil {
 		return nil, runErr
 	}
-	cert.Schedules = runs
-	// The DFS exhausted the bounded space iff it stopped on its own before
-	// the run cap (early stops on a counterexample leave it false, but the
-	// certificate is already negative then).
-	cert.Exhausted = cert.Counterexample == nil && runs < maxRuns
+	cert.Schedules = rep.Runs
+	cert.Status = string(rep.Status)
+	cert.Abandoned = rep.Abandoned
+	// The DFS exhausted the bounded space iff it drained the frontier
+	// without a cutoff (early stops on a counterexample leave Abandoned
+	// nonzero, but the certificate is already negative then).
+	cert.Exhausted = cert.Counterexample == nil &&
+		rep.Status == sched.StatusComplete && rep.Abandoned == 0
 	return cert, nil
 }

@@ -48,8 +48,11 @@ profile:
 fuzz:
 	$(GO) test ./internal/trace -run FuzzRead -fuzz=FuzzRead -fuzztime=30s
 
+# vet runs the stock Go checks plus the project's own static
+# cooperability pass over every example program.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/coopvet examples/bank examples/quickstart examples/pipeline examples/explore examples/deadlock
 
 fmt:
 	gofmt -l -w .

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/movers"
 	"repro/internal/sched"
+	"repro/internal/static"
 	"repro/internal/workloads"
 )
 
@@ -49,6 +50,12 @@ type summary struct {
 	Deadlocks   int    `json:"deadlocks"`
 	Certified   bool   `json:"certified"`
 	FirstReport string `json:"first_report,omitempty"`
+	// Static cross-check results, present only with -static.
+	StaticFuncs        int  `json:"static_funcs,omitempty"`
+	StaticFindings     int  `json:"static_findings,omitempty"`
+	StaticUnknown      int  `json:"static_unknown,omitempty"`
+	StaticContradicted int  `json:"static_contradicted,omitempty"`
+	StaticAgree        bool `json:"static_agree,omitempty"`
 }
 
 func main() {
@@ -63,6 +70,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget; on expiry report partial results with status \"deadline\" (0 = none)")
 		maxStates   = flag.Int64("max-states", 0, "stop after this many instrumented events across all schedules (0 = unlimited)")
 		jsonOut     = flag.Bool("json", false, "print the summary as JSON instead of prose")
+		staticDir   = flag.String("static", "", "also run the static cooperability pass over this source directory; certification then requires static agreement (no findings, no unknowns, no contradicted claims)")
 	)
 	var memBudget cli.ByteSize
 	flag.Var(&memBudget, "mem-budget", "heap budget (e.g. 512MiB); stop with status \"budget-exhausted\" when exceeded (0 = unlimited)")
@@ -90,6 +98,7 @@ func main() {
 	violations := 0
 	deadlocks := 0
 	firstReport := ""
+	dynLocs := map[string]bool{}
 	rep, err := explore(spec.New(*threads, *size), sched.ExploreOptions{
 		MaxRuns:        *maxRuns,
 		MaxPreemptions: *preemptions,
@@ -117,6 +126,9 @@ func main() {
 			c := core.AnalyzeTwoPass(res.Trace, core.Options{Policy: movers.DefaultPolicy()})
 			if !c.Cooperable() {
 				violations++
+				for _, v := range c.Violations() {
+					dynLocs[res.Trace.Strings.Name(v.Event.Loc)] = true
+				}
 				if firstReport == "" {
 					v := c.Violations()[0]
 					firstReport = v.String() + " at " + res.Trace.Strings.Name(v.Event.Loc)
@@ -134,16 +146,48 @@ func main() {
 	certified := violations == 0 && deadlocks == 0 && rep.Panics == 0 &&
 		rep.Status == sched.StatusComplete && rep.Abandoned == 0 && rep.Runs < *maxRuns && !*dpor
 
+	// With -static, certification additionally requires the static pass to
+	// agree: no findings or unknown verdicts over the given sources, and —
+	// the soundness direction — no static cooperability claim contradicted
+	// by a dynamically observed violation inside that function.
+	var srep *static.Report
+	contradicted := 0
+	if *staticDir != "" {
+		var serr error
+		srep, serr = static.Analyze([]string{*staticDir}, static.Config{Policy: movers.DefaultPolicy()})
+		if serr != nil {
+			fatal(fmt.Errorf("-static: %w", serr))
+		}
+		for loc := range dynLocs {
+			for _, f := range srep.Funcs {
+				if f.Claimed() && f.Contains(loc) {
+					contradicted++
+					fmt.Fprintf(os.Stderr, "certify: STATIC CONTRADICTION: %s proven %s but violation observed at %s\n",
+						f.Name, f.Verdict, loc)
+				}
+			}
+		}
+		certified = certified && srep.Stats.Findings == 0 && srep.Stats.Unknown == 0 && contradicted == 0
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(summary{
+		sum := summary{
 			Workload: *workload, Mode: mode, Threads: *threads, Size: *size,
 			Bound: *preemptions, Status: string(rep.Status), Runs: rep.Runs,
 			States: rep.States, Abandoned: rep.Abandoned, Panics: rep.Panics,
 			Violations: violations, Deadlocks: deadlocks,
 			Certified: certified, FirstReport: firstReport,
-		}); err != nil {
+		}
+		if srep != nil {
+			sum.StaticFuncs = srep.Stats.Funcs
+			sum.StaticFindings = srep.Stats.Findings
+			sum.StaticUnknown = srep.Stats.Unknown
+			sum.StaticContradicted = contradicted
+			sum.StaticAgree = srep.Stats.Findings == 0 && srep.Stats.Unknown == 0 && contradicted == 0
+		}
+		if err := enc.Encode(sum); err != nil {
 			fatal(err)
 		}
 		if violations > 0 || deadlocks > 0 || rep.Panics > 0 {
@@ -160,6 +204,10 @@ func main() {
 	if rep.Panics > 0 {
 		fmt.Printf("%d schedule(s) crashed during replay (reported as findings, not certificates)\n", rep.Panics)
 	}
+	if srep != nil {
+		fmt.Printf("static pass over %s: %d funcs, %d findings, %d unknown, %d contradicted claim(s)\n",
+			*staticDir, srep.Stats.Funcs, srep.Stats.Findings, srep.Stats.Unknown, contradicted)
+	}
 	switch {
 	case violations > 0 || deadlocks > 0 || rep.Panics > 0:
 		fmt.Printf("FAILED: %d violating schedule(s), %d deadlocking schedule(s), %d crashing schedule(s)\n",
@@ -170,6 +218,8 @@ func main() {
 		os.Exit(1)
 	case certified:
 		fmt.Println("CERTIFIED: cooperable and deadlock-free over the entire bounded schedule space")
+	case srep != nil && (srep.Stats.Findings > 0 || srep.Stats.Unknown > 0 || contradicted > 0):
+		fmt.Println("no violations found, but not certified: the static pass disagrees (findings, unknowns, or contradicted claims above)")
 	default:
 		fmt.Println("no violations found (not a certificate: space truncated or dpor mode)")
 	}

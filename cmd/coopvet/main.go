@@ -1,0 +1,80 @@
+// Command coopvet runs the static cooperability pass over Go packages
+// that use the virtual runtime DSL (internal/sched) or plain Go sync
+// primitives. It reports, per function: whether it is provably
+// cooperable with no yields, cooperable as written, in need of yield
+// annotations (with the exact program points), or beyond the analysis.
+//
+// Usage:
+//
+//	coopvet [-json] [-strict] [-spec file.json]... [-volatile-yield]
+//	        [-fork-mover] [-join-mover] dir...
+//
+// Exit status is 0 even when findings exist (they are the tool's
+// product); -strict exits 1 on findings, unknown verdicts, or spec
+// diagnostics, for CI gates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/movers"
+	"repro/internal/obs"
+	"repro/internal/static"
+)
+
+type specList []string
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable report")
+		strict   = flag.Bool("strict", false, "exit 1 on findings, unknown verdicts, or spec diagnostics")
+		volYield = flag.Bool("volatile-yield", false, "treat volatile accesses as yields")
+		forkMov  = flag.Bool("fork-mover", false, "classify fork as a left mover instead of a boundary")
+		joinMov  = flag.Bool("join-mover", false, "classify join as a right mover instead of a boundary")
+		specs    specList
+	)
+	flag.Var(&specs, "spec", "yield-spec file to check for stale/redundant annotations (repeatable)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: coopvet [flags] dir...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	policy := movers.DefaultPolicy()
+	policy.VolatileIsYield = *volYield
+	policy.ForkIsBoundary = !*forkMov
+	policy.JoinIsBoundary = !*joinMov
+
+	rep, err := static.Analyze(flag.Args(), static.Config{
+		Policy: policy,
+		Specs:  specs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopvet:", err)
+		os.Exit(2)
+	}
+	obs.Default.Gauge("static.last_funcs").Set(int64(rep.Stats.Funcs))
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "coopvet:", err)
+			os.Exit(2)
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coopvet:", err)
+		os.Exit(2)
+	}
+
+	if *strict && (rep.Stats.Findings > 0 || rep.Stats.Unknown > 0 || len(rep.SpecDiags) > 0) {
+		os.Exit(1)
+	}
+}

@@ -2,9 +2,15 @@
 // set of source locations at which inserting `yield` makes every observed
 // schedule cooperable — the paper's annotation-burden measurement.
 //
+// With -verify DIR the inferred annotations are cross-checked against the
+// static cooperability pass over DIR: a yield inferred inside a function
+// the static pass proved cooperable is a contradiction (one of the two
+// analyses is wrong about that function) and fails the run.
+//
 // Usage:
 //
 //	yieldinfer -w crawler -seeds 8
+//	yieldinfer -w crawler -o crawler.yields.json -verify internal/workloads
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/movers"
 	"repro/internal/spec"
+	"repro/internal/static"
 	"repro/internal/yield"
 )
 
@@ -24,6 +31,7 @@ func main() {
 	var (
 		out      = flag.String("o", "", "save the inferred annotations as a yield-spec JSON file")
 		minimize = flag.Bool("minimize", false, "greedily drop redundant annotations after inference")
+		verify   = flag.String("verify", "", "cross-check inferred yields against the static pass over this source directory; exit 1 on contradiction")
 	)
 	flag.Parse()
 	if common.Workload == "" {
@@ -69,16 +77,42 @@ func main() {
 		res.MethodsSeen, res.YieldFreeFraction()*100)
 	if *out != "" {
 		s := spec.New(common.Workload, res.Yields, traces[0].Strings)
+		// New stamps at construction; re-stamp at write time so the file
+		// records when it was actually saved, not when inference started.
+		s.Stamp("yieldinfer")
 		if err := spec.Save(*out, s); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("saved %d annotation(s) to %s\n", len(s.Yields), *out)
+	}
+	disagreements := 0
+	if *verify != "" {
+		srep, err := static.Analyze([]string{*verify}, static.Config{Policy: movers.DefaultPolicy()})
+		if err != nil {
+			fatal(fmt.Errorf("-verify: %w", err))
+		}
+		for _, loc := range res.Locations(traces[0].Strings) {
+			for _, f := range srep.Funcs {
+				if f.Claimed() && f.Contains(loc) {
+					disagreements++
+					fmt.Printf("DISAGREEMENT: inference requires a yield at %s, but the static pass proves %s %s\n",
+						loc, f.Name, f.Verdict)
+				}
+			}
+		}
+		if disagreements == 0 {
+			fmt.Printf("static cross-check over %s: %d function(s), no contradictions\n",
+				*verify, srep.Stats.Funcs)
+		}
 	}
 	if err := common.Close(); err != nil {
 		fatal(err)
 	}
 	if !res.Converged {
 		fmt.Println("NOT CONVERGED")
+		os.Exit(1)
+	}
+	if disagreements > 0 {
 		os.Exit(1)
 	}
 }

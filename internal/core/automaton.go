@@ -1,0 +1,96 @@
+package core
+
+import "repro/internal/movers"
+
+// Outcome is the result of advancing the reduction automaton by one mover.
+type Outcome uint8
+
+const (
+	// OutcomeAdvance means the mover was absorbed with no phase change
+	// (both movers anywhere, right movers pre-commit, left movers
+	// post-commit, non-mover-relevant events).
+	OutcomeAdvance Outcome = iota
+	// OutcomeCommit means the transaction moved from pre-commit to
+	// post-commit: this mover is the transaction's commit action.
+	OutcomeCommit
+	// OutcomeReset means a boundary (cooperative scheduling point) ended
+	// the transaction; the automaton is back in pre-commit.
+	OutcomeReset
+	// OutcomeViolation means a right or non mover was observed post-commit:
+	// the transaction does not match (right|both)* [non] (left|both)*, and
+	// a yield annotation is required immediately before this operation.
+	OutcomeViolation
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAdvance:
+		return "advance"
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeReset:
+		return "reset"
+	case OutcomeViolation:
+		return "violation"
+	}
+	return "invalid"
+}
+
+// Automaton is the two-phase recognizer for Lipton's reducible pattern
+//
+//	(right|both)* [non] (left|both)*
+//
+// extracted from the dynamic checker so the static analyzer
+// (internal/static) can run the exact same decision procedure over
+// abstract program paths that the checker runs over traces. The zero
+// value is a fresh pre-commit transaction.
+type Automaton struct {
+	phase Phase
+}
+
+// Phase returns the automaton's current phase.
+func (a *Automaton) Phase() Phase { return a.phase }
+
+// SetPhase forces the phase (used by the checker's strict mode, which
+// leaves a violated transaction post-commit instead of re-seeding it).
+func (a *Automaton) SetPhase(p Phase) { a.phase = p }
+
+// Reset starts a fresh transaction in the pre-commit phase.
+func (a *Automaton) Reset() { a.phase = PreCommit }
+
+// Step consumes one mover and reports the transition outcome. On
+// OutcomeViolation the automaton re-seeds itself as if the required yield
+// annotation had been inserted immediately before the offending operation
+// (the checker's inference mode): a violating right mover restarts a
+// pre-commit transaction, a violating non mover restarts a transaction it
+// has already committed.
+func (a *Automaton) Step(m movers.Mover) Outcome {
+	switch m {
+	case movers.Boundary:
+		a.phase = PreCommit
+		return OutcomeReset
+	case movers.Right:
+		if a.phase == PostCommit {
+			a.phase = PreCommit
+			return OutcomeViolation
+		}
+		return OutcomeAdvance
+	case movers.Left:
+		if a.phase == PreCommit {
+			a.phase = PostCommit
+			return OutcomeCommit
+		}
+		return OutcomeAdvance
+	case movers.Non:
+		if a.phase == PostCommit {
+			// Stays post-commit: the non mover is the fresh transaction's
+			// commit action.
+			return OutcomeViolation
+		}
+		a.phase = PostCommit
+		return OutcomeCommit
+	default: // Both, None
+		return OutcomeAdvance
+	}
+}

@@ -90,7 +90,7 @@ type Options struct {
 }
 
 type threadState struct {
-	phase       Phase
+	auto        Automaton
 	live        bool // the thread has been observed (txStart is meaningful)
 	txStart     int
 	txLen       int
@@ -243,8 +243,11 @@ func (c *Checker) Event(e trace.Event) {
 	m := c.cls.Classify(e)
 	s.txLen++
 
-	switch m {
-	case movers.Boundary:
+	// The shared reduction automaton (automaton.go) makes the phase
+	// decision; the checker layers event bookkeeping (commit events,
+	// transaction boundaries, violation reports) on its outcome.
+	switch s.auto.Step(m) {
+	case OutcomeReset:
 		if e.Op == trace.OpYield {
 			c.stats.ExplicitYields++
 		}
@@ -261,28 +264,13 @@ func (c *Checker) Event(e trace.Event) {
 		} else {
 			c.resetTx(s, e.Idx+1)
 		}
-	case movers.Right:
-		if s.phase == PostCommit {
-			c.report(s, e, m)
-		}
-	case movers.Left:
-		if s.phase == PreCommit {
-			c.commits++
-			s.phase = PostCommit
-			s.commit = e
-			s.commitMover = m
-		}
-		// Left movers post-commit are always fine.
-	case movers.Non:
-		if s.phase == PostCommit {
-			c.report(s, e, m)
-		} else {
-			c.commits++
-			s.phase = PostCommit
-			s.commit = e
-			s.commitMover = m
-		}
-	case movers.Both, movers.None:
+	case OutcomeCommit:
+		c.commits++
+		s.commit = e
+		s.commitMover = m
+	case OutcomeViolation:
+		c.report(s, e, m)
+	case OutcomeAdvance:
 		// No phase effect.
 	}
 }
@@ -301,7 +289,7 @@ func (c *Checker) resetTx(s *threadState, nextStart int) {
 	}
 	s.txLen = 0
 	c.stats.Transactions++
-	s.phase = PreCommit
+	s.auto.Reset()
 	s.txStart = nextStart
 	s.commit = trace.Event{}
 	s.commitMover = movers.None
@@ -319,18 +307,25 @@ func (c *Checker) report(s *threadState, e trace.Event, m movers.Mover) {
 	}
 	// A violation marks the enclosing method as needing a yield.
 	c.markYieldPoint(s)
-	if !c.opts.StopAfterViolation {
-		// Behave as if the inferred yield were present right before e:
-		// the offending event starts a fresh transaction in which it is
-		// re-interpreted.
-		c.resetTx(s, e.Idx)
-		if m == movers.Non {
-			s.phase = PostCommit
-			s.commit = e
-			s.commitMover = m
-		}
-		// A right mover keeps the fresh transaction pre-commit.
+	if c.opts.StopAfterViolation {
+		// Strict mode: undo the automaton's as-if-yield re-seeding and
+		// leave the transaction post-commit.
+		s.auto.SetPhase(PostCommit)
+		return
 	}
+	// Behave as if the inferred yield were present right before e: the
+	// offending event starts a fresh transaction in which it is
+	// re-interpreted. The automaton's Step already re-seeded the phase
+	// (pre-commit after a right mover, post-commit after a non mover);
+	// preserve it across the transaction bookkeeping reset.
+	phase := s.auto.Phase()
+	c.resetTx(s, e.Idx)
+	s.auto.SetPhase(phase)
+	if m == movers.Non {
+		s.commit = e
+		s.commitMover = m
+	}
+	// A right mover keeps the fresh transaction pre-commit.
 }
 
 // Violations returns the deduplicated reports in detection order.

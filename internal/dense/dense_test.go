@@ -16,7 +16,7 @@ func TestAtAndProbe(t *testing.T) {
 		t.Fatalf("Probe(6) = %v, want zero slot", p)
 	}
 	// Different page: not materialized.
-	if tb.Probe(PageSize * 3) != nil {
+	if tb.Probe(PageSize*3) != nil {
 		t.Fatal("unmaterialized page should Probe nil")
 	}
 }

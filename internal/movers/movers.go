@@ -87,6 +87,51 @@ func DefaultPolicy() Policy {
 	return Policy{JoinIsBoundary: true, ForkIsBoundary: true}
 }
 
+// Classify reports the mover class of a single operation kind under policy
+// p, given externally supplied race knowledge: racy reports whether the
+// operation's target may be involved in a data race (only consulted for
+// plain accesses). It is the pure, state-free core of the taxonomy, shared
+// by the dynamic Classifier below and by the static analyzer
+// (internal/static), which supplies racy from a lockset-style guard
+// analysis instead of a race detector.
+func (p Policy) Classify(op trace.Op, racy bool) Mover {
+	switch op {
+	case trace.OpYield, trace.OpWait, trace.OpBegin, trace.OpEnd:
+		return Boundary
+	case trace.OpJoin:
+		if p.JoinIsBoundary {
+			return Boundary
+		}
+		return Right
+	case trace.OpAcquire:
+		return Right
+	case trace.OpRelease:
+		return Left
+	case trace.OpFork:
+		if p.ForkIsBoundary {
+			return Boundary
+		}
+		return Left
+	case trace.OpVolRead, trace.OpVolWrite:
+		if p.VolatileIsYield {
+			return Boundary
+		}
+		return Non
+	case trace.OpRead, trace.OpWrite:
+		if racy {
+			return Non
+		}
+		return Both
+	case trace.OpNotify:
+		// Notify requires holding the guarding lock, so it cannot execute
+		// concurrently with a conflicting monitor operation.
+		return None
+	default:
+		// Enter/Exit/AtomicBegin/AtomicEnd are analysis markers.
+		return None
+	}
+}
+
 // Classifier assigns mover classes to a stream of events. Classification of
 // plain accesses depends on race knowledge:
 //
@@ -127,41 +172,11 @@ func (c *Classifier) Classify(e trace.Event) Mover {
 	if c.detector != nil {
 		c.detector.Event(e)
 	}
-	switch e.Op {
-	case trace.OpYield, trace.OpWait, trace.OpBegin, trace.OpEnd:
-		return Boundary
-	case trace.OpJoin:
-		if c.policy.JoinIsBoundary {
-			return Boundary
-		}
-		return Right
-	case trace.OpAcquire:
-		return Right
-	case trace.OpRelease:
-		return Left
-	case trace.OpFork:
-		if c.policy.ForkIsBoundary {
-			return Boundary
-		}
-		return Left
-	case trace.OpVolRead, trace.OpVolWrite:
-		if c.policy.VolatileIsYield {
-			return Boundary
-		}
-		return Non
-	case trace.OpRead, trace.OpWrite:
-		if c.isRacy(e) {
-			return Non
-		}
-		return Both
-	case trace.OpNotify:
-		// Notify requires holding the guarding lock, so it cannot execute
-		// concurrently with a conflicting monitor operation.
-		return None
-	default:
-		// Enter/Exit/AtomicBegin/AtomicEnd are analysis markers.
-		return None
+	racy := false
+	if e.Op == trace.OpRead || e.Op == trace.OpWrite {
+		racy = c.isRacy(e)
 	}
+	return c.policy.Classify(e.Op, racy)
 }
 
 func (c *Classifier) isRacy(e trace.Event) bool {

@@ -38,6 +38,74 @@ func TestJoinPolicy(t *testing.T) {
 	}
 }
 
+// The edge-policy flag paths: with ForkIsBoundary off, fork is the pure
+// Lipton left mover (it commutes earlier — only the created thread's
+// operations conflict with it, and they cannot precede it); with
+// JoinIsBoundary off, join is the symmetric right mover. The table pins
+// every (flag, op) combination through both the streaming classifier and
+// the pure Policy.Classify entry point.
+func TestForkJoinEdgePolicies(t *testing.T) {
+	fork := trace.Event{Op: trace.OpFork, Target: 1}
+	join := trace.Event{Op: trace.OpJoin, Target: 1}
+	cases := []struct {
+		name   string
+		policy Policy
+		event  trace.Event
+		want   Mover
+	}{
+		{"fork/boundary-default", DefaultPolicy(), fork, Boundary},
+		{"fork/left-mover", Policy{JoinIsBoundary: true}, fork, Left},
+		{"join/boundary-default", DefaultPolicy(), join, Boundary},
+		{"join/right-mover", Policy{ForkIsBoundary: true}, join, Right},
+		{"both-off/fork", Policy{}, fork, Left},
+		{"both-off/join", Policy{}, join, Right},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := NewOnline(c.policy).Classify(c.event); got != c.want {
+				t.Errorf("Classifier.Classify = %v, want %v", got, c.want)
+			}
+			if got := c.policy.Classify(c.event.Op, false); got != c.want {
+				t.Errorf("Policy.Classify = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// Policy.Classify is the state-free core shared with the static analyzer:
+// it must agree with the streaming classifier on every op kind, for both
+// race-knowledge answers.
+func TestPureClassifyMatchesClassifier(t *testing.T) {
+	policies := []Policy{
+		DefaultPolicy(),
+		{},
+		{VolatileIsYield: true, JoinIsBoundary: true, ForkIsBoundary: true},
+	}
+	ops := []trace.Op{
+		trace.OpBegin, trace.OpEnd, trace.OpRead, trace.OpWrite,
+		trace.OpAcquire, trace.OpRelease, trace.OpFork, trace.OpJoin,
+		trace.OpYield, trace.OpWait, trace.OpNotify, trace.OpVolRead,
+		trace.OpVolWrite, trace.OpEnter, trace.OpExit,
+		trace.OpAtomicBegin, trace.OpAtomicEnd,
+	}
+	for _, p := range policies {
+		for _, op := range ops {
+			for _, racy := range []bool{false, true} {
+				known := map[uint64]bool{}
+				if racy {
+					known[7] = true
+				}
+				c := NewWithKnownRaces(p, known)
+				e := trace.Event{Op: op, Target: 7}
+				if got, want := p.Classify(op, racy), c.Classify(e); got != want {
+					t.Errorf("policy %+v op %v racy=%v: pure=%v classifier=%v",
+						p, op, racy, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestVolatilePolicy(t *testing.T) {
 	e := trace.Event{Op: trace.OpVolWrite, Target: 100}
 	if got := NewOnline(DefaultPolicy()).Classify(e); got != Non {

@@ -37,12 +37,8 @@ type YieldSpec struct {
 
 // New builds a spec from a location set, resolving ids via strs.
 func New(program string, yields map[trace.LocID]bool, strs *trace.Strings) *YieldSpec {
-	s := &YieldSpec{
-		Version:   Version,
-		Program:   program,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Tool:      "yieldinfer",
-	}
+	s := &YieldSpec{Version: Version, Program: program}
+	s.Stamp("yieldinfer")
 	for loc := range yields {
 		if name := strs.Name(loc); name != "" {
 			s.Yields = append(s.Yields, name)
@@ -81,7 +77,7 @@ func Read(r io.Reader) (*YieldSpec, error) {
 		return nil, fmt.Errorf("spec: parsing: %w", err)
 	}
 	if s.Version != Version {
-		return nil, fmt.Errorf("spec: unsupported version %d (want %d)", s.Version, Version)
+		return nil, fmt.Errorf("spec: unsupported file-format version %d: this build reads version %d (regenerate the spec with yieldinfer, or upgrade the tools)", s.Version, Version)
 	}
 	if s.Program == "" {
 		return nil, fmt.Errorf("spec: missing program name")
@@ -96,7 +92,18 @@ func Read(r io.Reader) (*YieldSpec, error) {
 		}
 		seen[y] = true
 	}
+	// Canonicalize: hand-edited files may list locations in any order, but
+	// every spec in memory is sorted, so serializing a loaded spec is
+	// deterministic and diffs stay minimal.
+	sort.Strings(s.Yields)
 	return &s, nil
+}
+
+// Stamp records the producing tool and the generation time, for writers
+// that build or modify a spec before saving it.
+func (s *YieldSpec) Stamp(tool string) {
+	s.Tool = tool
+	s.Generated = time.Now().UTC().Format(time.RFC3339)
 }
 
 // Save writes the spec to a file.

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -64,6 +65,71 @@ func TestLocationsReintern(t *testing.T) {
 	}
 	if !locs[fresh.Intern("bank.go:42")] {
 		t.Fatal("location not re-interned consistently")
+	}
+}
+
+func TestReadCanonicalizesOrder(t *testing.T) {
+	doc := `{"version":1,"program":"p","yields":["z.go:9","a.go:1","m.go:5"]}`
+	s, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.go:1", "m.go:5", "z.go:9"}
+	for i, y := range want {
+		if s.Yields[i] != y {
+			t.Fatalf("yields not canonicalized: %v", s.Yields)
+		}
+	}
+}
+
+func TestReadVersionErrorIsActionable(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"version":99,"program":"p","yields":[]}`))
+	if err == nil {
+		t.Fatal("accepted future version")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"version 99", "version 1", "regenerate"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("version error %q does not mention %q", msg, frag)
+		}
+	}
+}
+
+// TestWriteLoadWriteByteIdentical proves the -o round trip: a stamped,
+// saved spec reloads and re-serializes to the exact same bytes, so specs
+// checked into a repo never churn under load/save cycles.
+func TestWriteLoadWriteByteIdentical(t *testing.T) {
+	s, _ := sample(t)
+	s.Stamp("yieldinfer")
+	path := filepath.Join(t.TempDir(), "bank.yields.json")
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "yieldinfer" || got.Generated == "" {
+		t.Fatalf("stamp lost on reload: %+v", got)
+	}
+	var second bytes.Buffer
+	if err := got.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second.Bytes()) {
+		t.Fatalf("reload not byte-identical:\nfirst:  %s\nsecond: %s", first, second.Bytes())
+	}
+}
+
+func TestStamp(t *testing.T) {
+	s := &YieldSpec{Version: Version, Program: "p"}
+	s.Stamp("handtool")
+	if s.Tool != "handtool" || s.Generated == "" {
+		t.Fatalf("Stamp left %+v", s)
 	}
 }
 

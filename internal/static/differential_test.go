@@ -1,0 +1,133 @@
+package static
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/movers"
+	"repro/internal/sched"
+	"repro/internal/static/diffprogs"
+	"repro/internal/workloads"
+)
+
+// The differential-soundness gate: whenever the static pass claims a
+// function is cooperable (yield-free or as written), the dynamic checker
+// must not report a reducibility violation at any location inside that
+// function, on any explored schedule. A single counterexample is a
+// soundness bug in the static side.
+
+// dynamicViolationLocs explores p and returns every violation location
+// (trimmed "dir/file.go:line" form) the dynamic checker reports, plus a
+// count of violating runs.
+func dynamicViolationLocs(t *testing.T, p *sched.Program, maxRuns, maxPre int) (map[string]bool, int) {
+	t.Helper()
+	locs := map[string]bool{}
+	violRuns := 0
+	_, err := sched.Explore(p, sched.ExploreOptions{
+		MaxRuns:        maxRuns,
+		MaxPreemptions: maxPre,
+		RecordTrace:    true,
+		Visit: func(res *sched.Result, runErr error) bool {
+			if runErr != nil {
+				return true // deadlocks etc. are not reducibility evidence
+			}
+			c := core.AnalyzeTwoPass(res.Trace, core.Options{Policy: movers.DefaultPolicy()})
+			if vs := c.Violations(); len(vs) > 0 {
+				violRuns++
+				for _, v := range vs {
+					locs[res.Trace.Strings.Name(v.Event.Loc)] = true
+				}
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	return locs, violRuns
+}
+
+// checkAgreement asserts that no dynamically observed violation location
+// falls inside a statically claimed function.
+func checkAgreement(t *testing.T, rep *Report, dynLocs map[string]bool, label string) {
+	t.Helper()
+	for loc := range dynLocs {
+		for _, f := range rep.Funcs {
+			if f.Claimed() && f.Contains(loc) {
+				t.Errorf("%s: static pass claims %s is %s, but dynamic checker reports a violation at %s inside it",
+					label, f.Name, f.Verdict, loc)
+			}
+		}
+	}
+}
+
+func TestDifferentialDiffprogs(t *testing.T) {
+	rep := analyze(t, "diffprogs", "../vsync")
+
+	claimed := 0
+	for _, f := range rep.Funcs {
+		if f.Claimed() {
+			claimed++
+		}
+	}
+	if claimed == 0 {
+		t.Fatal("vacuous gate: static pass claimed nothing in diffprogs+vsync")
+	}
+
+	// The disciplined helper must actually be claimed, or the corpus's
+	// positive half proves nothing.
+	if f, ok := rep.Func("addUnderLock"); !ok || !f.Claimed() {
+		t.Errorf("addUnderLock: want a cooperability claim, got %+v (found=%v)", f, ok)
+	}
+	// The context-racy helper must NOT be claimed: clean standalone, racy
+	// in BuildContextRacyHelper's context.
+	if f, ok := rep.Func("touchTwice"); !ok || f.Claimed() {
+		t.Errorf("touchTwice: must not be claimed (racy in caller context), got verdict %q", f.Verdict)
+	}
+
+	sawDynViolation := false
+	for _, prog := range diffprogs.All {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			locs, violRuns := dynamicViolationLocs(t, prog.Build(), 2000, 2)
+			if violRuns > 0 {
+				sawDynViolation = true
+			}
+			checkAgreement(t, rep, locs, prog.Name)
+		})
+	}
+	if !sawDynViolation {
+		t.Error("vacuous gate: no diffprogs program produced a dynamic violation (racy-pair should)")
+	}
+}
+
+func TestDifferentialWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload exploration is slow")
+	}
+	rep := analyze(t, "../workloads", "../vsync")
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			locs, _ := dynamicViolationLocs(t, spec.New(2, 1), 500, 2)
+			checkAgreement(t, rep, locs, "workloads/"+spec.Name)
+		})
+	}
+}
+
+func TestDifferentialGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-program exploration is slow")
+	}
+	rep := analyze(t, "../gen")
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p := gen.Program(seed, gen.Config{})
+			locs, _ := dynamicViolationLocs(t, p, 300, 2)
+			checkAgreement(t, rep, locs, fmt.Sprintf("gen/seed%d", seed))
+		})
+	}
+}

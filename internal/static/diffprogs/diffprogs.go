@@ -1,0 +1,196 @@
+// Package diffprogs is the differential-soundness corpus: every program
+// here is both executable under the virtual runtime (sched.Explore) and
+// analyzable by the static pass (internal/static), so the two checkers
+// can be cross-checked location by location. The corpus deliberately
+// mixes provably clean programs, racy programs, and the adversarial case
+// a naive summary-based analysis gets wrong: a helper that is clean in
+// isolation but racy in one caller's context.
+package diffprogs
+
+import (
+	"repro/internal/sched"
+	"repro/internal/vsync"
+)
+
+// Prog is one corpus entry.
+type Prog struct {
+	Name  string
+	Build func() *sched.Program
+}
+
+// All enumerates the corpus in deterministic order.
+var All = []Prog{
+	{"guarded-counter", BuildGuardedCounter},
+	{"racy-pair", BuildRacyPair},
+	{"context-racy-helper", BuildContextRacyHelper},
+	{"withlock", BuildWithLock},
+	{"yielding-pair", BuildYieldingPair},
+	{"volatile-flag", BuildVolatileFlag},
+	{"barrier-phase", BuildBarrierPhase},
+	{"queue-handoff", BuildQueueHandoff},
+}
+
+// addUnderLock is the disciplined helper: yield-free cooperable, and
+// every caller keeps it that way.
+func addUnderLock(t *sched.T, m *sched.Mutex, v *sched.Var, delta int64) {
+	t.Acquire(m)
+	t.Write(v, t.Read(v)+delta)
+	t.Release(m)
+}
+
+// BuildGuardedCounter: two workers bump a counter under one lock.
+func BuildGuardedCounter() *sched.Program {
+	p := sched.NewProgram("guarded-counter")
+	m := p.Mutex("m")
+	v := p.Var("v")
+	p.SetMain(func(t *sched.T) {
+		h1 := t.Fork("w1", func(t *sched.T) { addUnderLock(t, m, v, 1) })
+		h2 := t.Fork("w2", func(t *sched.T) { addUnderLock(t, m, v, 2) })
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+// writePair is racy when two threads run it on the same variables: the
+// second write is a non mover after a committed non mover.
+func writePair(t *sched.T, a, b *sched.Var) {
+	t.Write(a, 1)
+	t.Write(b, 2)
+}
+
+// BuildRacyPair: both threads run writePair unguarded — the dynamic
+// checker finds violations, and the static pass must agree.
+func BuildRacyPair() *sched.Program {
+	p := sched.NewProgram("racy-pair")
+	a := p.Var("a")
+	b := p.Var("b")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("w", func(t *sched.T) { writePair(t, a, b) })
+		writePair(t, a, b)
+		t.Join(h)
+	})
+	return p
+}
+
+// touchTwice is clean in isolation (nothing else touches its variables)
+// but racy in BuildContextRacyHelper, where a second thread writes the
+// same variables without the lock. A sound analysis must not certify it
+// from its standalone summary alone.
+func touchTwice(t *sched.T, a, b *sched.Var) {
+	t.Write(a, 10)
+	t.Write(b, 20)
+}
+
+// BuildContextRacyHelper: main calls touchTwice while a forked thread
+// scribbles on the same variables directly.
+func BuildContextRacyHelper() *sched.Program {
+	p := sched.NewProgram("context-racy-helper")
+	a := p.Var("ca")
+	b := p.Var("cb")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("dirty", func(t *sched.T) {
+			t.Write(a, -1)
+			t.Write(b, -2)
+		})
+		touchTwice(t, a, b)
+		t.Join(h)
+	})
+	return p
+}
+
+// BuildWithLock exercises the scoped-lock helper.
+func BuildWithLock() *sched.Program {
+	p := sched.NewProgram("withlock")
+	m := p.Mutex("m")
+	v := p.Var("v")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("w", func(t *sched.T) {
+			t.WithLock(m, func() { t.Write(v, t.Read(v)+1) })
+		})
+		t.WithLock(m, func() { t.Write(v, t.Read(v)+10) })
+		t.Join(h)
+	})
+	return p
+}
+
+// politePair is the repaired racy pair: a yield separates the commits.
+func politePair(t *sched.T, a, b *sched.Var) {
+	t.Write(a, 1)
+	t.Yield()
+	t.Write(b, 2)
+}
+
+// BuildYieldingPair: cooperable with its explicit yields.
+func BuildYieldingPair() *sched.Program {
+	p := sched.NewProgram("yielding-pair")
+	a := p.Var("a")
+	b := p.Var("b")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("w", func(t *sched.T) { politePair(t, a, b) })
+		politePair(t, a, b)
+		t.Join(h)
+	})
+	return p
+}
+
+// BuildVolatileFlag: a volatile handshake — volatile accesses are non
+// movers (the transaction commit), so a single volatile op per region is
+// fine but back-to-back volatile ops need a yield.
+func BuildVolatileFlag() *sched.Program {
+	p := sched.NewProgram("volatile-flag")
+	flag := p.Volatile("flag")
+	data := p.Var("data")
+	m := p.Mutex("m")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("producer", func(t *sched.T) {
+			addUnderLock(t, m, data, 41)
+			t.VolWrite(flag, 1)
+		})
+		t.Join(h)
+		if t.VolRead(flag) == 1 {
+			t.Yield() // the volatile read committed; yield before re-acquiring
+			addUnderLock(t, m, data, 1)
+		}
+	})
+	return p
+}
+
+// BuildBarrierPhase: two workers synchronize on a vsync.Barrier between
+// guarded updates — exercises cross-package inlining of module code.
+func BuildBarrierPhase() *sched.Program {
+	p := sched.NewProgram("barrier-phase")
+	bar := vsync.NewBarrier(p, "bar", 2)
+	m := p.Mutex("m")
+	v := p.Var("v")
+	worker := func(t *sched.T) {
+		addUnderLock(t, m, v, 1)
+		bar.Await(t)
+		t.Yield() // new phase, new transaction
+		addUnderLock(t, m, v, 1)
+	}
+	p.SetMain(func(t *sched.T) {
+		h1 := t.Fork("w1", worker)
+		h2 := t.Fork("w2", worker)
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+// BuildQueueHandoff: producer/consumer over the vsync bounded queue
+// (condition-variable waits inside).
+func BuildQueueHandoff() *sched.Program {
+	p := sched.NewProgram("queue-handoff")
+	q := vsync.NewQueue(p, "q", 1)
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("producer", func(t *sched.T) {
+			q.Put(t, 7)
+			q.Put(t, 8)
+		})
+		_ = q.Take(t)
+		_ = q.Take(t)
+		t.Join(h)
+	})
+	return p
+}

@@ -1,0 +1,622 @@
+package static
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/trace"
+)
+
+const maxInlineDepth = 48
+const maxLoopIters = 6
+
+// phaseState is the static analogue of a thread's transaction phase: the
+// set of automaton phases reachable at a program point, after merging
+// branches. commitLoc keeps one representative commit description for
+// diagnostics.
+type phaseState struct {
+	pre, post bool
+	commitLoc string
+}
+
+func (p phaseState) union(q phaseState) phaseState {
+	out := phaseState{pre: p.pre || q.pre, post: p.post || q.post}
+	out.commitLoc = p.commitLoc
+	if out.commitLoc == "" {
+		out.commitLoc = q.commitLoc
+	}
+	return out
+}
+
+// heldLock is one entry of the abstract lockset.
+type heldLock struct {
+	k     key
+	n     int
+	grade bool // acquisition provides mutual exclusion (not a read lock)
+}
+
+// snapshot captures the mutable interpreter state for branch merging.
+type snapshot struct {
+	held map[string]heldLock
+	st   phaseState
+	live bool
+}
+
+func copyHeld(h map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func (it *interp) snap() snapshot {
+	return snapshot{held: copyHeld(it.held), st: it.st, live: it.live}
+}
+
+func (it *interp) restore(s snapshot) {
+	it.held = copyHeld(s.held)
+	it.st = s.st
+	it.live = s.live
+}
+
+// mergeSnap joins two control-flow branches: locksets intersect (a lock is
+// held only if held on every path), phases union.
+func mergeSnap(a, b snapshot) snapshot {
+	if !a.live {
+		return snapshot{held: copyHeld(b.held), st: b.st, live: b.live}
+	}
+	if !b.live {
+		return snapshot{held: copyHeld(a.held), st: a.st, live: a.live}
+	}
+	held := map[string]heldLock{}
+	for id, la := range a.held {
+		if lb, ok := b.held[id]; ok {
+			n := la.n
+			if lb.n < n {
+				n = lb.n
+			}
+			if n > 0 {
+				held[id] = heldLock{k: la.k, n: n, grade: la.grade && lb.grade}
+			}
+		}
+	}
+	return snapshot{held: held, st: a.st.union(b.st), live: true}
+}
+
+func snapEqual(a, b snapshot) bool {
+	if a.live != b.live || a.st.pre != b.st.pre || a.st.post != b.st.post {
+		return false
+	}
+	if len(a.held) != len(b.held) {
+		return false
+	}
+	for id, la := range a.held {
+		lb, ok := b.held[id]
+		if !ok || la.n != lb.n || la.grade != lb.grade {
+			return false
+		}
+	}
+	return true
+}
+
+// deferredCall is a call captured by defer, replayed at frame exit.
+type deferredCall struct {
+	call *ast.CallExpr
+	env  *env
+}
+
+// frame is one function body being interpreted (root, inline, or
+// sub-root).
+type frame struct {
+	deferred  []deferredCall
+	deferSeen map[token.Pos]bool
+	exit      snapshot
+	exitSet   bool
+	results   []binding
+	resultSet bool
+}
+
+// breakCtx collects break/continue targets for the innermost breakable
+// statement.
+type breakCtx struct {
+	isLoop    bool
+	breaks    []snapshot
+	continues []snapshot
+}
+
+// interp interprets one root declaration (and everything inlined into it)
+// against the analysis state.
+type interp struct {
+	an   *analysis
+	root *rootResult
+	env  *env
+	held map[string]heldLock
+	st   phaseState
+	live bool
+
+	frames    []*frame
+	breakable []*breakCtx
+	stack     []string // inline cycle detection (func ids / funclit positions)
+	inst      string   // creator-site instance discriminator
+	loopDepth int
+	ctx       string // abstract thread context
+	ctxMulti  bool   // context may have many dynamic instances (fork in loop)
+
+	// lastCallResults carries multi-result bindings from the most recent
+	// inlined call to a multi-assign statement.
+	lastCallResults []binding
+}
+
+func (it *interp) frame() *frame { return it.frames[len(it.frames)-1] }
+
+func (it *interp) unknown(reason string) {
+	it.root.addUnknown(reason)
+}
+
+// ---- abstract operations -------------------------------------------------
+
+// guardSet extracts the guard-grade singleton locks from the current
+// lockset.
+func (it *interp) guardSet() map[string]bool {
+	out := map[string]bool{}
+	for id, l := range it.held {
+		if l.grade && !l.k.multi && l.n > 0 {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// emit records one abstract op on target k at pos and advances the phase
+// automaton. It is the static twin of Runtime.emit.
+func (it *interp) emit(op trace.Op, k key, pos token.Pos, guardGrade bool) {
+	if !it.live {
+		return
+	}
+	a := it.an
+	switch op {
+	case trace.OpFork:
+		a.sawFork = true
+	case trace.OpAcquire:
+		l := it.held[k.id]
+		l.k = k
+		if l.n == 0 {
+			l.grade = guardGrade
+		} else {
+			l.grade = l.grade && guardGrade
+		}
+		l.n++
+		it.held[k.id] = l
+	case trace.OpRelease:
+		if l, ok := it.held[k.id]; ok {
+			l.n--
+			if l.n <= 0 {
+				delete(it.held, k.id)
+			} else {
+				it.held[k.id] = l
+			}
+		}
+	case trace.OpRead, trace.OpWrite:
+		if a.mode == passCollect && k.valid() {
+			a.recordAccess(k, it.guardSet(), it.ctx, it.ctxMulti, op == trace.OpWrite)
+		}
+	}
+
+	racy := false
+	if op == trace.OpRead || op == trace.OpWrite {
+		racy = a.keyRacy(k)
+	}
+	m := a.cfg.Policy.Classify(op, racy)
+
+	if a.mode != passVerify {
+		return
+	}
+	loc := a.posLoc(pos)
+	a.opLocs[loc] = true
+	if m == movers.Boundary {
+		if it.root != nil {
+			it.root.boundaries++
+			if op == trace.OpYield {
+				it.root.yields++
+				a.yieldLocs[loc] = true
+			}
+		}
+	}
+
+	// Advance every reachable phase through the shared reduction automaton
+	// and union the results; any member violating means some static path
+	// through this point needs a yield.
+	var next phaseState
+	viol := false
+	stepOne := func(ph core.Phase) {
+		var au core.Automaton
+		au.SetPhase(ph)
+		out := au.Step(m)
+		switch au.Phase() {
+		case core.PreCommit:
+			next.pre = true
+		case core.PostCommit:
+			next.post = true
+		}
+		switch out {
+		case core.OutcomeCommit:
+			if next.commitLoc == "" {
+				next.commitLoc = fmt.Sprintf("%s %s", op, loc)
+			}
+		case core.OutcomeViolation:
+			viol = true
+		}
+	}
+	if !it.st.pre && !it.st.post {
+		it.st.pre = true
+	}
+	prevCommit := it.st.commitLoc
+	if it.st.pre {
+		stepOne(core.PreCommit)
+	}
+	if it.st.post {
+		stepOne(core.PostCommit)
+	}
+	if next.post && next.commitLoc == "" {
+		next.commitLoc = prevCommit
+	}
+	it.st = next
+	if viol {
+		a.addFinding(Finding{
+			Loc:    loc,
+			Op:     op.String(),
+			Mover:  m.String(),
+			Commit: prevCommit,
+			Target: k.id,
+		})
+	}
+}
+
+// boundaryAt emits a pure scheduling boundary (channel ops, selects).
+func (it *interp) boundaryAt(pos token.Pos) {
+	it.emit(trace.OpWait, key{}, pos, false)
+}
+
+// ---- statements ----------------------------------------------------------
+
+func (it *interp) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		if !it.live {
+			return
+		}
+		it.stmt(s)
+	}
+}
+
+func (it *interp) stmt(s ast.Stmt) {
+	if s == nil || !it.live {
+		return
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		it.stmts(x.List)
+	case *ast.ExprStmt:
+		it.eval(x.X)
+	case *ast.AssignStmt:
+		it.assign(x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var vals []binding
+				for _, v := range vs.Values {
+					vals = append(vals, it.eval(v))
+				}
+				for i, name := range vs.Names {
+					var b binding
+					if i < len(vals) {
+						b = vals[i]
+					}
+					if obj, ok := it.an.info.Defs[name].(*types.Var); ok {
+						it.env.define(obj, b)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		it.stmt(x.Init)
+		it.eval(x.Cond)
+		before := it.snap()
+		it.stmt(x.Body)
+		thenSnap := it.snap()
+		it.restore(before)
+		if x.Else != nil {
+			it.stmt(x.Else)
+		}
+		it.restore(mergeSnap(thenSnap, it.snap()))
+	case *ast.ForStmt:
+		it.stmt(x.Init)
+		it.loop(func() {
+			if x.Cond != nil {
+				it.eval(x.Cond)
+			}
+			it.stmt(x.Body)
+			it.stmt(x.Post)
+		}, x.Cond == nil)
+	case *ast.RangeStmt:
+		b := it.eval(x.X)
+		if tv, ok := it.an.info.Types[x.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				it.boundaryAt(x.Pos())
+			}
+		}
+		it.defineRangeVars(x, b)
+		it.loop(func() {
+			it.defineRangeVars(x, b)
+			it.stmt(x.Body)
+		}, false)
+	case *ast.SwitchStmt:
+		it.stmt(x.Init)
+		if x.Tag != nil {
+			it.eval(x.Tag)
+		}
+		it.switchBody(x.Body, false)
+	case *ast.TypeSwitchStmt:
+		it.stmt(x.Init)
+		it.stmt(x.Assign)
+		it.switchBody(x.Body, false)
+	case *ast.SelectStmt:
+		it.switchBody(x.Body, true)
+	case *ast.ReturnStmt:
+		fr := it.frame()
+		var res []binding
+		for _, r := range x.Results {
+			res = append(res, it.eval(r))
+		}
+		if !fr.resultSet {
+			fr.results = res
+			fr.resultSet = true
+		} else {
+			for i := range fr.results {
+				if i >= len(res) || !sameBinding(fr.results[i], res[i]) {
+					fr.results[i] = binding{}
+				}
+			}
+		}
+		it.mergeExit(fr)
+		it.live = false
+	case *ast.BranchStmt:
+		it.branch(x)
+	case *ast.DeferStmt:
+		it.deferCall(x)
+	case *ast.GoStmt:
+		fn := it.eval(x.Call.Fun)
+		var args []binding
+		for _, a := range x.Call.Args {
+			args = append(args, it.eval(a))
+		}
+		it.emit(trace.OpFork, key{}, x.Pos(), false)
+		it.subRoot(fn, args, fmt.Sprintf("go@%s", it.posShort(x.Pos())))
+	case *ast.SendStmt:
+		it.eval(x.Chan)
+		it.eval(x.Value)
+		it.boundaryAt(x.Pos())
+	case *ast.IncDecStmt:
+		it.plainAccess(x.X, false)
+		it.plainAccess(x.X, true)
+	case *ast.LabeledStmt:
+		// Labeled break/continue targets are not modeled precisely; the
+		// branch handler degrades them to unknown.
+		it.stmt(x.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		// GotoStmt falls out of BranchStmt handling below; anything else
+		// unexpected keeps the analysis conservative.
+	}
+}
+
+func (it *interp) defineRangeVars(x *ast.RangeStmt, src binding) {
+	bindOne := func(e ast.Expr, b binding) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj, ok := it.an.info.Defs[id].(*types.Var); ok {
+			it.env.define(obj, b)
+		} else if obj, ok := it.an.info.Uses[id].(*types.Var); ok {
+			it.env.bind(obj, b)
+		}
+	}
+	if x.Key != nil {
+		bindOne(x.Key, binding{})
+	}
+	if x.Value != nil {
+		// Ranging over a slice of tracked objects yields the element class.
+		var vb binding
+		if src.kind == bindKey && src.key.valid() {
+			vb = binding{kind: bindKey, key: elemOf(src.key)}
+		}
+		bindOne(x.Value, vb)
+	}
+}
+
+// elemOf is the class of elements of a collection key: same identity
+// class, multi (many runtime objects behind one static name).
+func elemOf(k key) key {
+	e := k
+	e.multi = true
+	return e
+}
+
+func (it *interp) branch(x *ast.BranchStmt) {
+	if x.Label != nil || x.Tok == token.GOTO {
+		it.unknown(fmt.Sprintf("unmodeled %s at %s", x.Tok, it.an.posLoc(x.Pos())))
+		it.live = false
+		return
+	}
+	switch x.Tok {
+	case token.BREAK:
+		if n := len(it.breakable); n > 0 {
+			c := it.breakable[n-1]
+			c.breaks = append(c.breaks, it.snap())
+		}
+		it.live = false
+	case token.CONTINUE:
+		for i := len(it.breakable) - 1; i >= 0; i-- {
+			if it.breakable[i].isLoop {
+				it.breakable[i].continues = append(it.breakable[i].continues, it.snap())
+				break
+			}
+		}
+		it.live = false
+	case token.FALLTHROUGH:
+		// Handled by switchBody: state simply flows to the next case.
+	}
+}
+
+// loop runs body to a fixpoint over the abstract state. infinite marks
+// `for {}` loops with no condition: without breaks the exit is
+// unreachable.
+func (it *interp) loop(body func(), infinite bool) {
+	entry := it.snap()
+	ctx := &breakCtx{isLoop: true}
+	it.breakable = append(it.breakable, ctx)
+	it.loopDepth++
+
+	state := entry
+	for i := 0; i < maxLoopIters; i++ {
+		it.restore(state)
+		body()
+		after := it.snap()
+		for _, c := range ctx.continues {
+			after = mergeSnap(after, c)
+		}
+		ctx.continues = nil
+		next := mergeSnap(state, after)
+		if snapEqual(next, state) {
+			break
+		}
+		state = next
+	}
+
+	it.loopDepth--
+	it.breakable = it.breakable[:len(it.breakable)-1]
+
+	exit := state
+	if infinite {
+		exit.live = false
+	}
+	for _, b := range ctx.breaks {
+		exit = mergeSnap(exit, b)
+	}
+	it.restore(exit)
+}
+
+// switchBody interprets case clauses from a common entry state and merges
+// their exits. isSelect adds a scheduling boundary per communication
+// clause.
+func (it *interp) switchBody(body *ast.BlockStmt, isSelect bool) {
+	entry := it.snap()
+	ctx := &breakCtx{}
+	it.breakable = append(it.breakable, ctx)
+
+	var exits []snapshot
+	hasDefault := false
+	var fall *snapshot
+	for _, raw := range body.List {
+		start := entry
+		if fall != nil {
+			start = *fall
+			fall = nil
+		}
+		it.restore(start)
+		var stmts []ast.Stmt
+		switch cl := raw.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				it.eval(e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				it.stmt(cl.Comm)
+				if isSelect {
+					it.boundaryAt(cl.Comm.Pos())
+				}
+			}
+			stmts = cl.Body
+		}
+		fellThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fellThrough = true
+			}
+		}
+		it.stmts(stmts)
+		if fellThrough && it.live {
+			s := it.snap()
+			fall = &s
+		} else {
+			exits = append(exits, it.snap())
+		}
+	}
+	it.breakable = it.breakable[:len(it.breakable)-1]
+
+	merged := snapshot{live: false}
+	for _, e := range exits {
+		merged = mergeSnap(merged, e)
+	}
+	for _, b := range ctx.breaks {
+		merged = mergeSnap(merged, b)
+	}
+	if !hasDefault || len(body.List) == 0 {
+		merged = mergeSnap(merged, entry)
+	}
+	it.restore(merged)
+}
+
+func (it *interp) mergeExit(fr *frame) {
+	s := it.snap()
+	if !fr.exitSet {
+		fr.exit = s
+		fr.exitSet = true
+		return
+	}
+	fr.exit = mergeSnap(fr.exit, s)
+}
+
+func (it *interp) deferCall(x *ast.DeferStmt) {
+	fr := it.frame()
+	if fr.deferSeen == nil {
+		fr.deferSeen = map[token.Pos]bool{}
+	}
+	// Arguments are evaluated at defer time.
+	it.eval(x.Call.Fun)
+	for _, a := range x.Call.Args {
+		it.eval(a)
+	}
+	if fr.deferSeen[x.Pos()] {
+		return
+	}
+	fr.deferSeen[x.Pos()] = true
+	fr.deferred = append(fr.deferred, deferredCall{call: x.Call, env: it.env})
+}
+
+// runDeferred replays deferred calls LIFO at frame exit.
+func (it *interp) runDeferred(fr *frame) {
+	for i := len(fr.deferred) - 1; i >= 0; i-- {
+		d := fr.deferred[i]
+		saved := it.env
+		it.env = d.env
+		it.call(d.call, true)
+		it.env = saved
+	}
+}

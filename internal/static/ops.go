@@ -1,0 +1,351 @@
+package static
+
+import (
+	"go/types"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// actionKind says how the interpreter should treat a recognized call.
+type actionKind uint8
+
+const (
+	actUnknown actionKind = iota // not recognized: conservative escape rules
+	actPure                      // no instrumented effect (ID, Name, ...)
+	actOp                        // emits one abstract trace op on a target
+	actFork                      // T.Fork(name, fn): boundary + sub-root
+	actInline                    // T.WithLock / T.Call / T.Atomic: wraps a closure
+	actCreator                   // Program/Var/Mutex/... creation intrinsic
+	actSetMain                   // Program.SetMain(fn): sub-root
+)
+
+// inlineFlavor distinguishes the closure-wrapping T methods.
+type inlineFlavor uint8
+
+const (
+	inlWithLock inlineFlavor = iota // acquire arg0, run arg1, release arg0
+	inlCall                         // enter/exit markers around arg1
+	inlAtomic                       // atomic markers around arg0
+	inlOnceDo                       // sync.Once.Do: fn may or may not run
+)
+
+// creatorKind distinguishes Program-level creation intrinsics.
+type creatorKind uint8
+
+const (
+	createProgram creatorKind = iota
+	createVar                 // p.Var(name)
+	createVars                // p.Vars(prefix, n) -> slice, elements multi
+	createVolatile
+	createMutex
+	createMutexes
+	createCond
+)
+
+// action is the interpretation of one call expression.
+type action struct {
+	kind    actionKind
+	op      trace.Op
+	target  int // argument index carrying the identity (-1 = receiver)
+	fnArg   int // argument index of the closure, for actFork/actInline/actSetMain
+	flavor  inlineFlavor
+	creator creatorKind
+	// guardGrade marks mutex-typed targets whose acquisition provides real
+	// mutual exclusion for guard purposes (false for read locks).
+	guardGrade bool
+}
+
+// isSchedPkg reports whether pkg is the virtual runtime package. Matching
+// by path suffix keeps recognition working when the module is vendored or
+// renamed.
+func isSchedPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "internal/sched" || strings.HasSuffix(pkg.Path(), "/internal/sched")
+}
+
+// recvNamed returns the name of the receiver's named type, or "".
+func recvNamed(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// schedAction recognizes methods and functions of the sched package.
+func schedAction(f *types.Func) (action, bool) {
+	recv := recvNamed(f)
+	name := f.Name()
+	switch recv {
+	case "T":
+		switch name {
+		case "ID", "Name":
+			return action{kind: actPure}, true
+		case "Read":
+			return action{kind: actOp, op: trace.OpRead, target: 0}, true
+		case "Write":
+			return action{kind: actOp, op: trace.OpWrite, target: 0}, true
+		case "VolRead":
+			return action{kind: actOp, op: trace.OpVolRead, target: 0}, true
+		case "VolWrite":
+			return action{kind: actOp, op: trace.OpVolWrite, target: 0}, true
+		case "Acquire":
+			return action{kind: actOp, op: trace.OpAcquire, target: 0, guardGrade: true}, true
+		case "Release":
+			return action{kind: actOp, op: trace.OpRelease, target: 0, guardGrade: true}, true
+		case "Yield":
+			return action{kind: actOp, op: trace.OpYield, target: -2}, true
+		case "Wait":
+			return action{kind: actOp, op: trace.OpWait, target: 0}, true
+		case "Signal", "Broadcast":
+			return action{kind: actOp, op: trace.OpNotify, target: 0}, true
+		case "Join":
+			return action{kind: actOp, op: trace.OpJoin, target: 0}, true
+		case "Fork":
+			return action{kind: actFork, fnArg: 1}, true
+		case "WithLock":
+			return action{kind: actInline, flavor: inlWithLock, fnArg: 1, guardGrade: true}, true
+		case "Call":
+			return action{kind: actInline, flavor: inlCall, fnArg: 1}, true
+		case "Atomic":
+			return action{kind: actInline, flavor: inlAtomic, fnArg: 0}, true
+		}
+	case "Program":
+		switch name {
+		case "Name":
+			return action{kind: actPure}, true
+		case "Var":
+			return action{kind: actCreator, creator: createVar}, true
+		case "Vars":
+			return action{kind: actCreator, creator: createVars}, true
+		case "Volatile":
+			return action{kind: actCreator, creator: createVolatile}, true
+		case "Mutex":
+			return action{kind: actCreator, creator: createMutex}, true
+		case "Mutexes":
+			return action{kind: actCreator, creator: createMutexes}, true
+		case "Cond":
+			return action{kind: actCreator, creator: createCond}, true
+		case "SetMain":
+			return action{kind: actSetMain, fnArg: 0}, true
+		}
+	case "Var", "Volatile", "Mutex":
+		switch name {
+		case "ID", "Name":
+			return action{kind: actPure}, true
+		}
+	case "Cond":
+		switch name {
+		case "Name", "Mutex":
+			return action{kind: actPure}, true
+		}
+	case "Handle":
+		if name == "TID" {
+			return action{kind: actPure}, true
+		}
+	case "":
+		if name == "NewProgram" {
+			return action{kind: actCreator, creator: createProgram}, true
+		}
+	}
+	return action{}, false
+}
+
+// syncAction recognizes the sync package's blocking primitives.
+func syncAction(f *types.Func) (action, bool) {
+	recv := recvNamed(f)
+	name := f.Name()
+	switch recv {
+	case "Mutex":
+		switch name {
+		case "Lock":
+			return action{kind: actOp, op: trace.OpAcquire, target: -1, guardGrade: true}, true
+		case "Unlock":
+			return action{kind: actOp, op: trace.OpRelease, target: -1, guardGrade: true}, true
+		case "TryLock":
+			return action{kind: actOp, op: trace.OpAcquire, target: -1}, true
+		}
+	case "RWMutex":
+		switch name {
+		case "Lock":
+			return action{kind: actOp, op: trace.OpAcquire, target: -1, guardGrade: true}, true
+		case "Unlock":
+			return action{kind: actOp, op: trace.OpRelease, target: -1, guardGrade: true}, true
+		case "RLock", "TryRLock", "TryLock":
+			// A read lock blocks like an acquire but does not exclude other
+			// readers, so it never counts as a guard.
+			return action{kind: actOp, op: trace.OpAcquire, target: -1}, true
+		case "RUnlock":
+			return action{kind: actOp, op: trace.OpRelease, target: -1}, true
+		case "RLocker":
+			return action{kind: actPure}, true
+		}
+	case "WaitGroup":
+		switch name {
+		case "Wait":
+			return action{kind: actOp, op: trace.OpWait, target: -1}, true
+		case "Add", "Done":
+			return action{kind: actOp, op: trace.OpVolWrite, target: -1}, true
+		}
+	case "Cond":
+		switch name {
+		case "Wait":
+			return action{kind: actOp, op: trace.OpWait, target: -1}, true
+		case "Signal", "Broadcast":
+			return action{kind: actOp, op: trace.OpNotify, target: -1}, true
+		}
+	case "Once":
+		if name == "Do" {
+			return action{kind: actInline, flavor: inlOnceDo, fnArg: 0}, true
+		}
+	case "Map":
+		switch name {
+		case "Load", "Range":
+			return action{kind: actOp, op: trace.OpVolRead, target: -1}, true
+		default:
+			return action{kind: actOp, op: trace.OpVolWrite, target: -1}, true
+		}
+	case "Pool":
+		return action{kind: actOp, op: trace.OpVolWrite, target: -1}, true
+	}
+	return action{}, false
+}
+
+// atomicAction recognizes sync/atomic functions and typed atomics. Every
+// atomic access is a volatile access: identity does not affect its mover
+// class, so target resolution is best-effort.
+func atomicAction(f *types.Func) (action, bool) {
+	name := f.Name()
+	if recv := recvNamed(f); recv != "" {
+		if name == "Load" {
+			return action{kind: actOp, op: trace.OpVolRead, target: -1}, true
+		}
+		return action{kind: actOp, op: trace.OpVolWrite, target: -1}, true
+	}
+	if strings.HasPrefix(name, "Load") {
+		return action{kind: actOp, op: trace.OpVolRead, target: 0}, true
+	}
+	return action{kind: actOp, op: trace.OpVolWrite, target: 0}, true
+}
+
+// recognize classifies a resolved callee. ok=false means the call is not
+// an intrinsic: the interpreter will inline it if the body is available,
+// or apply conservative escape rules otherwise.
+func recognize(f *types.Func) (action, bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return action{}, false
+	}
+	switch {
+	case isSchedPkg(pkg):
+		if a, ok := schedAction(f); ok {
+			return a, true
+		}
+		// Any other sched-package entry point (Run, Explore, NewRuntime...)
+		// executes or reconfigures programs in ways the abstract
+		// interpreter does not model.
+		return action{kind: actUnknown}, true
+	case pkg.Path() == "sync":
+		return syncAction(f)
+	case pkg.Path() == "sync/atomic":
+		return atomicAction(f)
+	}
+	return action{}, false
+}
+
+// dslValueKind classifies a type for escape analysis: which keys must be
+// tainted when a value of this type flows somewhere the interpreter
+// cannot follow. Only Var and Mutex identity matters (guards and access
+// classes); Volatile, Cond, Handle identity never changes a mover class.
+func dslValueKind(t types.Type) keyKind {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) keyKind
+	walk = func(t types.Type) keyKind {
+		if t == nil || seen[t] {
+			return kindOpaque
+		}
+		seen[t] = true
+		switch x := t.(type) {
+		case *types.Pointer:
+			return walk(x.Elem())
+		case *types.Slice:
+			return walk(x.Elem())
+		case *types.Array:
+			return walk(x.Elem())
+		case *types.Named:
+			if isSchedPkg(x.Obj().Pkg()) {
+				switch x.Obj().Name() {
+				case "Var":
+					return kindVar
+				case "Mutex":
+					return kindMutex
+				case "Volatile":
+					return kindVolatile
+				}
+			}
+			return walk(x.Underlying())
+		}
+		return kindOpaque
+	}
+	return walk(t)
+}
+
+// identityMatters reports whether values of t must be tracked for
+// soundness of guard/race claims.
+func identityMatters(t types.Type) bool {
+	k := dslValueKind(t)
+	return k == kindVar || k == kindMutex
+}
+
+// isDSLish reports whether t involves any virtual-runtime type at all
+// (used to decide whether an unknown call makes the caller's verdict
+// unknown: passing a T or Program to unanalyzable code means arbitrary
+// instrumented effects may occur).
+func isDSLish(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch x := t.(type) {
+		case *types.Pointer:
+			return walk(x.Elem())
+		case *types.Slice:
+			return walk(x.Elem())
+		case *types.Array:
+			return walk(x.Elem())
+		case *types.Map:
+			return walk(x.Key()) || walk(x.Elem())
+		case *types.Chan:
+			return walk(x.Elem())
+		case *types.Signature:
+			for i := 0; i < x.Params().Len(); i++ {
+				if walk(x.Params().At(i).Type()) {
+					return true
+				}
+			}
+			for i := 0; i < x.Results().Len(); i++ {
+				if walk(x.Results().At(i).Type()) {
+					return true
+				}
+			}
+			return false
+		case *types.Named:
+			return isSchedPkg(x.Obj().Pkg())
+		}
+		return false
+	}
+	return walk(t)
+}

@@ -1,0 +1,173 @@
+package static
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Verdict is the analyzer's conclusion about one function declaration.
+type Verdict string
+
+const (
+	// VerdictYieldFree: every static path through the function matches the
+	// reducible pattern with no cooperative scheduling point — the function
+	// is cooperable with no yields at all.
+	VerdictYieldFree Verdict = "yield-free-cooperable"
+	// VerdictCooperable: reducible as written, using the yields/boundaries
+	// it already contains.
+	VerdictCooperable Verdict = "cooperable"
+	// VerdictNeedsYields: some static path violates the reducible pattern;
+	// the findings list the program points where a yield is required.
+	VerdictNeedsYields Verdict = "needs-yields"
+	// VerdictUnknown: the function's behavior escapes the abstract
+	// interpreter (recursion, goto, runtime values reaching unanalyzable
+	// code); no claim is made.
+	VerdictUnknown Verdict = "unknown"
+)
+
+// Finding is one program point where a static path violates the
+// reducible pattern (right|both)* [non] (left|both)*: a yield is required
+// immediately before the operation at Loc.
+type Finding struct {
+	// Loc is the operation's location in the runtime's "dir/file.go:line"
+	// format, directly comparable with dynamic checker reports.
+	Loc string `json:"loc"`
+	// Op is the abstract operation kind (read, write, acquire, ...).
+	Op string `json:"op"`
+	// Mover is the operation's mover class (right or non, for a violation).
+	Mover string `json:"mover"`
+	// Commit describes the transaction's commit action, when known.
+	Commit string `json:"commit,omitempty"`
+	// Target is the abstract object class the operation touches.
+	Target string `json:"target,omitempty"`
+}
+
+// FuncReport is the per-declaration result.
+type FuncReport struct {
+	Name string `json:"name"`
+	Loc  string `json:"loc"`
+	// File/StartLine/EndLine delimit the declaration in the runtime's
+	// trimmed-path format, so dynamic report locations can be tested for
+	// containment.
+	File       string    `json:"file"`
+	StartLine  int       `json:"start"`
+	EndLine    int       `json:"end"`
+	Verdict    Verdict   `json:"verdict"`
+	Yields     int       `json:"yields,omitempty"`
+	Boundaries int       `json:"boundaries,omitempty"`
+	Findings   []Finding `json:"findings,omitempty"`
+	Unknown    []string  `json:"unknown,omitempty"`
+}
+
+// SpecDiag is a diagnostic against a yield-spec file.
+type SpecDiag struct {
+	Spec string `json:"spec"`
+	// Kind is "stale" (the location no longer names an instrumented
+	// operation) or "redundant" (the containing function is proven
+	// cooperable without the annotation).
+	Kind   string `json:"kind"`
+	Loc    string `json:"loc"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stats summarizes a report.
+type Stats struct {
+	Funcs       int `json:"funcs"`
+	YieldFree   int `json:"yield_free"`
+	Cooperable  int `json:"cooperable"`
+	NeedsYields int `json:"needs_yields"`
+	Unknown     int `json:"unknown"`
+	Findings    int `json:"findings"`
+}
+
+// Report is the full, deterministic result of one analysis run.
+type Report struct {
+	Dirs       []string     `json:"dirs"`
+	Funcs      []FuncReport `json:"funcs"`
+	Findings   []Finding    `json:"findings,omitempty"`
+	SpecDiags  []SpecDiag   `json:"spec_diags,omitempty"`
+	TypeErrors int          `json:"type_errors,omitempty"`
+	Stats      Stats        `json:"stats"`
+}
+
+// WriteJSON emits the machine-readable form.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits the human-readable form.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, f := range r.Funcs {
+		if f.Verdict == VerdictYieldFree && len(f.Findings) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s: %s\n", f.Loc, f.Name, f.Verdict)
+		for _, fd := range f.Findings {
+			fmt.Fprintf(w, "  %s: yield required before %s (%s mover", fd.Loc, fd.Op, fd.Mover)
+			if fd.Commit != "" {
+				fmt.Fprintf(w, " after commit %s", fd.Commit)
+			}
+			fmt.Fprintf(w, ")\n")
+		}
+		for _, u := range f.Unknown {
+			fmt.Fprintf(w, "  unknown: %s\n", u)
+		}
+	}
+	for _, d := range r.SpecDiags {
+		fmt.Fprintf(w, "%s: %s yield %s", d.Spec, d.Kind, d.Loc)
+		if d.Detail != "" {
+			fmt.Fprintf(w, " (%s)", d.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d funcs: %d yield-free, %d cooperable, %d need yields, %d unknown; %d findings\n",
+		r.Stats.Funcs, r.Stats.YieldFree, r.Stats.Cooperable, r.Stats.NeedsYields,
+		r.Stats.Unknown, r.Stats.Findings)
+	return nil
+}
+
+// Func returns the report for a declaration by (unqualified) name, e.g.
+// "buildBank" or "Counter.Add".
+func (r *Report) Func(name string) (FuncReport, bool) {
+	for _, f := range r.Funcs {
+		if f.Name == name || shortName(f.Name) == name {
+			return f, true
+		}
+	}
+	return FuncReport{}, false
+}
+
+// Contains reports whether a "dir/file.go:line" location falls inside
+// the declaration's source range.
+func (f FuncReport) Contains(loc string) bool {
+	file, line := splitLoc(loc)
+	return file == f.File && line >= f.StartLine && line <= f.EndLine
+}
+
+// Claimed reports whether the verdict is a positive cooperability claim
+// (no violation can occur in this function on any schedule).
+func (f FuncReport) Claimed() bool {
+	return f.Verdict == VerdictYieldFree || f.Verdict == VerdictCooperable
+}
+
+func shortName(qualified string) string {
+	for i := 0; i < len(qualified); i++ {
+		if qualified[i] == '.' {
+			return qualified[i+1:]
+		}
+	}
+	return qualified
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Loc != fs[j].Loc {
+			return fs[i].Loc < fs[j].Loc
+		}
+		return fs[i].Op < fs[j].Op
+	})
+}

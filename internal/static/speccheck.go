@@ -1,0 +1,67 @@
+package static
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// checkSpec diagnoses a yield-spec file against the finished analysis:
+//
+//   - stale: the annotated location no longer names an instrumented
+//     operation anywhere in the analyzed universe (the code moved or was
+//     deleted; the annotation silently does nothing).
+//   - redundant: the containing function is proven cooperable without
+//     consulting the spec, or the source already yields at that exact
+//     location — the annotation adds no scheduling point the program
+//     needs.
+//
+// Diagnostics are advisory: neither kind makes the spec incorrect, both
+// mean it has drifted from the source.
+func (a *analysis) checkSpec(path string, rep *Report) []SpecDiag {
+	s, err := spec.Load(path)
+	if err != nil {
+		return []SpecDiag{{Spec: path, Kind: "error", Detail: err.Error()}}
+	}
+	var out []SpecDiag
+	for _, loc := range s.Yields {
+		if !a.opLocs[loc] {
+			out = append(out, SpecDiag{
+				Spec: path, Kind: "stale", Loc: loc,
+				Detail: "location is not an instrumented operation in the analyzed packages",
+			})
+			continue
+		}
+		if a.yieldLocs[loc] {
+			out = append(out, SpecDiag{
+				Spec: path, Kind: "redundant", Loc: loc,
+				Detail: "source already yields here",
+			})
+			continue
+		}
+		if fn, ok := a.containingFunc(rep, loc); ok {
+			if fn.Verdict == VerdictYieldFree || fn.Verdict == VerdictCooperable {
+				out = append(out, SpecDiag{
+					Spec: path, Kind: "redundant", Loc: loc,
+					Detail: fmt.Sprintf("%s is proven %s without this annotation", fn.Name, fn.Verdict),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// containingFunc finds the analyzed declaration whose source range covers
+// loc ("dir/file.go:line").
+func (a *analysis) containingFunc(rep *Report, loc string) (FuncReport, bool) {
+	file, line := splitLoc(loc)
+	for i, r := range a.roots {
+		start, end := a.fset.Position(r.decl.Pos()), a.fset.Position(r.decl.End())
+		if trimLoc(start.Filename) == file && line >= start.Line && line <= end.Line {
+			if i < len(rep.Funcs) {
+				return rep.Funcs[i], true
+			}
+		}
+	}
+	return FuncReport{}, false
+}

@@ -1,0 +1,85 @@
+// Package dsl is a static-analysis test corpus over the virtual runtime:
+// each function exercises one verdict class.
+package dsl
+
+import "repro/internal/sched"
+
+// BuildGuarded is fully lock-disciplined: every access to x happens under
+// m, so bump is yield-free cooperable.
+func BuildGuarded() *sched.Program {
+	p := sched.NewProgram("guarded")
+	m := p.Mutex("m")
+	x := p.Var("x")
+	p.SetMain(func(t *sched.T) {
+		h1 := t.Fork("w1", func(t *sched.T) { bump(t, m, x) })
+		h2 := t.Fork("w2", func(t *sched.T) { bump(t, m, x) })
+		t.Join(h1)
+		t.Join(h2)
+	})
+	return p
+}
+
+func bump(t *sched.T, m *sched.Mutex, x *sched.Var) {
+	t.Acquire(m)
+	t.Write(x, t.Read(x)+1)
+	t.Release(m)
+}
+
+// BuildRacy runs racer from two threads with no locks: the second write
+// is a non mover after a committed non mover, so racer needs a yield.
+func BuildRacy() *sched.Program {
+	p := sched.NewProgram("racy")
+	x := p.Var("x")
+	y := p.Var("y")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("w", func(t *sched.T) { racer(t, x, y) })
+		racer(t, x, y)
+		t.Join(h)
+	})
+	return p
+}
+
+func racer(t *sched.T, x, y *sched.Var) {
+	t.Write(x, 1)
+	t.Write(y, 2)
+}
+
+// BuildYielding is the repaired racy program: an explicit yield separates
+// the two commits, so polite is cooperable (but not yield-free).
+func BuildYielding() *sched.Program {
+	p := sched.NewProgram("yielding")
+	x := p.Var("x")
+	y := p.Var("y")
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("w", func(t *sched.T) { polite(t, x, y) })
+		polite(t, x, y)
+		t.Join(h)
+	})
+	return p
+}
+
+func polite(t *sched.T, x, y *sched.Var) {
+	t.Write(x, 1)
+	t.Yield()
+	t.Write(y, 2)
+}
+
+// Weird uses goto, which the abstract interpreter does not model: the
+// verdict must be unknown, never a cooperability claim.
+func Weird(t *sched.T, x *sched.Var) {
+	i := 0
+loop:
+	t.Write(x, 1)
+	i++
+	if i < 3 {
+		goto loop
+	}
+}
+
+// WithLockHeld uses the scoped-lock helper; the closure body runs under
+// the mutex, so the whole function is yield-free.
+func WithLockHeld(t *sched.T, m *sched.Mutex, x *sched.Var) {
+	t.WithLock(m, func() {
+		t.Write(x, t.Read(x)+1)
+	})
+}

@@ -1,0 +1,34 @@
+// Package plaingo is a static-analysis test corpus over ordinary Go
+// concurrency primitives (sync.Mutex, goroutines, package variables).
+package plaingo
+
+import "sync"
+
+// Counter is the canonical lock-guarded plain-Go counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc is yield-free cooperable: the access is consistently guarded.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+var total int
+
+// AddTotal writes the unguarded package counter that Spawn also touches
+// concurrently: it needs a yield between the racy read and write.
+func AddTotal(n int) {
+	for i := 0; i < n; i++ {
+		total += n
+	}
+}
+
+// Spawn creates the concurrency that makes total racy.
+func Spawn(c *Counter) {
+	go func() { c.Inc() }()
+	go func() { total++ }()
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke profile fuzz vet fmt tables html examples clean
+.PHONY: all build test test-race test-short cover bench bench-smoke bench-check profile fuzz vet fmt tables html examples clean
 
 all: build test
 
@@ -32,6 +32,13 @@ bench:
 # runs, without paying for stable numbers.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# Regression gate: re-run the full sweep (best of 2) and fail if any
+# benchmark regressed more than 10% on its primary metric (events/s where
+# reported, else ns/op) against the committed BENCH_latest.json. CI runs a
+# faster throughput-only subset of this; see .github/workflows/ci.yml.
+bench-check:
+	$(GO) test -bench=. -benchmem -count=2 ./... | $(GO) run ./cmd/benchjson -compare BENCH_latest.json > /dev/null
 
 # CPU + heap profile of a checker hot loop. Writes cpu.prof / mem.prof and
 # prints the pprof -top summaries. Override the package or benchmark:

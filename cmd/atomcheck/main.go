@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/atom"
 	"repro/internal/cli"
+	"repro/internal/sched"
 	"repro/internal/velodrome"
 )
 
@@ -35,8 +36,13 @@ func main() {
 	}
 	azTotal, veloTotal := 0, 0
 	for i, tr := range traces {
-		az := atom.Analyze(tr, atom.Options{MethodsAtomic: *methods})
-		velo := velodrome.Analyze(tr, velodrome.Options{MethodsAtomic: *methods})
+		// One batched scan feeds both checkers (sched.FeedTrace), matching
+		// the fused Table 3 pipeline instead of two per-checker scans.
+		az := atom.New(atom.Options{MethodsAtomic: *methods})
+		vc := velodrome.New(velodrome.Options{MethodsAtomic: *methods})
+		sched.FeedTrace(tr, 0, az, vc)
+		velo := vc.Violations()
+		vc.FlushMetrics(len(velo))
 		fmt.Printf("schedule %d (%s): atomizer %d violation(s), velodrome %d unserializable\n",
 			i, tr.Meta.Strategy, len(az.Violations()), len(velo))
 		for _, v := range az.Violations() {

@@ -4,16 +4,29 @@
 // `make bench` tees the raw text through it into BENCH_latest.json so runs
 // can be diffed mechanically; the text form stays benchstat-compatible.
 //
-// Usage:
+// With -compare it additionally diffs the parsed results against a
+// committed baseline JSON (exit 1 on regression), which is what the CI
+// regression gate runs:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_latest.json
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -compare BENCH_latest.json > /dev/null
+//
+// Comparison is per benchmark (matched by package+name) on one primary
+// metric: events/s when both sides report it (higher is better), ns/op
+// otherwise (lower is better). A change past -threshold (default 0.10,
+// i.e. 10%) in the losing direction is a regression; benchmarks present on
+// only one side are listed but never fail the run, so adding or removing a
+// benchmark does not require regenerating the baseline in the same commit.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -26,8 +39,11 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-func main() {
-	sc := bufio.NewScanner(os.Stdin)
+func (r Result) key() string { return r.Package + "/" + r.Name }
+
+// parseText reads `go test -bench` text output.
+func parseText(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	out := []Result{} // encode as [] (not null) when nothing matches
 	pkg := ""
@@ -59,14 +75,149 @@ func main() {
 		}
 		out = append(out, r)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return out, sc.Err()
+}
+
+// primaryMetric picks the metric a pair of results is compared on.
+// events/s is the throughput the fused-engine benchmarks exist to guard, so
+// it wins when both sides have it; ns/op is the universal fallback.
+func primaryMetric(old, new Result) (name string, higherIsBetter bool, ok bool) {
+	if _, a := old.Metrics["events/s"]; a {
+		if _, b := new.Metrics["events/s"]; b {
+			return "events/s", true, true
+		}
 	}
+	if _, a := old.Metrics["ns/op"]; a {
+		if _, b := new.Metrics["ns/op"]; b {
+			return "ns/op", false, true
+		}
+	}
+	return "", false, false
+}
+
+// mergeBest collapses duplicate benchmark keys (from `go test -count=N`)
+// into one best-of-N result: max for throughput metrics (.../s), min for
+// everything else (ns/op, B/op, allocs/op). Best-of-N is the standard
+// noise filter for regression gating on shared CI runners.
+func mergeBest(in []Result) map[string]Result {
+	out := map[string]Result{}
+	for _, r := range in {
+		k := r.key()
+		prev, ok := out[k]
+		if !ok {
+			out[k] = r
+			continue
+		}
+		for m, v := range r.Metrics {
+			pv, seen := prev.Metrics[m]
+			better := v < pv // lower is better by default
+			if strings.HasSuffix(m, "/s") {
+				better = v > pv
+			}
+			if !seen || better {
+				prev.Metrics[m] = v
+			}
+		}
+		out[k] = prev
+	}
+	return out
+}
+
+// compare diffs new against base and reports regressions past threshold.
+// It writes a human-readable summary to w and returns the regressed lines.
+func compare(w io.Writer, base, new []Result, threshold float64) []string {
+	baseBy := mergeBest(base)
+	newBy := mergeBest(new)
+	keys := make([]string, 0, len(newBy))
+	for k := range newBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions []string
+	for _, k := range keys {
+		nr := newBy[k]
+		br, ok := baseBy[k]
+		if !ok {
+			fmt.Fprintf(w, "  new       %-60s (no baseline)\n", k)
+			continue
+		}
+		metric, higher, ok := primaryMetric(br, nr)
+		if !ok {
+			fmt.Fprintf(w, "  skip      %-60s (no comparable metric)\n", k)
+			continue
+		}
+		ov, nv := br.Metrics[metric], nr.Metrics[metric]
+		if ov == 0 {
+			continue
+		}
+		change := nv/ov - 1 // signed relative change in the metric
+		verdict := "ok"
+		regressed := false
+		if higher {
+			regressed = change < -threshold
+		} else {
+			regressed = change > threshold
+		}
+		if regressed {
+			verdict = "REGRESSED"
+		}
+		line := fmt.Sprintf("%-9s %-60s %-10s %14.4g -> %14.4g  (%+.1f%%)",
+			verdict, k, metric, ov, nv, change*100)
+		fmt.Fprintln(w, " ", line)
+		if regressed {
+			regressions = append(regressions, line)
+		}
+	}
+	for k := range baseBy {
+		if _, ok := newBy[k]; !ok {
+			fmt.Fprintf(w, "  removed   %-60s (in baseline only)\n", k)
+		}
+	}
+	return regressions
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	compareWith := flag.String("compare", "", "baseline JSON file to compare against (exit 1 on regression)")
+	threshold := flag.Float64("threshold", 0.10, "relative regression tolerance on the primary metric")
+	flag.Parse()
+
+	results, err := parseText(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+
+	if *compareWith == "" {
+		return
+	}
+	raw, err := os.ReadFile(*compareWith)
+	if err != nil {
+		fatal(err)
+	}
+	var base []Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing baseline %s: %w", *compareWith, err))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: comparing %d benchmarks against %s (threshold %.0f%%)\n",
+		len(results), *compareWith, *threshold*100)
+	regressions := compare(os.Stderr, base, results, *threshold)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%:\n", len(regressions), *threshold*100)
+		for _, l := range regressions {
+			fmt.Fprintln(os.Stderr, " ", l)
+		}
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "benchjson: no regressions")
 }

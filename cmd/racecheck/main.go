@@ -16,6 +16,7 @@ import (
 	"repro/internal/lockorder"
 	"repro/internal/lockset"
 	"repro/internal/race"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -41,8 +42,13 @@ func main() {
 	lsVars := map[string]bool{}
 	ftReports, lsReports := 0, 0
 	for i, tr := range traces {
-		d := race.Analyze(tr)
-		ls := lockset.Analyze(tr)
+		// One batched scan feeds both detectors (sched.FeedTrace), matching
+		// the fused Table 3 pipeline instead of two per-checker scans.
+		d := race.New()
+		ls := lockset.New()
+		sched.FeedTrace(tr, 0, d, ls)
+		d.FlushMetrics()
+		ls.FlushMetrics()
 		fmt.Printf("schedule %d (%s): fasttrack %d race(s), lockset %d warning(s)\n",
 			i, tr.Meta.Strategy, len(d.Races()), len(ls.Warnings()))
 		for _, r := range d.Races() {
@@ -59,9 +65,7 @@ func main() {
 	// Lock-order (potential deadlock) analysis over the union of traces.
 	lo := lockorder.New()
 	for _, tr := range traces {
-		for _, e := range tr.Events {
-			lo.Event(e)
-		}
+		sched.FeedTrace(tr, 0, lo)
 	}
 	potential := lo.Unguarded()
 	for _, w := range potential {

@@ -52,6 +52,11 @@ type Options struct {
 	MethodsAtomic bool
 	// KnownRaces enables two-pass mover classification, as in core.
 	KnownRaces map[uint64]bool
+	// RaceOnsets replays the default online classification from a
+	// completed race pass (race.Detector.RaceOnsets): identical warnings
+	// to online mode without the embedded detector's cost. Takes
+	// precedence over KnownRaces; the fused pipeline uses this.
+	RaceOnsets map[uint64]int
 }
 
 type threadState struct {
@@ -69,11 +74,19 @@ const (
 	post
 )
 
-// Checker is the streaming atomicity analysis; it implements sched.Observer.
+// Checker is the streaming atomicity analysis; it implements sched.Observer
+// and sched.BatchObserver.
 type Checker struct {
-	opts    Options
-	cls     *movers.Classifier
-	threads map[trace.TID]*threadState
+	opts Options
+	cls  *movers.Classifier
+	// allBoth caches Classifier.AccessesAllBoth: with empty race knowledge
+	// every access is a both mover, which the phase automaton ignores, so
+	// the batch path can retire accesses with just the event count.
+	allBoth bool
+	// threads is dense per-TID state: the runtime assigns consecutive ids,
+	// so a slice replaces the former map on the per-event hot path (the
+	// zero threadState is exactly a fresh one: depth 0, pre-commit).
+	threads []threadState
 
 	violations []Violation
 	seen       map[vioKey]bool
@@ -93,26 +106,55 @@ type vioKey struct {
 func New(opts Options) *Checker {
 	policy := movers.Policy{ForkIsBoundary: false, JoinIsBoundary: false}
 	var cls *movers.Classifier
-	if opts.KnownRaces != nil {
+	switch {
+	case opts.RaceOnsets != nil:
+		cls = movers.NewWithRaceOnsets(policy, opts.RaceOnsets)
+	case opts.KnownRaces != nil:
 		cls = movers.NewWithKnownRaces(policy, opts.KnownRaces)
-	} else {
+	default:
 		cls = movers.NewOnline(policy)
 	}
 	return &Checker{
 		opts:    opts,
 		cls:     cls,
-		threads: make(map[trace.TID]*threadState),
+		allBoth: cls.AccessesAllBoth(),
 		seen:    make(map[vioKey]bool),
 	}
 }
 
-func (c *Checker) state(t trace.TID) *threadState {
-	s, ok := c.threads[t]
-	if !ok {
-		s = &threadState{}
-		c.threads[t] = s
+// HintEvents presizes internal state for a run of about n events; the
+// virtual runtime forwards sched.Options.EventsHint here before the first
+// event or batch. The hint flows through to the classifier's embedded race
+// detector (online mode), whose clock arena is the only event-proportional
+// allocation the checker owns.
+func (c *Checker) HintEvents(n int) {
+	if n <= 0 || c.events > 0 {
+		return
 	}
-	return s
+	if c.threads == nil {
+		c.threads = make([]threadState, 0, 16)
+	}
+	c.cls.HintEvents(n)
+}
+
+func (c *Checker) state(t trace.TID) *threadState {
+	if int(t) < len(c.threads) {
+		return &c.threads[t]
+	}
+	return c.stateSlow(t)
+}
+
+func (c *Checker) stateSlow(t trace.TID) *threadState {
+	if n := int(t) + 1; n > len(c.threads) {
+		if n > cap(c.threads) {
+			grown := make([]threadState, n, 2*n)
+			copy(grown, c.threads)
+			c.threads = grown
+		} else {
+			c.threads = c.threads[:n]
+		}
+	}
+	return &c.threads[t]
 }
 
 // Event processes one event in trace order.
@@ -170,6 +212,29 @@ func (c *Checker) Event(e trace.Event) {
 	}
 }
 
+// ObserveBatch processes one batch of events in trace order; it implements
+// sched.BatchObserver (the fused pipeline's amortized-dispatch path).
+//
+// With empty race knowledge (allBoth) an access classifies Both, and Event
+// reduces to the event count for it: Both is a no-op in the phase switch
+// whether or not a block is open, and state materialization is deferred to
+// the thread's next structural event. That case retires inline here.
+func (c *Checker) ObserveBatch(batch []trace.Event) {
+	if c.allBoth {
+		for i := range batch {
+			if op := batch[i].Op; op == trace.OpRead || op == trace.OpWrite {
+				c.events++
+				continue
+			}
+			c.Event(batch[i])
+		}
+		return
+	}
+	for i := range batch {
+		c.Event(batch[i])
+	}
+}
+
 func (c *Checker) report(s *threadState, v Violation) {
 	if s.violated {
 		return // one report per block instance keeps counts comparable
@@ -199,6 +264,7 @@ func (c *Checker) Events() int { return c.events }
 // Analyze runs a fresh checker over a complete trace.
 func Analyze(tr *trace.Trace, opts Options) *Checker {
 	c := New(opts)
+	c.HintEvents(tr.Len())
 	for _, e := range tr.Events {
 		c.Event(e)
 	}

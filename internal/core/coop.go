@@ -121,6 +121,10 @@ type Stats struct {
 type Checker struct {
 	opts Options
 	cls  *movers.Classifier
+	// allBoth caches Classifier.AccessesAllBoth (two-pass mode with an empty
+	// racy set): every access is then a both mover, whose automaton step is
+	// OutcomeAdvance, so the batch path retires accesses without classifying.
+	allBoth bool
 	// threads is dense per-TID state: the runtime assigns consecutive ids,
 	// so a slice replaces the former map on the per-event hot path.
 	threads []threadState
@@ -175,6 +179,7 @@ func New(opts Options) *Checker {
 	c := &Checker{
 		opts:            opts,
 		cls:             cls,
+		allBoth:         cls.AccessesAllBoth(),
 		yieldingMethods: make(map[uint64]bool),
 		seenMethods:     make(map[uint64]bool),
 	}
@@ -199,7 +204,58 @@ func New(opts Options) *Checker {
 // its embedded race detector).
 func (c *Checker) Classifier() *movers.Classifier { return c.cls }
 
+// HintEvents presizes internal state for a run of about n events; the
+// virtual runtime forwards sched.Options.EventsHint here before the first
+// event or batch. The hint flows through to the classifier's embedded race
+// detector (online mode), the checker's only event-proportional state.
+func (c *Checker) HintEvents(n int) {
+	if n <= 0 || c.stats.Events > 0 {
+		return
+	}
+	if c.threads == nil {
+		c.threads = make([]threadState, 0, 16)
+	}
+	c.cls.HintEvents(n)
+}
+
+// ObserveBatch processes one batch of events in trace order; it implements
+// sched.BatchObserver (the fused pipeline's amortized-dispatch path).
+//
+// When the racy set is known empty (allBoth) an access that carries no
+// inferred-yield annotation classifies Both, and Event reduces to counters
+// plus a transaction-length tick — the automaton's Both step is
+// OutcomeAdvance with no phase effect. That case retires inline here;
+// structural events and annotated locations take the full path.
+func (c *Checker) ObserveBatch(batch []trace.Event) {
+	if c.allBoth {
+		for i := range batch {
+			e := batch[i]
+			if (e.Op == trace.OpRead || e.Op == trace.OpWrite) &&
+				!(e.Loc > 0 && int(e.Loc) < len(c.yieldLocs) && c.yieldLocs[e.Loc]) {
+				c.stats.Events++
+				c.current = e.Idx
+				c.state(e.Tid).txLen++
+				continue
+			}
+			c.Event(e)
+		}
+		return
+	}
+	for i := range batch {
+		c.Event(batch[i])
+	}
+}
+
 func (c *Checker) state(t trace.TID) *threadState {
+	if int(t) < len(c.threads) {
+		if s := &c.threads[t]; s.live {
+			return s
+		}
+	}
+	return c.stateSlow(t)
+}
+
+func (c *Checker) stateSlow(t trace.TID) *threadState {
 	if n := int(t) + 1; n > len(c.threads) {
 		if n > cap(c.threads) {
 			grown := make([]threadState, n, 2*n)
@@ -368,6 +424,7 @@ func (c *Checker) YieldFreeFraction() float64 {
 // Analyze runs a fresh checker over a complete trace.
 func Analyze(tr *trace.Trace, opts Options) *Checker {
 	c := New(opts)
+	c.HintEvents(tr.Len())
 	for _, e := range tr.Events {
 		c.Event(e)
 	}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fusedBenchTrace builds a method-span-structured trace exercising every
+// fused checker's hot path at once: lock-guarded shared accesses (vector
+// clock joins, lockset intersections, velodrome communication edges),
+// same-epoch thread-local bursts (the access fast paths of all five
+// analyses), and method boundaries (transaction open/close for atom,
+// velodrome, and the cooperability automaton).
+func fusedBenchTrace(nThreads, rounds int) *trace.Trace {
+	b := trace.NewBuilder()
+	b.On(0).Begin()
+	for t := 1; t < nThreads; t++ {
+		b.On(0).Fork(trace.TID(t))
+		b.On(trace.TID(t)).Begin()
+	}
+	for i := 0; i < rounds; i++ {
+		for t := 0; t < nThreads; t++ {
+			tid := trace.TID(t)
+			m := uint64(t)
+			// Yield between rounds (outside the method span): the program
+			// is cooperable, so the coop automaton runs its steady-state
+			// path rather than the violation-report path.
+			b.On(tid).Yield()
+			b.Enter(m)
+			b.Acq(0)
+			b.Read(100).Write(100) // shared, guarded
+			b.Rel(0)
+			// Thread-local same-epoch burst: no intervening sync, so every
+			// analysis takes its cheapest access path.
+			local := uint64(200 + t)
+			for k := 0; k < 6; k++ {
+				b.Read(local).Write(local)
+			}
+			b.Exit(m)
+		}
+	}
+	for t := nThreads - 1; t >= 1; t-- {
+		b.On(trace.TID(t)).End()
+		b.On(0).Join(trace.TID(t))
+	}
+	b.On(0).End()
+	return b.Trace()
+}
+
+// BenchmarkFusedCheckers times the full fused pipeline — FastTrack,
+// Eraser, Atomizer, Velodrome, and the two-pass cooperability checker —
+// over one trace. The events/s metric counts analysis-events (trace events
+// × 5 analyses) per wall-clock second: the number of per-event analysis
+// steps the fused engine retires, which is what the per-checker benchmarks
+// report individually.
+func BenchmarkFusedCheckers(b *testing.B) {
+	tr := fusedBenchTrace(4, 4000)
+	b.ReportAllocs()
+	events := tr.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa := FusedRunner{}.Analyze(tr)
+		if len(fa.KnownRaces) != 0 {
+			b.Fatalf("bench trace unexpectedly racy: %v", fa.KnownRaces)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*5*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "trace-events/s")
+}
+
+// BenchmarkLegacyCheckers times the same five analyses as separate
+// per-checker trace scans — the pre-fusion Table 3 structure — so the
+// fused/legacy ratio is directly readable from one bench run.
+func BenchmarkLegacyCheckers(b *testing.B) {
+	tr := fusedBenchTrace(4, 4000)
+	b.ReportAllocs()
+	events := tr.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la := analyzeLegacy(tr)
+		if len(la.known) != 0 {
+			b.Fatalf("bench trace unexpectedly racy: %v", la.known)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*5*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "trace-events/s")
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/lockset"
+	"repro/internal/movers"
+	"repro/internal/race"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/velodrome"
+)
+
+// FusedRunner runs every Table 3 checker over a recorded trace in two
+// scans instead of the six-plus the per-checker Analyze functions cost:
+//
+//   - Pass 1 feeds FastTrack, Eraser, and Velodrome one shared batched
+//     scan (sched.FeedTrace), so the trace is decoded and walked once and
+//     each event reaches all three analyses while it is still
+//     cache-resident.
+//   - Pass 2 fuses Atomizer and the two-pass cooperability checker,
+//     both reusing pass 1's race results: the coop checker gets the
+//     racy-variable set (identical to race.RacyVarsOf — FastTrack is
+//     deterministic), and Atomizer gets the per-variable first-race
+//     indices (RaceOnsets), which replay its online classification —
+//     first racy access still Both — without a second embedded detector.
+//
+// Warnings are byte-identical to the per-checker Analyze functions.
+//
+// The zero value is ready to use.
+type FusedRunner struct {
+	// BatchSize is the event-batch granularity handed to observers; zero
+	// means sched.DefaultBatchSize.
+	BatchSize int
+}
+
+// FusedAnalysis bundles the per-trace results of one fused run. The
+// checker instances are the live analyses — read their accessors exactly
+// as if each had run alone via its package Analyze function.
+type FusedAnalysis struct {
+	Race      *race.Detector
+	Lockset   *lockset.Checker
+	Atom      *atom.Checker
+	Velodrome *velodrome.Checker
+	// VeloViolations caches Velodrome.Violations() (the Tarjan pass runs
+	// once, here).
+	VeloViolations []velodrome.Violation
+	// Coop is the two-pass cooperability checker under the default policy
+	// with no yield set — the "coop-before" column.
+	Coop *core.Checker
+	// KnownRaces is pass 1's racy-variable set, equal to
+	// race.RacyVarsOf(tr); reuse it for further coop passes over the same
+	// trace (AnalyzeCoop) instead of re-running race detection.
+	KnownRaces map[uint64]bool
+}
+
+// Analyze runs the fused pipeline over one recorded trace. Metrics are
+// flushed once per checker, matching the per-checker Analyze functions.
+func (f FusedRunner) Analyze(tr *trace.Trace) *FusedAnalysis {
+	d := race.New()
+	ls := lockset.New()
+	vc := velodrome.New(velodrome.Options{MethodsAtomic: true})
+	sched.FeedTrace(tr, f.BatchSize, d, ls, vc)
+	vios := vc.Violations()
+	d.FlushMetrics()
+	ls.FlushMetrics()
+	vc.FlushMetrics(len(vios))
+
+	known := d.RacyVarSet()
+	ac := atom.New(atom.Options{MethodsAtomic: true, RaceOnsets: d.RaceOnsets()})
+	coop := core.New(core.Options{Policy: movers.DefaultPolicy(), KnownRaces: known})
+	sched.FeedTrace(tr, f.BatchSize, ac, coop)
+	coop.FlushMetrics()
+
+	return &FusedAnalysis{
+		Race:           d,
+		Lockset:        ls,
+		Atom:           ac,
+		Velodrome:      vc,
+		VeloViolations: vios,
+		Coop:           coop,
+		KnownRaces:     known,
+	}
+}
+
+// AnalyzeCoop runs another cooperability pass over the same trace (e.g.
+// with an inferred yield set), reusing the fused racy-variable set: one
+// scan instead of a race pass plus a coop pass. opts.KnownRaces, when set,
+// wins over the cached set.
+func (a *FusedAnalysis) AnalyzeCoop(tr *trace.Trace, opts core.Options) *core.Checker {
+	if opts.KnownRaces == nil {
+		opts.KnownRaces = a.KnownRaces
+	}
+	return core.Analyze(tr, opts)
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lockset"
+	"repro/internal/movers"
+	"repro/internal/race"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/velodrome"
+	"repro/internal/workloads"
+)
+
+// legacyAnalysis runs every Table 3 checker the pre-fusion way: one
+// per-event Analyze pass per checker, race detection re-run for the
+// two-pass cooperability checker. The differential tests hold the fused
+// engine to byte-equality against this.
+type legacyAnalysis struct {
+	racyVars []uint64
+	lsVars   []uint64
+	atomViol []atom.Violation
+	atomBlk  int
+	veloViol []velodrome.Violation
+	coopViol []core.Violation
+	known    map[uint64]bool
+}
+
+func analyzeLegacy(tr *trace.Trace) legacyAnalysis {
+	d := race.Analyze(tr)
+	ls := lockset.Analyze(tr)
+	ac := atom.Analyze(tr, atom.Options{MethodsAtomic: true})
+	vv := velodrome.Analyze(tr, velodrome.Options{MethodsAtomic: true})
+	cc := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy()})
+	return legacyAnalysis{
+		racyVars: d.RacyVars(),
+		lsVars:   ls.WarnedVars(),
+		atomViol: ac.Violations(),
+		atomBlk:  ac.Blocks(),
+		veloViol: vv,
+		coopViol: cc.Violations(),
+		known:    race.RacyVarsOf(tr),
+	}
+}
+
+func diffFused(t *testing.T, label string, tr *trace.Trace, batchSize int) {
+	t.Helper()
+	want := analyzeLegacy(tr)
+	fa := FusedRunner{BatchSize: batchSize}.Analyze(tr)
+	if got := fa.Race.RacyVars(); !reflect.DeepEqual(got, want.racyVars) {
+		t.Fatalf("%s: racy vars: fused %v, legacy %v", label, got, want.racyVars)
+	}
+	if got := fa.Lockset.WarnedVars(); !reflect.DeepEqual(got, want.lsVars) {
+		t.Fatalf("%s: lockset warned vars: fused %v, legacy %v", label, got, want.lsVars)
+	}
+	if got := fa.Atom.Violations(); !reflect.DeepEqual(got, want.atomViol) {
+		t.Fatalf("%s: atom violations: fused %v, legacy %v", label, got, want.atomViol)
+	}
+	if got := fa.Atom.Blocks(); got != want.atomBlk {
+		t.Fatalf("%s: atom blocks: fused %d, legacy %d", label, got, want.atomBlk)
+	}
+	if got := fa.VeloViolations; !reflect.DeepEqual(got, want.veloViol) {
+		t.Fatalf("%s: velodrome violations: fused %v, legacy %v", label, got, want.veloViol)
+	}
+	if got := fa.Coop.Violations(); !reflect.DeepEqual(got, want.coopViol) {
+		t.Fatalf("%s: coop violations: fused %v, legacy %v", label, got, want.coopViol)
+	}
+	if !reflect.DeepEqual(fa.KnownRaces, want.known) {
+		t.Fatalf("%s: racy set: fused %v, race.RacyVarsOf %v", label, fa.KnownRaces, want.known)
+	}
+}
+
+// TestFusedDifferentialFuzz sweeps 200 generated programs through the
+// fused batched pipeline and the legacy per-event path; every checker must
+// produce the identical violation set. Small odd batch sizes exercise
+// batch-boundary handling, the default exercises the production shape.
+func TestFusedDifferentialFuzz(t *testing.T) {
+	const seeds = 200
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := gen.Config{
+			Threads:      2 + int(seed%4),
+			Vars:         3 + int(seed%3),
+			OpsPerThread: 10 + int(seed%8),
+		}
+		res, err := sched.Run(gen.Program(seed, cfg), sched.Options{
+			Strategy:    sched.NewRandom(seed),
+			RecordTrace: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		batch := sched.DefaultBatchSize
+		if seed%2 == 1 {
+			batch = 3 + int(seed%13)
+		}
+		diffFused(t, fmt.Sprintf("seed %d (batch %d)", seed, batch), res.Trace, batch)
+	}
+}
+
+// TestFusedDifferentialWorkloads runs the differential check over every
+// registered workload under the standard schedule battery.
+func TestFusedDifferentialWorkloads(t *testing.T) {
+	cfg := Config{Seeds: 1, Quick: true}
+	cfg.ensurePool()
+	for _, spec := range workloads.All() {
+		col, err := Collect(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tr := range col.Traces {
+			diffFused(t, fmt.Sprintf("%s trace %d", spec.Name, i), tr, sched.DefaultBatchSize)
+		}
+	}
+}

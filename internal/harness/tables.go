@@ -3,14 +3,11 @@ package harness
 import (
 	"sort"
 
-	"repro/internal/atom"
 	"repro/internal/core"
-	"repro/internal/lockset"
 	"repro/internal/movers"
 	"repro/internal/race"
 	"repro/internal/report"
 	"repro/internal/trace"
-	"repro/internal/velodrome"
 	"repro/internal/workloads"
 	"repro/internal/yield"
 )
@@ -84,7 +81,13 @@ func Table2(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := yield.Infer(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+		// One race pass per trace serves both inference and minimization
+		// (racy sets are yield-invariant; see yield.InferKnown).
+		known := make([]map[uint64]bool, len(col.Traces))
+		for i, tr := range col.Traces {
+			known[i] = race.RacyVarsOf(tr)
+		}
+		res := yield.InferKnown(col.Traces, known, core.Options{Policy: movers.DefaultPolicy()}, 0)
 		explicit := map[trace.LocID]bool{}
 		for _, tr := range col.Traces {
 			for _, e := range tr.Events {
@@ -95,7 +98,7 @@ func Table2(cfg Config) (*report.Table, error) {
 		}
 		minimal := res.Count()
 		if res.Converged {
-			minimal = len(yield.Minimize(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, res.Yields))
+			minimal = len(yield.MinimizeKnown(col.Traces, known, core.Options{Policy: movers.DefaultPolicy()}, res.Yields))
 		}
 		return []string{spec.Name,
 			report.Itoa(len(col.Traces)),
@@ -148,36 +151,45 @@ func Table3(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One fused run per trace replaces the former per-checker scans:
+		// race, lockset, atom, and velodrome share one batched pass, the
+		// coop-before column comes from the fused two-pass checker, and
+		// the racy sets are reused by inference and the after pass.
 		racyVars := map[uint64]bool{}
 		lsVars := map[uint64]bool{}
 		atomLocs := map[trace.LocID]bool{}
+		before := map[trace.LocID]bool{}
 		blocks := 0
 		velo := 0
-		for _, tr := range col.Traces {
-			d := race.Analyze(tr)
-			for _, v := range d.RacyVars() {
+		fused := make([]*FusedAnalysis, len(col.Traces))
+		known := make([]map[uint64]bool, len(col.Traces))
+		for i, tr := range col.Traces {
+			fa := FusedRunner{}.Analyze(tr)
+			fused[i] = fa
+			known[i] = fa.KnownRaces
+			for _, v := range fa.Race.RacyVars() {
 				racyVars[v] = true
 			}
-			ls := lockset.Analyze(tr)
-			for _, v := range ls.WarnedVars() {
+			for _, v := range fa.Lockset.WarnedVars() {
 				lsVars[v] = true
 			}
-			ac := atom.Analyze(tr, atom.Options{MethodsAtomic: true})
-			for _, v := range ac.Violations() {
+			for _, v := range fa.Atom.Violations() {
 				atomLocs[v.Event.Loc] = true
 			}
-			if ac.Blocks() > blocks {
-				blocks = ac.Blocks()
+			if fa.Atom.Blocks() > blocks {
+				blocks = fa.Atom.Blocks()
 			}
-			if n := len(velodrome.Analyze(tr, velodrome.Options{MethodsAtomic: true})); n > velo {
+			if n := len(fa.VeloViolations); n > velo {
 				velo = n
 			}
+			for _, v := range fa.Coop.Violations() {
+				before[v.Event.Loc] = true
+			}
 		}
-		before := distinctViolationLocs(col.Traces, core.Options{Policy: movers.DefaultPolicy()})
-		inf := yield.Infer(col.Traces, core.Options{Policy: movers.DefaultPolicy()}, 0)
+		inf := yield.InferKnown(col.Traces, known, core.Options{Policy: movers.DefaultPolicy()}, 0)
 		after := 0
-		for _, tr := range col.Traces {
-			c := core.AnalyzeTwoPass(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: inf.Yields})
+		for i, tr := range col.Traces {
+			c := fused[i].AnalyzeCoop(tr, core.Options{Policy: movers.DefaultPolicy(), Yields: inf.Yields})
 			after += len(c.Violations())
 		}
 		return []string{spec.Name,

@@ -169,7 +169,13 @@ func (c *Checker) HintEvents(n int) {
 }
 
 func (c *Checker) locksOf(t trace.TID) *heldLocks {
-	ti := int(t)
+	if ti := int(t); ti < len(c.held) {
+		return &c.held[ti]
+	}
+	return c.locksOfSlow(int(t))
+}
+
+func (c *Checker) locksOfSlow(ti int) *heldLocks {
 	if ti >= len(c.held) {
 		if ti >= cap(c.held) {
 			grown := make([]heldLocks, ti+1, 2*(ti+1))
@@ -201,6 +207,27 @@ func (c *Checker) Event(e trace.Event) {
 		c.access(e)
 	default:
 		c.nonAccess++
+	}
+}
+
+// ObserveBatch processes one batch of events in trace order; it implements
+// sched.BatchObserver (the fused pipeline's amortized-dispatch path).
+//
+// The Exclusive self-transition — a thread re-accessing a variable it
+// already owns, the steady state of thread-local data — touches nothing but
+// the event counter, so it retires inline on a non-allocating table probe;
+// everything else takes the full Event path (which also covers the probe
+// misses: a Virgin slot falls through and is materialized there).
+func (c *Checker) ObserveBatch(batch []trace.Event) {
+	for i := range batch {
+		e := batch[i]
+		if e.Op == trace.OpRead || e.Op == trace.OpWrite {
+			if s := c.vars.Probe(e.Target); s != nil && s.state == Exclusive && s.owner == e.Tid {
+				c.events++
+				continue
+			}
+		}
+		c.Event(e)
 	}
 }
 

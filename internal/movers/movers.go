@@ -147,6 +147,19 @@ type Classifier struct {
 	policy   Policy
 	detector *race.Detector  // nil in two-pass mode
 	racy     map[uint64]bool // known racy vars (two-pass), or nil
+	// racyBits flattens the small-id prefix of racy to a dense bitset so
+	// the per-access lookup on the two-pass hot path is a slice index, not
+	// a map probe; ids past its length (sparse outliers) fall back to the
+	// map. Variable ids are near-dense, so in practice every access hits
+	// the bitset.
+	racyBits []bool
+	// onsets enables onset mode (NewWithRaceOnsets): var -> event index of
+	// its first race, from a completed detector pass. An access is racy
+	// iff its variable's onset <= its own index — bit-for-bit the
+	// racy-knowledge the online mode's embedded detector would have had.
+	// onsetIdx is the dense small-id prefix (-1 = never races).
+	onsets   map[uint64]int
+	onsetIdx []int32
 }
 
 // NewOnline returns a streaming classifier with an embedded race detector.
@@ -160,7 +173,65 @@ func NewWithKnownRaces(policy Policy, racy map[uint64]bool) *Classifier {
 	if racy == nil {
 		racy = map[uint64]bool{}
 	}
-	return &Classifier{policy: policy, racy: racy}
+	c := &Classifier{policy: policy, racy: racy}
+	const maxBits = 1 << 16
+	max := -1
+	for v, on := range racy {
+		if on && v < maxBits && int(v) > max {
+			max = int(v)
+		}
+	}
+	if max >= 0 {
+		c.racyBits = make([]bool, max+1)
+		for v, on := range racy {
+			if on && v <= uint64(max) {
+				c.racyBits[v] = true
+			}
+		}
+	}
+	return c
+}
+
+// NewWithRaceOnsets returns a classifier that replays online-mode racy
+// knowledge from a completed race pass: onsets maps each racy variable to
+// the event index of its first race (race.Detector.RaceOnsets). An access
+// at index i is a non-mover iff its variable first raced at or before i,
+// which is exactly when the online mode's embedded detector would have
+// flagged it — so classification matches NewOnline without running a
+// second detector.
+func NewWithRaceOnsets(policy Policy, onsets map[uint64]int) *Classifier {
+	if onsets == nil {
+		onsets = map[uint64]int{}
+	}
+	c := &Classifier{policy: policy, onsets: onsets}
+	const maxBits = 1 << 16
+	max := -1
+	for v := range onsets {
+		if v < maxBits && int(v) > max {
+			max = int(v)
+		}
+	}
+	if max >= 0 {
+		c.onsetIdx = make([]int32, max+1)
+		for i := range c.onsetIdx {
+			c.onsetIdx[i] = -1
+		}
+		for v, idx := range onsets {
+			if v <= uint64(max) {
+				c.onsetIdx[v] = int32(idx)
+			}
+		}
+	}
+	return c
+}
+
+// HintEvents presizes the embedded race detector (online mode) for a run of
+// about n events; a no-op in two-pass mode. Checkers forward their own
+// HintEvents here so sched.Options.EventsHint reaches the detector's arena.
+func (c *Classifier) HintEvents(n int) {
+	if c.detector != nil {
+		c.detector.HintEvents(n)
+	}
 }
 
 // Detector exposes the embedded race detector in online mode (nil in
@@ -179,8 +250,48 @@ func (c *Classifier) Classify(e trace.Event) Mover {
 	return c.policy.Classify(e.Op, racy)
 }
 
+// AccessesAllBoth reports whether every plain read/write this classifier
+// will ever see classifies as a both mover: the classifier is stateless (no
+// embedded detector, so classification cannot change mid-stream) and its
+// supplied race knowledge is empty. Batch consumers (atom, core) use this
+// to skip classification entirely on the access hot path of race-free
+// traces — the common case — since Policy.Classify(OpRead|OpWrite, false)
+// is Both under every policy.
+func (c *Classifier) AccessesAllBoth() bool {
+	if c.detector != nil {
+		return false
+	}
+	if c.onsets != nil {
+		return len(c.onsets) == 0
+	}
+	for _, on := range c.racy {
+		if on {
+			return false
+		}
+	}
+	return true
+}
+
 func (c *Classifier) isRacy(e trace.Event) bool {
+	if c.onsets != nil {
+		if e.Target < uint64(len(c.onsetIdx)) {
+			o := c.onsetIdx[e.Target]
+			return o >= 0 && int(o) <= e.Idx
+		}
+		if len(c.onsets) == 0 {
+			// Race-free trace (the common case): no map probe per access.
+			return false
+		}
+		o, ok := c.onsets[e.Target]
+		return ok && o <= e.Idx
+	}
 	if c.racy != nil {
+		if e.Target < uint64(len(c.racyBits)) {
+			return c.racyBits[e.Target]
+		}
+		if len(c.racy) == 0 {
+			return false
+		}
 		return c.racy[e.Target]
 	}
 	return c.detector.LastRaced() || c.detector.IsRacyVar(e.Target)

@@ -117,6 +117,12 @@ type Detector struct {
 	racyN     int
 	lastRaced bool
 	events    int
+	// onsets records, per racy variable in first-race order, the event
+	// index at which it first raced. An access at index i is racy *to an
+	// online observer* iff its variable's onset is <= i, so a later pass
+	// can replay online racy-knowledge without running a second detector
+	// (movers.NewWithRaceOnsets).
+	onsets []varOnset
 
 	// Telemetry, counted in plain fields (a detector is single-goroutine
 	// per run) and flushed to the obs registry by FlushMetrics: accesses is
@@ -202,8 +208,19 @@ func (d *Detector) snapshot(dst, src vc.VC) vc.VC {
 }
 
 // clock returns thread t's vector clock, materializing it on first use.
+// The fast path is inlinable — a bounds check and a nil check — so the
+// per-event cost is two compares, not a function call.
 func (d *Detector) clock(t trace.TID) vc.VC {
 	ti := int(t)
+	if ti < len(d.threads) {
+		if c := d.threads[ti]; c != nil {
+			return c
+		}
+	}
+	return d.clockSlow(ti)
+}
+
+func (d *Detector) clockSlow(ti int) vc.VC {
 	if ti >= len(d.threads) {
 		if ti >= cap(d.threads) {
 			grown := make([]vc.VC, ti+1, 2*(ti+1))
@@ -355,11 +372,44 @@ func (d *Detector) report(r Race) {
 	if rp := d.racy.At(r.Var); !*rp {
 		*rp = true
 		d.racyN++
+		d.onsets = append(d.onsets, varOnset{v: r.Var, idx: r.Access.Idx})
 	}
 	if !d.seen.Add(r) {
 		return
 	}
 	d.races = append(d.races, r)
+}
+
+// ObserveBatch processes one batch of events in trace order; it implements
+// sched.BatchObserver. The loop body is a direct (devirtualized) call, so
+// the per-event interface dispatch of the legacy path is paid once per
+// batch, and the detector's paged state stays cache-resident across it.
+//
+// FastTrack's same-epoch rule — a repeat access by the last accessor with
+// no intervening release — needs no checks at all, so it retires inline on
+// a non-allocating probe, mirroring read/write's fast path without the two
+// call frames. Probe misses and epoch changes fall through to Event.
+func (d *Detector) ObserveBatch(batch []trace.Event) {
+	for i := range batch {
+		e := batch[i]
+		if e.Op == trace.OpRead || e.Op == trace.OpWrite {
+			if ti := int(e.Tid); ti < len(d.threads) {
+				if c := d.threads[ti]; c != nil {
+					if s := d.vars.Probe(e.Target); s != nil && s.live && !s.shared {
+						ep := vc.MakeEpoch(ti, c[ti])
+						if e.Op == trace.OpRead && s.r == ep || e.Op == trace.OpWrite && s.w == ep {
+							d.events++
+							d.accesses++
+							d.fastHits++
+							d.lastRaced = false
+							continue
+						}
+					}
+				}
+			}
+		}
+		d.Event(e)
+	}
 }
 
 // LastRaced reports whether the most recently processed event was a racy
@@ -402,7 +452,33 @@ func Analyze(tr *trace.Trace) *Detector {
 
 // RacyVarsOf is a convenience: the racy-variable set of a trace, as a map.
 func RacyVarsOf(tr *trace.Trace) map[uint64]bool {
-	d := Analyze(tr)
+	return Analyze(tr).RacyVarSet()
+}
+
+// varOnset pairs a racy variable with the event index of its first race.
+type varOnset struct {
+	v   uint64
+	idx int
+}
+
+// RaceOnsets returns, for every racy variable, the event index at which it
+// first raced. Feeding this to movers.NewWithRaceOnsets reproduces the
+// exact racy-knowledge an *online* detector had at each point of the
+// stream — Atomizer's classification mode — without running a second
+// detector alongside the consumer.
+func (d *Detector) RaceOnsets() map[uint64]int {
+	out := make(map[uint64]int, len(d.onsets))
+	for _, o := range d.onsets {
+		out[o.v] = o.idx
+	}
+	return out
+}
+
+// RacyVarSet returns the racy-variable set as a map — the form
+// core.Options.KnownRaces consumes. For a detector that has consumed a full
+// trace this equals RacyVarsOf of that trace, which lets the fused pipeline
+// reuse its first-pass detector instead of race-detecting the trace again.
+func (d *Detector) RacyVarSet() map[uint64]bool {
 	out := make(map[uint64]bool, d.racyN)
 	d.racy.Range(func(v uint64, on *bool) {
 		if *on {

@@ -1,0 +1,79 @@
+package sched
+
+import "repro/internal/trace"
+
+// DefaultBatchSize is the runtime's event-batch buffer size when
+// Options.BatchSize is zero. 4096 events (128 KiB of trace.Event) amortizes
+// the per-observer interface dispatch ~4000× while the batch plus one
+// analysis's working set stays cache-resident.
+const DefaultBatchSize = 4096
+
+// BatchObserver consumes instrumented events in batches instead of one
+// virtual call per event. The runtime (and FeedTrace) delivers every event
+// exactly once, in trace order, as a sequence of contiguous batches; the
+// final batch of a run may be shorter, and on an aborted run it ends at the
+// last event the legacy per-event path would have delivered.
+//
+// The batch slice is owned by the caller and reused (or aliases a recorded
+// trace); observers must consume it synchronously and must not retain it
+// past the call.
+//
+// Observers that implement both Observer and BatchObserver are fed through
+// ObserveBatch only — the per-event Event path stays as the compatibility
+// adapter for cold observers (e.g. CountObserver) that do not batch.
+type BatchObserver interface {
+	ObserveBatch(batch []trace.Event)
+}
+
+// splitObservers partitions a run's observers into the batched hot path and
+// the per-event compatibility path, preserving registration order within
+// each group.
+func splitObservers(observers []Observer) (batched []BatchObserver, perEvent []Observer) {
+	for _, o := range observers {
+		if bo, ok := o.(BatchObserver); ok {
+			batched = append(batched, bo)
+		} else {
+			perEvent = append(perEvent, o)
+		}
+	}
+	return batched, perEvent
+}
+
+// FeedTrace streams a recorded trace through observers exactly once:
+// each observer first receives the trace's string table (StringsAware) and
+// an exact event-count hint (EventsHinted), then the events — batched
+// slices of the trace for BatchObservers (zero-copy; batchSize <= 0 means
+// DefaultBatchSize), one virtual call per event for plain Observers.
+//
+// This is the offline half of the fused pipeline: one pass over the decoded
+// trace fans out to any number of analyses, so N checkers cost one trace
+// scan instead of N (see harness.FusedRunner).
+func FeedTrace(tr *trace.Trace, batchSize int, observers ...Observer) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	for _, o := range observers {
+		if sa, ok := o.(StringsAware); ok {
+			sa.SetStrings(tr.Strings)
+		}
+		if eh, ok := o.(EventsHinted); ok {
+			eh.HintEvents(tr.Len())
+		}
+	}
+	batched, perEvent := splitObservers(observers)
+	events := tr.Events
+	for start := 0; start < len(events); start += batchSize {
+		end := start + batchSize
+		if end > len(events) {
+			end = len(events)
+		}
+		for _, bo := range batched {
+			bo.ObserveBatch(events[start:end])
+		}
+	}
+	for _, o := range perEvent {
+		for i := range events {
+			o.Event(events[i])
+		}
+	}
+}

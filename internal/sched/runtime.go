@@ -37,6 +37,13 @@ type Options struct {
 	// unwinding every virtual thread so no goroutine leaks. nil (the
 	// default) keeps the per-event hot path free of context checks.
 	Ctx context.Context
+	// BatchSize is the event-batch buffer size for observers implementing
+	// BatchObserver; 0 means DefaultBatchSize (4096). Observers that only
+	// implement the per-event Observer interface are unaffected. Batching
+	// changes *when* a batch observer sees events (at flush points: buffer
+	// full, or run end — including aborted runs), never which events or
+	// their order, so analyses observe the identical sequence either way.
+	BatchSize int
 }
 
 // Observer consumes instrumented events as they are produced.
@@ -201,7 +208,9 @@ type Runtime struct {
 
 	strings   *trace.Strings
 	tr        *trace.Trace
-	observers []Observer
+	observers []Observer // per-event (compatibility) observers only
+	batchObs  []BatchObserver
+	batch     []trace.Event // pending events not yet flushed to batchObs
 	symbols   *Symbols
 	schedule  []trace.TID
 
@@ -232,6 +241,7 @@ func Run(p *Program, opts Options) (*Result, error) {
 	if opts.Strategy == nil {
 		return nil, errors.New("sched: options require a Strategy")
 	}
+	batched, perEvent := splitObservers(opts.Observers)
 	rt := &Runtime{
 		prog:      p,
 		opts:      opts,
@@ -241,11 +251,19 @@ func Run(p *Program, opts Options) (*Result, error) {
 		mus:       make([]mutexState, len(p.mutexes)),
 		conds:     make([]condState, len(p.conds)),
 		strings:   trace.NewStrings(),
-		observers: opts.Observers,
+		observers: perEvent,
+		batchObs:  batched,
 		methodIDs: make(map[string]uint64),
 		toSched:   make(chan struct{}),
 		maxEvents: opts.MaxEvents,
 		current:   -1,
+	}
+	if len(batched) > 0 {
+		size := opts.BatchSize
+		if size <= 0 {
+			size = DefaultBatchSize
+		}
+		rt.batch = make([]trace.Event, 0, size)
 	}
 	if rt.maxEvents <= 0 {
 		rt.maxEvents = 5_000_000
@@ -268,7 +286,9 @@ func Run(p *Program, opts Options) (*Result, error) {
 		rt.tr.Meta.Seed = opts.Strategy.Seed()
 		rt.tr.Grow(opts.EventsHint)
 	}
-	for _, o := range rt.observers {
+	// Both observer groups get the string table and the presize hint before
+	// the first event/batch, so batch observers grow their state once too.
+	for _, o := range opts.Observers {
 		if sa, ok := o.(StringsAware); ok {
 			sa.SetStrings(rt.strings)
 		}
@@ -280,6 +300,14 @@ func Run(p *Program, opts Options) (*Result, error) {
 
 	rt.spawn("main", p.main)
 	err := rt.loop()
+	// Deliver the pending partial batch whatever way the run ended, so batch
+	// observers see exactly the events the per-event path delivered — on an
+	// aborted run, everything up to the failure point. This flush runs on
+	// the scheduler goroutine (threads are parked or dead), so observer
+	// panics are caught here rather than by a thread's recover.
+	if ferr := rt.flushBatchFinal(); ferr != nil && err == nil {
+		err = ferr
+	}
 	rt.flushMetrics()
 
 	res := &Result{
@@ -576,6 +604,16 @@ func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) 
 	for _, o := range rt.observers {
 		o.Event(e)
 	}
+	if rt.batch != nil {
+		rt.batch = append(rt.batch, e)
+		if len(rt.batch) == cap(rt.batch) {
+			// Full buffer: fan the batch out to every batch observer. This
+			// runs on the emitting virtual thread's goroutine, so an
+			// observer panic here is caught by threadBody's recover and
+			// isolated exactly like a per-event observer panic (PR 4).
+			rt.flushBatch()
+		}
+	}
 	// The strategy is always consulted (replay counts events in Preempt),
 	// but a thread is never parked on its end event: it is about to hand
 	// the baton back permanently, and parking it would consume a scheduling
@@ -583,6 +621,39 @@ func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) 
 	if rt.strat.Preempt(e) && op != trace.OpEnd {
 		rt.switchOut(t)
 	}
+}
+
+// flushBatch hands the pending event batch to every batch observer and
+// resets the buffer for reuse. Observers must not retain the slice.
+func (rt *Runtime) flushBatch() {
+	pending := rt.batch
+	if len(pending) == 0 {
+		return
+	}
+	// Clear before delivering: if an observer panics mid-fanout, the batch
+	// is not re-delivered to observers that already consumed it (the run is
+	// aborted and its analysis results discarded anyway). Exactly one
+	// goroutine runs at a time, so nothing appends while we iterate.
+	rt.batch = rt.batch[:0]
+	for _, bo := range rt.batchObs {
+		bo.ObserveBatch(pending)
+	}
+}
+
+// flushBatchFinal delivers the last partial batch at the end of a run,
+// converting an observer panic into an error (there is no thread recover on
+// the scheduler goroutine to isolate it).
+func (rt *Runtime) flushBatchFinal() (err error) {
+	if len(rt.batch) == 0 {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: batch observer panicked in final flush: %v\n%s", r, debug.Stack())
+		}
+	}()
+	rt.flushBatch()
+	return nil
 }
 
 // fail aborts the run with a workload-usage error raised inside a thread.

@@ -18,12 +18,18 @@ var (
 // flushedCounts remembers what FlushMetrics already published so repeated
 // flushes only add deltas.
 type flushedCounts struct {
-	events, nodes, edges, blocks int
+	events, nodes, edges, blocks, violations int
 }
 
 // FlushMetrics publishes the checker's telemetry to the obs registry and
 // remembers what it flushed, so calling it again only adds the delta.
 // Analyze calls it automatically (including the violation count).
+//
+// Every field is delta-tracked — including violations, which used to be
+// added in full on every call, double-counting when the fused pipeline
+// flushes both per batch window and at the end of the analysis. The obs
+// contract (DESIGN.md "Observability") is that a checker's counters reflect
+// each analysis exactly once no matter how many times it flushes.
 func (c *Checker) FlushMetrics(violations int) {
 	if c.flushed == nil {
 		c.flushed = &flushedCounts{}
@@ -34,7 +40,10 @@ func (c *Checker) FlushMetrics(violations int) {
 	mNodes.Add(int64(len(c.nodes) - f.nodes))
 	mEdges.Add(int64(len(c.edges) - f.edges))
 	mBlocks.Add(int64(c.blocks - f.blocks))
-	mViolations.Add(int64(violations))
+	if violations > f.violations {
+		mViolations.Add(int64(violations - f.violations))
+		f.violations = violations
+	}
 	f.events = c.events
 	f.nodes = len(c.nodes)
 	f.edges = len(c.edges)

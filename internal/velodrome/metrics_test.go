@@ -1,0 +1,61 @@
+package velodrome
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestFlushMetricsOncePerAnalysis guards the batched pipeline's metrics
+// contract: however many times a checker flushes — once per batch window,
+// again at the end of the run, again by a paranoid caller — its obs
+// counters must advance by exactly one analysis's totals. The violation
+// counter in particular used to be re-added in full on every flush.
+func TestFlushMetricsOncePerAnalysis(t *testing.T) {
+	// Write-between-reads: one unserializable transaction.
+	b := trace.NewBuilder()
+	b.On(0).Begin().AtomicBegin().Read(1)
+	b.On(1).Begin().Write(1).End()
+	b.On(0).Read(1).AtomicEnd().End()
+	tr := b.Trace()
+
+	c := New(Options{})
+	ev0 := mEvents.Load()
+	vio0 := mViolations.Load()
+	chk0 := mCheckerEvents.Load()
+
+	// Feed in two batches with a flush after each window, the way the
+	// fused engine's delta-flush works, then flush the final violation
+	// count twice.
+	mid := tr.Len() / 2
+	c.ObserveBatch(tr.Events[:mid])
+	c.FlushMetrics(0)
+	c.ObserveBatch(tr.Events[mid:])
+	c.FlushMetrics(0)
+	vios := c.Violations()
+	if len(vios) != 1 {
+		t.Fatalf("violations = %v, want 1", vios)
+	}
+	c.FlushMetrics(len(vios))
+	c.FlushMetrics(len(vios))
+
+	if got := mEvents.Load() - ev0; got != int64(tr.Len()) {
+		t.Fatalf("velodrome.events advanced by %d, want %d", got, tr.Len())
+	}
+	if got := mCheckerEvents.Load() - chk0; got != int64(tr.Len()) {
+		t.Fatalf("checker.events advanced by %d, want %d", got, tr.Len())
+	}
+	if got := mViolations.Load() - vio0; got != 1 {
+		t.Fatalf("velodrome.violations advanced by %d, want 1", got)
+	}
+
+	// A second full analysis of the same trace advances by the same
+	// amounts again (fresh checker, fresh flush state).
+	Analyze(tr, Options{})
+	if got := mEvents.Load() - ev0; got != int64(2*tr.Len()) {
+		t.Fatalf("after second analysis velodrome.events advanced by %d, want %d", got, 2*tr.Len())
+	}
+	if got := mViolations.Load() - vio0; got != 2 {
+		t.Fatalf("after second analysis velodrome.violations advanced by %d, want 2", got)
+	}
+}

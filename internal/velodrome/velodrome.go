@@ -31,6 +31,13 @@ import (
 
 // node is one transaction instance (or a unary non-transactional event
 // run). Node ids are indices into Checker.nodes.
+// varComm is one variable's communication state: the last writer node and
+// the reader nodes since that write (node ids stored +1; zero = none).
+type varComm struct {
+	write int32
+	reads []int32
+}
+
 type node struct {
 	tid   trace.TID
 	start int   // first event index
@@ -88,12 +95,13 @@ type Checker struct {
 	// land in the tables' overflow maps.
 	lastRelease  dense.Table[int32]
 	lastVolWrite dense.Table[int32]
-	lastWrite    dense.Table[int32]
-	// lastReads collects reader nodes per variable since the last write;
-	// cleared slices keep their storage for reuse.
-	lastReads dense.Table[[]int32]
-	events    int
-	blocks    int
+	// vars holds per-variable communication state — the last writer node
+	// and the reader nodes since that write — in ONE table slot, so the
+	// access hot path pays a single paged lookup instead of two. Cleared
+	// reader slices keep their storage for reuse.
+	vars   dense.Table[varComm]
+	events int
+	blocks int
 
 	// Flush high-water marks: what FlushMetrics already published, so
 	// repeated flushes only add deltas. Behind a pointer (allocated by the
@@ -132,11 +140,16 @@ func (c *Checker) HintEvents(n int) {
 	}
 }
 
-// growTID ensures the per-thread slices cover tid.
+// growTID ensures the per-thread slices cover tid. The common no-grow case
+// inlines to a single compare.
 func (c *Checker) growTID(ti int) {
 	if ti < len(c.current) {
 		return
 	}
+	c.growTIDSlow(ti)
+}
+
+func (c *Checker) growTIDSlow(ti int) {
 	n := ti + 1
 	if n < cap(c.current) {
 		c.current = c.current[:n]
@@ -256,24 +269,8 @@ func (c *Checker) Event(e trace.Event) {
 		if prev := c.lastNode[child]; prev != 0 {
 			c.addEdge(prev-1, id)
 		}
-	case trace.OpRead:
-		if w := *c.lastWrite.At(e.Target); w != 0 {
-			c.addEdge(w-1, id)
-		}
-		rs := c.lastReads.At(e.Target)
-		if !containsNode(*rs, id) {
-			*rs = append(*rs, id)
-		}
-	case trace.OpWrite:
-		if w := *c.lastWrite.At(e.Target); w != 0 {
-			c.addEdge(w-1, id)
-		}
-		rs := c.lastReads.At(e.Target)
-		for _, r := range *rs {
-			c.addEdge(r, id)
-		}
-		*rs = (*rs)[:0] // clear, keeping storage
-		*c.lastWrite.At(e.Target) = id + 1
+	case trace.OpRead, trace.OpWrite:
+		c.access(e, id)
 	case trace.OpEnd:
 		c.closeNode(t, e.Idx)
 	}
@@ -283,6 +280,50 @@ func (c *Checker) Event(e trace.Event) {
 	// artificial grouping.
 	if !c.nodes[id].inTx {
 		c.closeNode(t, e.Idx)
+	}
+}
+
+// access applies the read/write communication rules to the open node id:
+// write→read and write→write edges from the last writer, read→write edges
+// from the readers since it. Shared between Event and the batch fast path.
+func (c *Checker) access(e trace.Event, id int32) {
+	v := c.vars.At(e.Target)
+	if v.write != 0 {
+		c.addEdge(v.write-1, id)
+	}
+	if e.Op == trace.OpRead {
+		if !containsNode(v.reads, id) {
+			v.reads = append(v.reads, id)
+		}
+		return
+	}
+	for _, r := range v.reads {
+		c.addEdge(r, id)
+	}
+	v.reads = v.reads[:0] // clear, keeping storage
+	v.write = id + 1
+}
+
+// ObserveBatch processes one batch of events in trace order; it implements
+// sched.BatchObserver (the fused pipeline's amortized-dispatch path).
+//
+// An access by a thread with an open transactional node needs none of
+// Event's node bookkeeping — the node stays open, no unary close — so it
+// goes straight to the communication rules; everything else (structural
+// events, accesses outside transactions) takes the full path.
+func (c *Checker) ObserveBatch(batch []trace.Event) {
+	for i := range batch {
+		e := batch[i]
+		if e.Op == trace.OpRead || e.Op == trace.OpWrite {
+			if ti := int(e.Tid); ti < len(c.current) {
+				if idp := c.current[ti]; idp != 0 && c.nodes[idp-1].inTx {
+					c.events++
+					c.access(e, idp-1)
+					continue
+				}
+			}
+		}
+		c.Event(e)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/race"
 	"repro/internal/trace"
 )
 
@@ -66,8 +67,23 @@ func (r *Result) Locations(strs *trace.Strings) []string {
 // opts.Yields seeds the set (programmer-provided annotations); opts is not
 // mutated. maxRounds bounds the loop (0 means 8).
 func Infer(traces []*trace.Trace, opts core.Options, maxRounds int) *Result {
+	return InferKnown(traces, nil, opts, maxRounds)
+}
+
+// InferKnown is Infer with optional precomputed per-trace racy-variable
+// sets: known[i] belongs to traces[i], as produced by race.RacyVarsOf or a
+// fused first pass (harness.FusedAnalysis.KnownRaces). A yield only splits
+// transactions — it never changes which variables race — so the racy set
+// of each trace is a loop invariant of the fixpoint: one race pass per
+// trace replaces one per trace per round. nil known (or a nil entry)
+// computes the missing sets up front; a non-nil opts.KnownRaces applies to
+// every trace, as in core.AnalyzeTwoPass.
+func InferKnown(traces []*trace.Trace, known []map[uint64]bool, opts core.Options, maxRounds int) *Result {
 	if maxRounds <= 0 {
 		maxRounds = 8
+	}
+	if opts.KnownRaces == nil {
+		known = ensureKnown(traces, known)
 	}
 	yields := make(map[trace.LocID]bool, len(opts.Yields))
 	for l := range opts.Yields {
@@ -83,11 +99,14 @@ func Infer(traces []*trace.Trace, opts core.Options, maxRounds int) *Result {
 		res.YieldingMethods = 0
 		yieldingMethods := make(map[uint64]bool)
 		clean := true
-		for _, tr := range traces {
+		for i, tr := range traces {
 			o := opts
 			o.Yields = yields
 			o.StopAfterViolation = false
-			c := core.AnalyzeTwoPass(tr, o)
+			if o.KnownRaces == nil {
+				o.KnownRaces = known[i]
+			}
+			c := core.Analyze(tr, o)
 			for _, v := range c.Violations() {
 				clean = false
 				if v.Event.Loc == 0 {
@@ -128,6 +147,19 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// ensureKnown fills in any missing per-trace racy-variable sets.
+func ensureKnown(traces []*trace.Trace, known []map[uint64]bool) []map[uint64]bool {
+	if known == nil {
+		known = make([]map[uint64]bool, len(traces))
+	}
+	for i, tr := range traces {
+		if known[i] == nil {
+			known[i] = race.RacyVarsOf(tr)
+		}
+	}
+	return known
+}
+
 // Minimize greedily shrinks a sufficient yield set: it tries to drop each
 // location (iterating by descending LocID — later code positions first)
 // and keeps the removal when every trace stays cooperable. The result is a
@@ -139,16 +171,30 @@ func maxInt(a, b int) int {
 // workload exhibits this — 8 inferred, 6 minimal), so the honest
 // annotation-burden number is the minimized one; Table 2 reports both.
 func Minimize(traces []*trace.Trace, opts core.Options, yields map[trace.LocID]bool) map[trace.LocID]bool {
+	return MinimizeKnown(traces, nil, opts, yields)
+}
+
+// MinimizeKnown is Minimize with optional precomputed per-trace
+// racy-variable sets (see InferKnown): the greedy loop probes every
+// candidate removal against every trace, so reusing one race pass per
+// trace matters even more here than in inference.
+func MinimizeKnown(traces []*trace.Trace, known []map[uint64]bool, opts core.Options, yields map[trace.LocID]bool) map[trace.LocID]bool {
+	if opts.KnownRaces == nil {
+		known = ensureKnown(traces, known)
+	}
 	current := make(map[trace.LocID]bool, len(yields))
 	for l := range yields {
 		current[l] = true
 	}
 	clean := func() bool {
-		for _, tr := range traces {
+		for i, tr := range traces {
 			o := opts
 			o.Yields = current
 			o.StopAfterViolation = false
-			if !core.AnalyzeTwoPass(tr, o).Cooperable() {
+			if o.KnownRaces == nil {
+				o.KnownRaces = known[i]
+			}
+			if !core.Analyze(tr, o).Cooperable() {
 				return false
 			}
 		}

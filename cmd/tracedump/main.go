@@ -5,12 +5,14 @@
 //
 //	tracedump -w bank -strategy random -seed 7 -o bank.trc
 //	tracedump -i bank.trc -print
+//	tracedump -i bank.trc -locs
 //	tracedump -i bank.trc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/sched"
@@ -21,73 +23,90 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report out.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
 	var (
-		workload = flag.String("w", "", "workload to record")
-		strategy = flag.String("strategy", "random", "cooperative|roundrobin|random|pct")
-		seed     = flag.Int64("seed", 1, "seed for randomized strategies")
-		quantum  = flag.Int("quantum", 1, "quantum for roundrobin")
-		threads  = flag.Int("threads", 0, "worker override")
-		size     = flag.Int("size", 0, "size override")
-		out      = flag.String("o", "", "write the recorded trace to this file")
-		in       = flag.String("i", "", "read a trace file instead of recording")
-		doPrint  = flag.Bool("print", false, "print every event")
-		lanes    = flag.Bool("lanes", false, "print the trace as per-thread swimlanes")
-		fTid     = flag.Int("tid", -1, "print filter: only this thread")
-		fOp      = flag.String("op", "", "print filter: only this op mnemonic (rd, wr, acq, ...)")
-		fTarget  = flag.Int64("target", -1, "print filter: only this target id")
-		fFrom    = flag.Int("from", 0, "print filter: first event index")
-		fTo      = flag.Int("to", 0, "print filter: one past last event index (0 = end)")
+		workload = fs.String("w", "", "workload to record")
+		strategy = fs.String("strategy", "random", "cooperative|roundrobin|random|pct")
+		seed     = fs.Int64("seed", 1, "seed for randomized strategies")
+		quantum  = fs.Int("quantum", 1, "quantum for roundrobin")
+		threads  = fs.Int("threads", 0, "worker override")
+		size     = fs.Int("size", 0, "size override")
+		out      = fs.String("o", "", "write the recorded trace to this file")
+		in       = fs.String("i", "", "read a trace file instead of recording")
+		doPrint  = fs.Bool("print", false, "print every event")
+		doLocs   = fs.Bool("locs", false, "print the interned location table")
+		lanes    = fs.Bool("lanes", false, "print the trace as per-thread swimlanes")
+		fTid     = fs.Int("tid", -1, "print filter: only this thread")
+		fOp      = fs.String("op", "", "print filter: only this op mnemonic (rd, wr, acq, ...)")
+		fTarget  = fs.Int64("target", -1, "print filter: only this target id")
+		fFrom    = fs.Int("from", 0, "print filter: first event index")
+		fTo      = fs.Int("to", 0, "print filter: one past last event index (0 = end)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tr *trace.Trace
 	switch {
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case *workload != "":
 		spec, ok := workloads.Get(*workload)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q; available: %v", *workload, workloads.Names()))
+			return fmt.Errorf("unknown workload %q; available: %v", *workload, workloads.Names())
 		}
 		strat, err := cli.ParseStrategy(*strategy, *seed, *quantum)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res, err := sched.Run(spec.New(*threads, *size), sched.Options{Strategy: strat, RecordTrace: true})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tr = res.Trace
 	default:
-		fatal(fmt.Errorf("one of -w or -i is required"))
+		return fmt.Errorf("one of -w or -i is required")
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := tr.WriteTo(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d events to %s\n", tr.Len(), *out)
+		fmt.Fprintf(stdout, "wrote %d events to %s\n", tr.Len(), *out)
 	}
 
 	if *lanes {
-		fmt.Print(tr.Swimlanes(nil, 200))
-		return
+		fmt.Fprint(stdout, tr.Swimlanes(nil, 200))
+		return nil
+	}
+
+	if *doLocs {
+		printLocs(stdout, tr)
+		return nil
 	}
 
 	if *doPrint {
@@ -95,7 +114,7 @@ func main() {
 		if *fOp != "" {
 			op, ok := trace.OpByName(*fOp)
 			if !ok {
-				fatal(fmt.Errorf("unknown op %q", *fOp))
+				return fmt.Errorf("unknown op %q", *fOp)
 			}
 			opts.Ops = []trace.Op{op}
 		}
@@ -105,28 +124,57 @@ func main() {
 		}
 		filtered := tr.Filter(opts)
 		for _, e := range filtered.Events {
-			fmt.Println(tr.Format(e))
+			fmt.Fprintln(stdout, tr.Format(e))
 		}
 		if filtered.Len() != tr.Len() {
-			fmt.Printf("(%d of %d events shown)\n", filtered.Len(), tr.Len())
+			fmt.Fprintf(stdout, "(%d of %d events shown)\n", filtered.Len(), tr.Len())
 		}
-		return
+		return nil
 	}
 
-	fmt.Printf("workload:  %s\n", tr.Meta.Workload)
-	fmt.Printf("strategy:  %s (seed %d)\n", tr.Meta.Strategy, tr.Meta.Seed)
-	fmt.Printf("threads:   %d\n", tr.Threads())
-	fmt.Printf("events:    %d\n", tr.Len())
-	fmt.Printf("variables: %d\n", len(tr.Vars()))
-	fmt.Printf("locks:     %d\n", len(tr.Locks()))
-	fmt.Printf("accesses:  %d reads, %d writes\n", tr.CountOp(trace.OpRead), tr.CountOp(trace.OpWrite))
-	fmt.Printf("sync ops:  %d acquires, %d releases, %d waits, %d notifies\n",
+	fmt.Fprintf(stdout, "workload:  %s\n", tr.Meta.Workload)
+	fmt.Fprintf(stdout, "strategy:  %s (seed %d)\n", tr.Meta.Strategy, tr.Meta.Seed)
+	fmt.Fprintf(stdout, "threads:   %d\n", tr.Threads())
+	fmt.Fprintf(stdout, "events:    %d\n", tr.Len())
+	fmt.Fprintf(stdout, "variables: %d\n", len(tr.Vars()))
+	fmt.Fprintf(stdout, "locks:     %d\n", len(tr.Locks()))
+	fmt.Fprintf(stdout, "locations: %d interned\n", locsInUse(tr))
+	fmt.Fprintf(stdout, "accesses:  %d reads, %d writes\n", tr.CountOp(trace.OpRead), tr.CountOp(trace.OpWrite))
+	fmt.Fprintf(stdout, "sync ops:  %d acquires, %d releases, %d waits, %d notifies\n",
 		tr.CountOp(trace.OpAcquire), tr.CountOp(trace.OpRelease),
 		tr.CountOp(trace.OpWait), tr.CountOp(trace.OpNotify))
-	fmt.Printf("yields:    %d\n", tr.CountOp(trace.OpYield))
+	fmt.Fprintf(stdout, "yields:    %d\n", tr.CountOp(trace.OpYield))
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracedump:", err)
-	os.Exit(2)
+// locsInUse counts distinct non-empty locations referenced by events.
+func locsInUse(tr *trace.Trace) int {
+	seen := map[trace.LocID]bool{}
+	for _, e := range tr.Events {
+		if e.Loc != 0 {
+			seen[e.Loc] = true
+		}
+	}
+	return len(seen)
+}
+
+// printLocs renders the interned location table in id order with per-site
+// event counts, so a trace's instrumentation sites can be audited without
+// replaying it. Ids missing from the table (interned by an analysis, or
+// sentinel-only) still print if events reference them.
+func printLocs(w io.Writer, tr *trace.Trace) {
+	counts := map[trace.LocID]int{}
+	for _, e := range tr.Events {
+		if e.Loc != 0 {
+			counts[e.Loc]++
+		}
+	}
+	if tr.Strings == nil {
+		fmt.Fprintln(w, "no string table in trace")
+		return
+	}
+	fmt.Fprintf(w, "%5s %8s  %s\n", "id", "events", "location")
+	for id := trace.LocID(1); int(id) < tr.Strings.Len(); id++ {
+		fmt.Fprintf(w, "%5d %8d  %s\n", id, counts[id], tr.Strings.Name(id))
+	}
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden snapshots instead of comparing")
+
+// The frozen trace under testdata/ was recorded once (bank workload,
+// round-robin quantum 3, 3 workers, size 4) and is never regenerated:
+// its location table is embedded in the file, so these goldens are immune
+// to workload source-line drift and pin only tracedump's own rendering —
+// stats summary, location-table dump, and location-resolved event output.
+const frozenTrace = "testdata/bank_rr3.trc"
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func runCapture(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.Bytes()
+}
+
+func TestStatsGolden(t *testing.T) {
+	checkGolden(t, "stats.golden", runCapture(t, "-i", frozenTrace))
+}
+
+func TestLocsGolden(t *testing.T) {
+	checkGolden(t, "locs.golden", runCapture(t, "-i", frozenTrace, "-locs"))
+}
+
+func TestPrintGolden(t *testing.T) {
+	checkGolden(t, "print.golden", runCapture(t, "-i", frozenTrace, "-print", "-to", "24"))
+}
+
+func TestPrintResolvesLocations(t *testing.T) {
+	out := runCapture(t, "-i", frozenTrace, "-print", "-op", "acq")
+	if !bytes.Contains(out, []byte("@workloads/bank.go:")) {
+		t.Fatalf("acquire events missing resolved @file:line locations:\n%s", out)
+	}
+}
+
+func TestUnknownInput(t *testing.T) {
+	if err := run([]string{"-w", "no-such-workload"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error when neither -w nor -i given")
+	}
+}

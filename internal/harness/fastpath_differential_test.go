@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// TestHandoffDifferentialWorkloads runs every registered workload under
+// the standard Collect battery (cooperative, round-robin quantum 1 and 5,
+// two random seeds) with the fast one-hop handoff and again with the
+// legacy two-hop protocol: the emitted schedules and traces must be
+// byte-for-byte identical. Together with the 200-seed generated-program
+// fuzz in internal/sched this is the schedule-identity guarantee for the
+// handoff rewrite across the paper's real workloads.
+func TestHandoffDifferentialWorkloads(t *testing.T) {
+	strategies := func() []sched.Strategy {
+		return []sched.Strategy{
+			sched.Cooperative{},
+			&sched.RoundRobin{Quantum: 1},
+			&sched.RoundRobin{Quantum: 5},
+			sched.NewRandom(1),
+			sched.NewRandom(2),
+		}
+	}
+	for _, spec := range workloads.All() {
+		for si := range strategies() {
+			label := fmt.Sprintf("%s/%s", spec.Name, strategies()[si].Name())
+			run := func(legacy bool) (*sched.Result, error) {
+				return sched.Run(spec.New(0, quickSize(spec)), sched.Options{
+					Strategy:      strategies()[si],
+					RecordTrace:   true,
+					LegacyHandoff: legacy,
+				})
+			}
+			fast, fastErr := run(false)
+			legacy, legacyErr := run(true)
+			if (fastErr == nil) != (legacyErr == nil) {
+				t.Fatalf("%s: error presence differs: fast %v, legacy %v", label, fastErr, legacyErr)
+			}
+			if fastErr != nil && fastErr.Error() != legacyErr.Error() {
+				t.Fatalf("%s: errors differ:\n fast   %v\n legacy %v", label, fastErr, legacyErr)
+			}
+			if len(fast.Schedule) != len(legacy.Schedule) {
+				t.Fatalf("%s: schedule lengths differ: %d vs %d", label, len(fast.Schedule), len(legacy.Schedule))
+			}
+			for i := range fast.Schedule {
+				if fast.Schedule[i] != legacy.Schedule[i] {
+					t.Fatalf("%s: schedule diverges at event %d: T%d vs T%d",
+						label, i, fast.Schedule[i], legacy.Schedule[i])
+				}
+			}
+			for i := range fast.Trace.Events {
+				fe, le := fast.Trace.Events[i], legacy.Trace.Events[i]
+				if fe != le {
+					t.Fatalf("%s: event %d differs: fast %+v, legacy %+v", label, i, fe, le)
+				}
+				if fn, ln := fast.Strings.Name(fe.Loc), legacy.Strings.Name(le.Loc); fn != ln {
+					t.Fatalf("%s: event %d location differs: %q vs %q", label, i, fn, ln)
+				}
+			}
+		}
+	}
+}
+
+// quickSize shrinks the heavyweight workloads the same way Config.Quick
+// does, keeping the differential sweep fast.
+func quickSize(spec workloads.Spec) int {
+	if spec.DefaultSize > 8 {
+		return spec.DefaultSize / 4
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+package sched
+
+// callerPC returns the return address of the function that called the
+// function invoking callerPC — i.e. the PC of the instrumented call site
+// when invoked (via the inlined capturePC) from a T op method. It reads
+// the frame-pointer chain the compiler maintains on amd64 instead of
+// running the stack unwinder, turning per-event location capture from
+// ~130ns of runtime.Callers work into a two-instruction load.
+//
+// The value is bit-identical to pcs[0] from runtime.Callers(3, pcs[:]) in
+// the same position (both are the raw return address into the caller's
+// physical frame; CallersFrames expands inlined logical frames from it the
+// same way), so location ids, goldens, and replay files are unaffected by
+// which implementation captured them. TestCallerPCMatchesCallers pins the
+// equivalence.
+func callerPC() uintptr
+
+// capturePC stores the raw PC of the instrumented call site — the return
+// address of the op method it is inlined into — into pcs[0]. Two
+// invariants make this correct, both enforced by behavior tests
+// (TestLocationsCaptured, TestCallerPCMatchesCallers):
+//
+//   - capturePC inlines into every op method (it makes a single call, far
+//     under the inlining budget), so callerPC's caller frame is the op
+//     method's frame and 8(BP) holds the workload's return address.
+//   - Op methods never inline into workload code: every op calls both
+//     capturePC and emitPC, and two call sites exceed the compiler's
+//     inlining budget, so the op frame always exists.
+//
+// pcs[0] stays zero when locations are disabled; emitPC disambiguates.
+func (rt *Runtime) capturePC(pcs *[1]uintptr) {
+	if !rt.noLoc {
+		pcs[0] = callerPC()
+	}
+}

@@ -1,0 +1,13 @@
+// amd64 fast path for call-site capture: the Go compiler maintains RBP as
+// a frame pointer on amd64, so the return address of the (never-inlined)
+// op method that calls this helper sits at 8(BP) — the same value
+// runtime.Callers would report for the caller's caller, at none of the
+// unwinder's cost. See capturePC in callerpc_amd64.go for the invariants.
+
+#include "textflag.h"
+
+// func callerPC() uintptr
+TEXT ·callerPC(SB), NOSPLIT|NOFRAME, $0-8
+	MOVQ 8(BP), AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package sched
+
+import "runtime"
+
+// capturePC stores the raw PC of the instrumented call site — two logical
+// frames above the T method it is invoked from — into pcs[0]. Portable
+// fallback: architectures without the amd64 frame-pointer fast path pay
+// one runtime.Callers unwind per event. It is kept under the compiler's
+// inlining budget so it inlines into each op method and the unwind walks
+// exactly two physical frames — the op method and the workload function.
+// runtime.Callers skips *logical* frames, so the captured PC is identical
+// whether or not any of these functions is inlined. pcs[0] stays zero when
+// locations are disabled or Callers finds no frames; emitPC disambiguates.
+func (rt *Runtime) capturePC(pcs *[1]uintptr) {
+	if !rt.noLoc {
+		runtime.Callers(3, pcs[:])
+	}
+}

@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+)
+
+// captureBoth reproduces an op method's frame shape (it calls both the
+// frame-pointer helper and a second function, so it can never be inlined
+// into its caller — the same reason real op methods cannot) and captures
+// the call site both ways.
+//
+//go:noinline
+func captureBoth() (fpPC, unwindPC uintptr) {
+	fpPC = callerPC()
+	var pcs [1]uintptr
+	// Skip runtime.Callers(0) and captureBoth(1): pcs[0] is this
+	// function's caller — the same frame callerPC reads at 8(BP).
+	runtime.Callers(2, pcs[:])
+	return fpPC, pcs[0]
+}
+
+// TestCallerPCMatchesCallers pins the equivalence the amd64 fast path
+// rests on: the frame-pointer read returns bit-identical PCs to
+// runtime.Callers for the same frame, so cache keys, interned locations,
+// goldens, and replay files are unaffected by which path captured them.
+func TestCallerPCMatchesCallers(t *testing.T) {
+	fpPC, unwindPC := captureBoth()
+	if fpPC != unwindPC {
+		t.Fatalf("callerPC = %#x, runtime.Callers = %#x", fpPC, unwindPC)
+	}
+	// Different call sites must yield different PCs.
+	fpPC2, _ := captureBoth()
+	if fpPC2 == fpPC {
+		t.Fatalf("distinct call sites returned the same PC %#x", fpPC)
+	}
+}

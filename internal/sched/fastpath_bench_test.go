@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+)
+
+// runTraceGen measures raw trace-generation throughput (events/s): the
+// virtual runtime's cost of producing instrumented events — location
+// capture, schedule/trace recording, strategy consultation — with no
+// observers attached and no contention, under the paper's canonical
+// cooperative strategy. Every event is a scheduling point the strategy
+// declines, so the fast path elides every park; the legacy configuration
+// reproduces the pre-fast-path pipeline (two-hop handoff protocol and
+// per-event CallersFrames symbolization) for an in-tree before/after.
+func runTraceGen(b *testing.B, legacy bool) {
+	b.Helper()
+	opts := func(hint int) Options {
+		return Options{
+			Strategy:        Cooperative{},
+			RecordTrace:     true,
+			EventsHint:      hint,
+			LegacyHandoff:   legacy,
+			LegacyLocations: legacy,
+		}
+	}
+	first, err := Run(counterProgram(4, 400, false), opts(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := first.Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(counterProgram(4, 400, false), opts(events)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceGen is the trace-generation fast path: PC-cached location
+// capture and choice-point-elided stepping.
+func BenchmarkTraceGen(b *testing.B) { runTraceGen(b, false) }
+
+// BenchmarkTraceGenLegacy is the identical workload through the seed
+// pipeline — per-event frame symbolization and the scheduler-goroutine
+// rendezvous protocol — the denominator of the fast path's speedup.
+func BenchmarkTraceGenLegacy(b *testing.B) { runTraceGen(b, true) }
+
+// pingPongProgram forces a genuine context switch at every event: two
+// workers under round-robin quantum 1, so every emitted event hands the
+// baton to the other thread.
+func pingPongProgram(n int) *Program {
+	p := NewProgram("pingpong")
+	v := p.Var("v")
+	body := func(t *T) {
+		for i := 0; i < n; i++ {
+			t.Write(v, int64(i))
+		}
+	}
+	p.SetMain(func(t *T) {
+		a := t.Fork("a", body)
+		bb := t.Fork("b", body)
+		t.Join(a)
+		t.Join(bb)
+	})
+	return p
+}
+
+// runHandoff measures switch throughput (switches/s): every event is a
+// genuine scheduling point that transfers the baton, so the metric isolates
+// the cost of one park/unpark — one channel rendezvous on the fast path,
+// two on the legacy path.
+func runHandoff(b *testing.B, legacy bool) {
+	b.Helper()
+	first, err := Run(pingPongProgram(400), Options{Strategy: &RoundRobin{Quantum: 1}, LegacyHandoff: legacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	switches := first.Stats.Switches
+	events := first.Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{Strategy: &RoundRobin{Quantum: 1}, EventsHint: events, LegacyHandoff: legacy}
+		if _, err := Run(pingPongProgram(400), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(switches)*float64(b.N)/b.Elapsed().Seconds(), "switches/s")
+}
+
+// BenchmarkHandoff times the one-hop thread→thread baton transfer.
+func BenchmarkHandoff(b *testing.B) { runHandoff(b, false) }
+
+// BenchmarkHandoffLegacy times the two-hop thread→scheduler→thread
+// rendezvous the fast path replaced.
+func BenchmarkHandoffLegacy(b *testing.B) { runHandoff(b, true) }

@@ -1,0 +1,87 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+// runBoth executes the same program under the fast one-hop handoff and the
+// legacy two-hop scheduler-goroutine protocol and fails unless the two
+// runs are observably identical: same schedule, same trace (events and
+// location strings), same final state, same error, same switch accounting.
+// newStrat must return a fresh strategy per call so no state leaks between
+// the two runs.
+func runBoth(t *testing.T, label string, build func() *sched.Program, newStrat func() sched.Strategy) {
+	t.Helper()
+	run := func(legacy bool) (*sched.Result, error) {
+		return sched.Run(build(), sched.Options{
+			Strategy:      newStrat(),
+			RecordTrace:   true,
+			LegacyHandoff: legacy,
+		})
+	}
+	fast, fastErr := run(false)
+	legacy, legacyErr := run(true)
+	if (fastErr == nil) != (legacyErr == nil) {
+		t.Fatalf("%s: error presence differs: fast %v, legacy %v", label, fastErr, legacyErr)
+	}
+	if fastErr != nil && fastErr.Error() != legacyErr.Error() {
+		t.Fatalf("%s: errors differ:\n fast   %v\n legacy %v", label, fastErr, legacyErr)
+	}
+	if len(fast.Schedule) != len(legacy.Schedule) {
+		t.Fatalf("%s: schedule lengths differ: %d vs %d", label, len(fast.Schedule), len(legacy.Schedule))
+	}
+	for i := range fast.Schedule {
+		if fast.Schedule[i] != legacy.Schedule[i] {
+			t.Fatalf("%s: schedule diverges at %d: T%d vs T%d", label, i, fast.Schedule[i], legacy.Schedule[i])
+		}
+	}
+	if len(fast.Trace.Events) != len(legacy.Trace.Events) {
+		t.Fatalf("%s: event counts differ: %d vs %d", label, len(fast.Trace.Events), len(legacy.Trace.Events))
+	}
+	for i := range fast.Trace.Events {
+		fe, le := fast.Trace.Events[i], legacy.Trace.Events[i]
+		if fe != le {
+			t.Fatalf("%s: event %d differs: fast %+v, legacy %+v", label, i, fe, le)
+		}
+		if fn, ln := fast.Strings.Name(fe.Loc), legacy.Strings.Name(le.Loc); fn != ln {
+			t.Fatalf("%s: event %d location differs: %q vs %q", label, i, fn, ln)
+		}
+	}
+	for i := range fast.FinalVars {
+		if fast.FinalVars[i] != legacy.FinalVars[i] {
+			t.Fatalf("%s: final var %d differs: %d vs %d", label, i, fast.FinalVars[i], legacy.FinalVars[i])
+		}
+	}
+	if fast.Stats.Switches != legacy.Stats.Switches || fast.Stats.Preemptions != legacy.Stats.Preemptions {
+		t.Fatalf("%s: switch accounting differs: fast %+v, legacy %+v", label, fast.Stats, legacy.Stats)
+	}
+}
+
+// TestHandoffDifferentialFuzz sweeps 200 generated programs through the
+// one-hop fast path and the legacy two-hop protocol under random, round-
+// robin, and cooperative strategies: schedules, traces, final state, and
+// errors must be identical on every one. This is the determinism keystone
+// for the handoff rewrite, mirroring PR 6's fused-vs-legacy differential.
+func TestHandoffDifferentialFuzz(t *testing.T) {
+	const seeds = 200
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := gen.Config{
+			Threads:      2 + int(seed%4),
+			Vars:         3 + int(seed%3),
+			OpsPerThread: 10 + int(seed%8),
+		}
+		build := func() *sched.Program { return gen.Program(seed, cfg) }
+		runBoth(t, fmt.Sprintf("seed %d random", seed), build,
+			func() sched.Strategy { return sched.NewRandom(seed) })
+		runBoth(t, fmt.Sprintf("seed %d rr", seed), build,
+			func() sched.Strategy { return &sched.RoundRobin{Quantum: 1 + int(seed%4)} })
+		if seed%4 == 0 {
+			runBoth(t, fmt.Sprintf("seed %d coop", seed), build,
+				func() sched.Strategy { return sched.Cooperative{} })
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestZeroFrameSentinel pins the runtime.Callers zero-frame fallback: when
+// the unwinder produces no frames (an absurd skip depth stands in for the
+// degenerate stacks that trigger it in the wild), capture must intern the
+// deterministic "unknown:0" sentinel — not id 0, which DisableLocations
+// owns — and return the same id every time.
+func TestZeroFrameSentinel(t *testing.T) {
+	strs := trace.NewStrings()
+	var c locCache
+	id := c.capture(strs, 1<<20)
+	if id == 0 {
+		t.Fatal("zero-frame capture returned location id 0")
+	}
+	if got := strs.Name(id); got != unknownLoc {
+		t.Fatalf("zero-frame capture = %q, want %q", got, unknownLoc)
+	}
+	if again := c.capture(strs, 1<<20); again != id {
+		t.Fatalf("zero-frame capture not deterministic: %d then %d", id, again)
+	}
+	if c.hits != 0 || c.miss != 2 {
+		t.Fatalf("zero-frame stats hits=%d miss=%d, want 0/2", c.hits, c.miss)
+	}
+}
+
+// TestLocationCacheInliningCorrectness pins the property that makes raw
+// PCs valid cache keys: distinct source lines resolve to distinct, correct
+// locations even though every op funnels through the same (inlined)
+// capture helper, and repeated events from one line are answered from the
+// cache with the identical id.
+func TestLocationCacheInliningCorrectness(t *testing.T) {
+	p := NewProgram("inline-locs")
+	x := p.Var("x")
+	p.SetMain(func(tt *T) {
+		for i := 0; i < 3; i++ {
+			tt.Write(x, 1) // site A
+		}
+		tt.Write(x, 2) // site B
+	})
+	res, err := Run(p, Options{Strategy: Cooperative{}, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locs []trace.LocID
+	for _, e := range res.Trace.Events {
+		if e.Op == trace.OpWrite {
+			locs = append(locs, e.Loc)
+		}
+	}
+	if len(locs) != 4 {
+		t.Fatalf("got %d writes, want 4", len(locs))
+	}
+	if locs[0] != locs[1] || locs[1] != locs[2] {
+		t.Fatalf("same call site produced different ids: %v", locs[:3])
+	}
+	if locs[3] == locs[0] {
+		t.Fatalf("distinct call sites share id %d (%s)", locs[0], res.Strings.Name(locs[0]))
+	}
+	for i, id := range locs {
+		if name := res.Strings.Name(id); !strings.Contains(name, "fastpath_test.go:") {
+			t.Fatalf("write %d location = %q, want a fastpath_test.go line", i, name)
+		}
+	}
+	if res.Strings.Name(locs[0]) == res.Strings.Name(locs[3]) {
+		t.Fatalf("distinct lines symbolized identically: %q", res.Strings.Name(locs[0]))
+	}
+	if res.Stats.LocCacheHits == 0 || res.Stats.LocCacheMisses == 0 {
+		t.Fatalf("stats hits=%d misses=%d, want both > 0", res.Stats.LocCacheHits, res.Stats.LocCacheMisses)
+	}
+}
+
+// TestLegacyLocationsDifferential runs the same program with the PC cache
+// and with per-event symbolization (Options.LegacyLocations): every event,
+// location id, and interned string must match — the cache is a pure
+// memoization.
+func TestLegacyLocationsDifferential(t *testing.T) {
+	build := func() *Program { return counterProgram(3, 20, true) }
+	run := func(legacy bool) *Result {
+		res, err := Run(build(), Options{
+			Strategy:        NewRandom(7),
+			RecordTrace:     true,
+			LegacyLocations: legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, slow := run(false), run(true)
+	if len(fast.Trace.Events) != len(slow.Trace.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(fast.Trace.Events), len(slow.Trace.Events))
+	}
+	for i := range fast.Trace.Events {
+		fe, se := fast.Trace.Events[i], slow.Trace.Events[i]
+		if fe != se {
+			t.Fatalf("event %d differs: cached %+v, legacy %+v", i, fe, se)
+		}
+		if fn, sn := fast.Strings.Name(fe.Loc), slow.Strings.Name(se.Loc); fn != sn {
+			t.Fatalf("event %d location differs: cached %q, legacy %q", i, fn, sn)
+		}
+	}
+	if fast.Stats.LocCacheHits == 0 {
+		t.Fatal("cached run recorded no cache hits")
+	}
+	if slow.Stats.LocCacheHits != 0 {
+		t.Fatalf("legacy run hit the cache %d times", slow.Stats.LocCacheHits)
+	}
+}
+
+// TestFastPathStats asserts the new SchedStats counters move under the
+// fast path and stay zero under the legacy protocol, where every switch
+// goes through the scheduler goroutine and every decision parks.
+func TestFastPathStats(t *testing.T) {
+	run := func(legacy bool) *Result {
+		res, err := Run(counterProgram(3, 30, true), Options{
+			Strategy:      NewRandom(3),
+			LegacyHandoff: legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	if fast.Stats.DirectHandoffs == 0 {
+		t.Fatal("fast path recorded no direct handoffs")
+	}
+	if fast.Stats.ElidedParks == 0 {
+		t.Fatal("fast path recorded no elided parks")
+	}
+	if fast.Stats.LocCacheHits == 0 {
+		t.Fatal("fast path recorded no location-cache hits")
+	}
+	legacy := run(true)
+	if legacy.Stats.DirectHandoffs != 0 || legacy.Stats.ElidedParks != 0 {
+		t.Fatalf("legacy handoff recorded fast-path stats: %+v", legacy.Stats)
+	}
+	if fast.Stats.Switches != legacy.Stats.Switches || fast.Stats.Preemptions != legacy.Stats.Preemptions {
+		t.Fatalf("switch accounting diverged: fast %+v, legacy %+v", fast.Stats, legacy.Stats)
+	}
+}
+
+// TestHandoffBudgetSemantics pins PR 4 semantics on the new parking paths:
+// an event budget abort under the fast path produces the identical error
+// and event count as the legacy protocol.
+func TestHandoffBudgetSemantics(t *testing.T) {
+	run := func(legacy bool) (int, error) {
+		res, err := Run(counterProgram(3, 1000, true), Options{
+			Strategy:      NewRandom(5),
+			MaxEvents:     500,
+			LegacyHandoff: legacy,
+		})
+		if err == nil {
+			t.Fatal("expected event-budget error")
+		}
+		return res.Events, err
+	}
+	fastEvents, fastErr := run(false)
+	legacyEvents, legacyErr := run(true)
+	if fastErr.Error() != legacyErr.Error() {
+		t.Fatalf("budget errors differ:\n fast   %v\n legacy %v", fastErr, legacyErr)
+	}
+	if fastEvents != legacyEvents {
+		t.Fatalf("events at abort differ: fast %d, legacy %d", fastEvents, legacyEvents)
+	}
+}
+
+// TestLocCacheGrowth forces the open-addressed table through several
+// rehashes and checks every site still resolves consistently.
+func TestLocCacheGrowth(t *testing.T) {
+	strs := trace.NewStrings()
+	var c locCache
+	ids := make(map[uintptr]trace.LocID)
+	// Synthetic PCs: not symbolizable to real lines, but lookup must still
+	// intern a stable name per PC and return identical ids on re-probe.
+	for pc := uintptr(1); pc <= 4*locCacheMinSize; pc++ {
+		ids[pc] = c.lookup(strs, pc)
+	}
+	for pc, want := range ids {
+		if got := c.lookup(strs, pc); got != want {
+			t.Fatalf("pc %#x resolved to %d after growth, was %d", pc, got, want)
+		}
+	}
+	if c.n != 4*locCacheMinSize {
+		t.Fatalf("occupancy %d, want %d", c.n, 4*locCacheMinSize)
+	}
+	if c.hits != 4*locCacheMinSize || c.miss != 4*locCacheMinSize {
+		t.Fatalf("stats hits=%d miss=%d, want %d/%d", c.hits, c.miss, 4*locCacheMinSize, 4*locCacheMinSize)
+	}
+}

@@ -36,6 +36,16 @@ var (
 	mRunPreemptions = obs.Default.Counter("runtime.preemptions")
 	mRunThreadsHWM  = obs.Default.Gauge("runtime.threads.hwm")
 	mRunEventsHist  = obs.Default.Histogram("runtime.run_events", obs.PowersOf(64, 4, 9))
+
+	// Trace-generation fast-path telemetry (DESIGN.md "Trace generation
+	// hot path"): how often the PC→location cache answered without
+	// symbolizing, how many switches were one-hop thread→thread wakes that
+	// bypassed the scheduler goroutine, and how many scheduling points
+	// resolved in place with no parking at all.
+	mRunLocHits        = obs.Default.Counter("runtime.loc.hits")
+	mRunLocMisses      = obs.Default.Counter("runtime.loc.misses")
+	mRunDirectHandoffs = obs.Default.Counter("runtime.handoff.direct")
+	mRunElidedParks    = obs.Default.Counter("runtime.handoff.elided")
 )
 
 // flushMetrics publishes one finished run's counters; called exactly once
@@ -48,4 +58,8 @@ func (rt *Runtime) flushMetrics() {
 	mRunPreemptions.Add(int64(rt.preemptions))
 	mRunThreadsHWM.SetMax(int64(len(rt.threads)))
 	mRunEventsHist.Observe(int64(rt.events))
+	mRunLocHits.Add(int64(rt.locs.hits))
+	mRunLocMisses.Add(int64(rt.locs.miss))
+	mRunDirectHandoffs.Add(int64(rt.directHandoffs))
+	mRunElidedParks.Add(int64(rt.elidedParks))
 }

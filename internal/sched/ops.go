@@ -7,6 +7,11 @@ import (
 // T is the handle a virtual thread uses for every instrumented operation.
 // All shared-state interaction in a workload must go through T; plain Go
 // variables inside a Proc are thread-local.
+//
+// Every op records its call site with the capturePC/emitPC pair: capturePC
+// inlines into the op body so the stack unwind never walks more than two
+// physical frames (see capturePC in runtime.go). The pcs buffer lives in
+// the op's frame and is reused across multiple emits in the same op.
 type T struct {
 	rt *Runtime
 	t  *thread
@@ -30,7 +35,9 @@ func (h Handle) TID() trace.TID { return h.tid }
 func (x *T) Fork(name string, fn Proc) Handle {
 	rt := x.rt
 	child := rt.spawn(name, fn)
-	rt.emit(x.t, trace.OpFork, uint64(child.id), 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpFork, uint64(child.id), pcs[0])
 	return Handle{tid: child.id}
 }
 
@@ -41,33 +48,43 @@ func (x *T) Join(h Handle) {
 	for child.state != stateDone {
 		rt.blockOn(x.t, waitJoin, uint64(h.tid))
 	}
-	rt.emit(x.t, trace.OpJoin, uint64(h.tid), 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpJoin, uint64(h.tid), pcs[0])
 }
 
 // Read returns the current value of a plain shared variable.
 func (x *T) Read(v *Var) int64 {
 	val := x.rt.vals[v.id]
-	x.rt.emit(x.t, trace.OpRead, v.id, 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpRead, v.id, pcs[0])
 	return val
 }
 
 // Write stores val into a plain shared variable.
 func (x *T) Write(v *Var, val int64) {
 	x.rt.vals[v.id] = val
-	x.rt.emit(x.t, trace.OpWrite, v.id, 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpWrite, v.id, pcs[0])
 }
 
 // VolRead returns the current value of a volatile variable.
 func (x *T) VolRead(v *Volatile) int64 {
 	val := x.rt.volVals[v.id]
-	x.rt.emit(x.t, trace.OpVolRead, v.ID(), 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpVolRead, v.ID(), pcs[0])
 	return val
 }
 
 // VolWrite stores val into a volatile variable.
 func (x *T) VolWrite(v *Volatile, val int64) {
 	x.rt.volVals[v.id] = val
-	x.rt.emit(x.t, trace.OpVolWrite, v.ID(), 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpVolWrite, v.ID(), pcs[0])
 }
 
 // Acquire takes the lock, blocking while another thread holds it. Locks are
@@ -75,9 +92,11 @@ func (x *T) VolWrite(v *Volatile, val int64) {
 func (x *T) Acquire(m *Mutex) {
 	rt := x.rt
 	ms := &rt.mus[m.id]
+	var pcs [1]uintptr
 	if ms.owner == x.t.id {
 		ms.depth++
-		rt.emit(x.t, trace.OpAcquire, m.id, 0)
+		rt.capturePC(&pcs)
+		rt.emitPC(x.t, trace.OpAcquire, m.id, pcs[0])
 		return
 	}
 	for ms.owner != -1 {
@@ -85,7 +104,8 @@ func (x *T) Acquire(m *Mutex) {
 	}
 	ms.owner = x.t.id
 	ms.depth = 1
-	rt.emit(x.t, trace.OpAcquire, m.id, 0)
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpAcquire, m.id, pcs[0])
 }
 
 // Release drops one level of the lock. Releasing a lock the thread does not
@@ -101,7 +121,9 @@ func (x *T) Release(m *Mutex) {
 		ms.owner = -1
 		rt.wakeLockWaiters(m.id)
 	}
-	rt.emit(x.t, trace.OpRelease, m.id, 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpRelease, m.id, pcs[0])
 }
 
 // WithLock runs fn while holding m.
@@ -115,7 +137,9 @@ func (x *T) WithLock(m *Mutex, fn func()) {
 // programmer acknowledges possible interference. Under cooperative
 // scheduling it is (with blocking operations) the only context-switch point.
 func (x *T) Yield() {
-	x.rt.emit(x.t, trace.OpYield, 0, 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpYield, 0, pcs[0])
 }
 
 // Wait atomically releases c's mutex and blocks until notified, then
@@ -139,7 +163,9 @@ func (x *T) Wait(c *Cond) {
 	ms.owner = -1
 	ms.depth = 0
 	rt.wakeLockWaiters(m.id)
-	rt.emit(x.t, trace.OpWait, m.id, 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpWait, m.id, pcs[0])
 	for !x.t.signaled {
 		rt.blockOn(x.t, waitCond, c.id)
 	}
@@ -149,7 +175,8 @@ func (x *T) Wait(c *Cond) {
 	}
 	ms.owner = x.t.id
 	ms.depth = savedDepth
-	rt.emit(x.t, trace.OpAcquire, m.id, 0)
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpAcquire, m.id, pcs[0])
 }
 
 // Signal wakes the longest-waiting thread on c, if any. The caller must
@@ -183,7 +210,9 @@ func (x *T) notify(c *Cond, all bool) {
 		}
 	}
 	cs.queue = cs.queue[n:]
-	rt.emit(x.t, trace.OpNotify, c.mutex.id, 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpNotify, c.mutex.id, pcs[0])
 }
 
 // Call runs fn as a named method span, emitting enter/exit events. Spans
@@ -196,15 +225,21 @@ func (x *T) Call(method string, fn func()) {
 		rt.methodIDs[method] = mid
 		rt.symbols.Methods = append(rt.symbols.Methods, method)
 	}
-	rt.emit(x.t, trace.OpEnter, mid, 0)
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpEnter, mid, pcs[0])
 	fn()
-	rt.emit(x.t, trace.OpExit, mid, 0)
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpExit, mid, pcs[0])
 }
 
 // Atomic runs fn inside a programmer-specified atomic block. These events
 // drive the atomicity-checker baseline only; cooperability ignores them.
 func (x *T) Atomic(fn func()) {
-	x.rt.emit(x.t, trace.OpAtomicBegin, 0, 0)
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpAtomicBegin, 0, pcs[0])
 	fn()
-	x.rt.emit(x.t, trace.OpAtomicEnd, 0, 0)
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpAtomicEnd, 0, pcs[0])
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"strings"
 
 	"repro/internal/trace"
@@ -44,6 +43,20 @@ type Options struct {
 	// full, or run end — including aborted runs), never which events or
 	// their order, so analyses observe the identical sequence either way.
 	BatchSize int
+	// LegacyHandoff routes every scheduling decision through the scheduler
+	// goroutine's two-channel rendezvous (the pre-fast-path protocol)
+	// instead of the one-hop thread→thread baton handoff. The two protocols
+	// make the identical sequence of strategy calls and produce identical
+	// schedules, traces, and errors — the schedule-identity differential
+	// tests prove it — so this exists as a validation oracle and debugging
+	// aid, not a feature.
+	LegacyHandoff bool
+	// LegacyLocations symbolizes every event's call site through
+	// runtime.CallersFrames instead of the PC-keyed location cache (the
+	// pre-fast-path behavior). Both paths intern through the same string
+	// table and produce identical location ids; like LegacyHandoff this is
+	// a validation oracle and benchmark baseline, not a feature.
+	LegacyLocations bool
 }
 
 // Observer consumes instrumented events as they are produced.
@@ -141,6 +154,29 @@ type Result struct {
 	// Schedule is the tid of each event in execution order; feeding it to
 	// NewReplay reproduces this run exactly.
 	Schedule []trace.TID
+	// Stats is the run's scheduling telemetry (also flushed to the obs
+	// registry).
+	Stats SchedStats
+}
+
+// SchedStats is one run's scheduling and fast-path telemetry.
+type SchedStats struct {
+	// Switches counts context switches (a different thread was picked).
+	Switches int
+	// Preemptions counts switches away from a still-runnable thread.
+	Preemptions int
+	// DirectHandoffs counts switches performed as one-hop thread→thread
+	// wakes, bypassing the scheduler goroutine (always 0 under
+	// Options.LegacyHandoff).
+	DirectHandoffs int
+	// ElidedParks counts scheduling points at which the strategy was
+	// consulted but the running thread kept the baton with zero channel
+	// operations (always 0 under Options.LegacyHandoff).
+	ElidedParks int
+	// LocCacheHits counts location captures answered by the PC cache;
+	// LocCacheMisses counts symbolization slow paths.
+	LocCacheHits   int
+	LocCacheMisses int
 }
 
 // ErrDeadlock wraps scheduler deadlock reports.
@@ -229,6 +265,22 @@ type Runtime struct {
 	switches    int // context switches (scheduler picked a different thread)
 	preemptions int // switches away from a still-runnable thread
 
+	// Fast-path telemetry (see handoff): switches that bypassed the
+	// scheduler goroutine, and scheduling points resolved in place with no
+	// parking at all.
+	directHandoffs int
+	elidedParks    int
+
+	// runnableBuf backs runnableIDs across scheduling decisions. Exactly
+	// one goroutine holds the baton at a time, so reuse is safe; Strategy
+	// implementations that retain the runnable set must copy it (Guided
+	// does).
+	runnableBuf []trace.TID
+
+	// noLoc mirrors opts.DisableLocations as a direct field so sitePC's
+	// guard is a single load, keeping it within the inlining budget.
+	noLoc bool
+
 	locs locCache
 }
 
@@ -257,6 +309,7 @@ func Run(p *Program, opts Options) (*Result, error) {
 		toSched:   make(chan struct{}),
 		maxEvents: opts.MaxEvents,
 		current:   -1,
+		noLoc:     opts.DisableLocations,
 	}
 	if len(batched) > 0 {
 		size := opts.BatchSize
@@ -319,6 +372,14 @@ func Run(p *Program, opts Options) (*Result, error) {
 		FinalVars:      rt.vals,
 		FinalVolatiles: rt.volVals,
 		Schedule:       rt.schedule,
+		Stats: SchedStats{
+			Switches:       rt.switches,
+			Preemptions:    rt.preemptions,
+			DirectHandoffs: rt.directHandoffs,
+			ElidedParks:    rt.elidedParks,
+			LocCacheHits:   rt.locs.hits,
+			LocCacheMisses: rt.locs.miss,
+		},
 	}
 	if rt.tr != nil {
 		rt.tr.Meta.Threads = len(rt.threads)
@@ -351,41 +412,121 @@ func (rt *Runtime) spawn(name string, fn Proc) *thread {
 	return t
 }
 
-// loop is the scheduler: pick a runnable thread, hand it the baton, wait
-// for it to hand the baton back, repeat until all threads finish.
+// loop is the scheduler goroutine. Under the one-hop handoff protocol it
+// only brackets the run: it hands the baton to the first picked thread and
+// then sleeps until a baton holder hits a terminal condition (all done,
+// deadlock, or error) — every intermediate switch is a direct
+// thread→thread handoff that never wakes this goroutine (see handoff).
+// With Options.LegacyHandoff it is the classic two-hop loop instead: every
+// scheduling point returns the baton here, costing two channel rendezvous
+// per switch.
 func (rt *Runtime) loop() error {
-	for {
-		if rt.err != nil {
-			rt.killAll()
-			return rt.err
-		}
-		runnable := rt.runnableIDs()
-		if len(runnable) == 0 {
-			if rt.allDone() {
-				return nil
-			}
-			err := rt.deadlockError()
-			rt.err = err
-			rt.killAll()
-			return err
-		}
-		next := rt.strat.Pick(runnable, rt.current)
-		if !containsTID(runnable, next) {
-			rt.err = fmt.Errorf("%w: strategy %s picked T%d; runnable %v",
-				ErrReplayDiverged, rt.strat.Name(), next, runnable)
-			rt.killAll()
-			return rt.err
-		}
-		if next != rt.current {
-			rt.switches++
-			if rt.current >= 0 && containsTID(runnable, rt.current) {
-				rt.preemptions++
-			}
-		}
-		rt.current = next
-		t := rt.threads[next]
-		t.resume <- struct{}{}
+	if rt.opts.LegacyHandoff {
+		return rt.legacyLoop()
+	}
+	if next, ok := rt.pickNext(); ok {
+		rt.threads[next].resume <- struct{}{}
 		<-rt.toSched
+	}
+	return rt.finish()
+}
+
+// legacyLoop is the pre-fast-path scheduler: pick a runnable thread, hand
+// it the baton, wait for it to hand the baton back, repeat until all
+// threads finish.
+func (rt *Runtime) legacyLoop() error {
+	for {
+		next, ok := rt.pickNext()
+		if !ok {
+			return rt.finish()
+		}
+		rt.threads[next].resume <- struct{}{}
+		<-rt.toSched
+	}
+}
+
+// finish settles a terminal state on the scheduler goroutine: the baton
+// came back because the run errored, completed, or deadlocked.
+func (rt *Runtime) finish() error {
+	if rt.err != nil {
+		rt.killAll()
+		return rt.err
+	}
+	if rt.allDone() {
+		return nil
+	}
+	err := rt.deadlockError()
+	rt.err = err
+	rt.killAll()
+	return err
+}
+
+// pickNext runs one scheduling decision: build the runnable set, consult
+// the strategy, update the switch telemetry, and install the choice as
+// rt.current. ok=false means the baton must go to the scheduler goroutine:
+// the run errored or diverged (rt.err is set), or no thread is runnable
+// (completion or deadlock — finish tells them apart). Exactly one
+// goroutine — the baton holder — calls this at a time, and both handoff
+// protocols call it in the identical sequence, which is what keeps their
+// schedules bit-identical.
+func (rt *Runtime) pickNext() (trace.TID, bool) {
+	if rt.err != nil {
+		return 0, false
+	}
+	runnable := rt.runnableIDs()
+	if len(runnable) == 0 {
+		return 0, false
+	}
+	next := rt.strat.Pick(runnable, rt.current)
+	if !containsTID(runnable, next) {
+		rt.err = fmt.Errorf("%w: strategy %s picked T%d; runnable %v",
+			ErrReplayDiverged, rt.strat.Name(), next, runnable)
+		return 0, false
+	}
+	if next != rt.current {
+		rt.switches++
+		if rt.current >= 0 && containsTID(runnable, rt.current) {
+			rt.preemptions++
+		}
+	}
+	rt.current = next
+	return next, true
+}
+
+// handoff transfers the baton from t without waking the scheduler
+// goroutine: one channel send when the strategy picks a different thread,
+// zero channel operations when it keeps t running (the elided park — the
+// decision was forced or the strategy declined to preempt, so the running
+// thread just continues). parkAfter says whether t expects to run again (a
+// preemption point, or a thread that just blocked) or is exiting
+// (threadBody's defer). Only the terminal transitions — completion,
+// deadlock, error — fall back to the scheduler goroutine.
+func (rt *Runtime) handoff(t *thread, parkAfter bool) {
+	if rt.killed {
+		// Only a dying thread's defer can observe this: killAll holds the
+		// baton and resumes parked threads one by one, each unwinding via
+		// errKilled to its defer. Complete killAll's resume/toSched
+		// handshake instead of scheduling.
+		rt.toSched <- struct{}{}
+		return
+	}
+	next, ok := rt.pickNext()
+	if !ok {
+		// Terminal: wake the scheduler goroutine to settle the run.
+		rt.toSched <- struct{}{}
+		if parkAfter {
+			rt.waitTurn(t) // resumed only by killAll; unwinds via errKilled
+		}
+		return
+	}
+	if next == t.id {
+		rt.elidedParks++
+		return
+	}
+	rt.directHandoffs++
+	rt.threads[next].resume <- struct{}{}
+	if parkAfter {
+		rt.waitTurn(t)
 	}
 }
 
@@ -398,14 +539,17 @@ func containsTID(ids []trace.TID, id trace.TID) bool {
 	return false
 }
 
+// runnableIDs rebuilds the runnable set into a buffer reused across
+// scheduling decisions. Threads are stored in id order, so the result is
+// sorted ascending by construction.
 func (rt *Runtime) runnableIDs() []trace.TID {
-	var ids []trace.TID
+	ids := rt.runnableBuf[:0]
 	for _, t := range rt.threads {
 		if t.state == stateRunnable {
 			ids = append(ids, t.id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rt.runnableBuf = ids
 	return ids
 }
 
@@ -515,7 +659,11 @@ func (rt *Runtime) threadBody(t *thread) {
 		}
 		t.state = stateDone
 		rt.wakeJoiners(t.id)
-		rt.toSched <- struct{}{}
+		if rt.opts.LegacyHandoff {
+			rt.toSched <- struct{}{}
+			return
+		}
+		rt.handoff(t, false)
 	}()
 	if rt.killed {
 		panic(errKilled)
@@ -534,10 +682,19 @@ func (rt *Runtime) waitTurn(t *thread) {
 	}
 }
 
-// switchOut hands the baton to the scheduler and parks.
+// switchOut yields the baton at a scheduling point. On the fast path the
+// yielding thread resolves the decision itself: it keeps running with zero
+// channel operations when the pick lands back on it, wakes its successor
+// directly with a single send otherwise, and only involves the scheduler
+// goroutine on terminal transitions. The legacy protocol hands the baton
+// to the scheduler goroutine and parks — two rendezvous per switch.
 func (rt *Runtime) switchOut(t *thread) {
-	rt.toSched <- struct{}{}
-	rt.waitTurn(t)
+	if rt.opts.LegacyHandoff {
+		rt.toSched <- struct{}{}
+		rt.waitTurn(t)
+		return
+	}
+	rt.handoff(t, true)
 }
 
 // blockOn marks t blocked for the given reason and parks it. The waker is
@@ -569,14 +726,31 @@ func (rt *Runtime) wakeLockWaiters(lockID uint64) {
 // locNone suppresses location capture for runtime-internal events.
 const locNone trace.LocID = -1
 
+// emitPC is the op-method entry to emit: it resolves a raw call-site PC
+// (from capturePC) against the location cache and records the event.
+func (rt *Runtime) emitPC(t *thread, op trace.Op, target uint64, pc uintptr) {
+	var loc trace.LocID
+	if pc != 0 {
+		if rt.opts.LegacyLocations {
+			rt.locs.miss++
+			loc = rt.locs.symbolize(rt.strings, pc)
+		} else {
+			loc = rt.locs.lookup(rt.strings, pc)
+		}
+	} else if !rt.noLoc {
+		// Location capture is on but runtime.Callers produced no frames:
+		// intern the deterministic sentinel so traces stay reproducible.
+		loc = rt.locs.zeroFrame(rt.strings)
+	}
+	rt.emit(t, op, target, loc)
+}
+
 // emit records one event, feeds it to observers, and gives the strategy a
-// preemption opportunity. loc==0 means "capture the caller's location" when
-// location capture is enabled; pass locNone to suppress.
+// preemption opportunity. loc is final: op methods resolve their call site
+// via sitePC/emitPC; runtime-internal events pass locNone.
 func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) {
 	if loc == locNone {
 		loc = 0
-	} else if loc == 0 && !rt.opts.DisableLocations {
-		loc = rt.locs.capture(rt.strings, 3)
 	}
 	e := trace.Event{Idx: rt.events, Tid: t.id, Op: op, Target: target, Loc: loc}
 	rt.events++
@@ -664,28 +838,119 @@ func (rt *Runtime) fail(format string, args ...any) {
 	panic(errKilled)
 }
 
-// locCache interns source locations keyed by program counter.
+// unknownLoc is the deterministic sentinel interned when runtime.Callers
+// reports no frames (an impossible skip depth). It keeps the zero-frame
+// fallback distinguishable from both "no location" (id 0, the empty
+// string) and every real source location, instead of silently aliasing
+// whatever string happens to hold id 0.
+const unknownLoc = "unknown:0"
+
+// locCacheMinSize is the initial slot count of a run's location cache;
+// big enough that typical workloads (tens of instrumentation sites) never
+// rehash.
+const locCacheMinSize = 256
+
+// locCache interns source locations keyed by the raw runtime.Callers
+// program counter, so steady-state events never symbolize frames: the
+// CallersFrames + Sprintf + string-intern slow path runs once per distinct
+// call site and per-event capture is one Callers call plus one probe of an
+// open-addressed table. PCs are inlining-correct keys — each logical call
+// site has a distinct return PC, and CallersFrames expands inlined frames
+// when a PC is first symbolized — which the inlining test pins down.
 type locCache struct {
-	byPC map[uintptr]trace.LocID
+	pcs  []uintptr     // slot keys; 0 marks an empty slot (PCs are never 0)
+	ids  []trace.LocID // slot values, parallel to pcs
+	n    int           // occupied slots
+	hits int           // captures answered from the table
+	miss int           // captures that took the symbolization slow path
 }
 
+// capture records the caller's caller at the given logical skip depth.
+// The hot path captures via capturePC/emitPC instead (frame-pointer read
+// on amd64, inlined runtime.Callers elsewhere); this entry point serves
+// tests and non-hot callers, including the zero-frame sentinel path.
 func (c *locCache) capture(strs *trace.Strings, skip int) trace.LocID {
 	var pcs [1]uintptr
 	if runtime.Callers(skip+1, pcs[:]) == 0 {
-		return 0
+		return c.zeroFrame(strs)
 	}
-	if c.byPC == nil {
-		c.byPC = make(map[uintptr]trace.LocID)
+	return c.lookup(strs, pcs[0])
+}
+
+// zeroFrame is the deterministic fallback when the unwinder produced no
+// frames at all.
+func (c *locCache) zeroFrame(strs *trace.Strings) trace.LocID {
+	c.miss++
+	return strs.Intern(unknownLoc)
+}
+
+// lookup resolves a call-site PC to its interned location id, symbolizing
+// it at most once.
+func (c *locCache) lookup(strs *trace.Strings, pc uintptr) trace.LocID {
+	if c.pcs == nil {
+		c.grow(locCacheMinSize)
 	}
-	if id, ok := c.byPC[pcs[0]]; ok {
-		return id
+	mask := uintptr(len(c.pcs) - 1)
+	for i := locHash(pc) & mask; c.pcs[i] != 0; i = (i + 1) & mask {
+		if c.pcs[i] == pc {
+			c.hits++
+			return c.ids[i]
+		}
 	}
-	frames := runtime.CallersFrames(pcs[:])
+	c.miss++
+	id := c.symbolize(strs, pc)
+	c.insert(pc, id)
+	return id
+}
+
+// symbolize expands a call-site PC to its interned "file:line" id without
+// consulting the cache — the slow path of lookup, and the whole path under
+// Options.LegacyLocations. Interning goes through the same string table,
+// so cache and no-cache runs produce identical location ids; the
+// locations differential test pins that down.
+func (c *locCache) symbolize(strs *trace.Strings, pc uintptr) trace.LocID {
+	frames := runtime.CallersFrames([]uintptr{pc})
 	f, _ := frames.Next()
 	name := fmt.Sprintf("%s:%d", trimPath(f.File), f.Line)
-	id := strs.Intern(name)
-	c.byPC[pcs[0]] = id
-	return id
+	return strs.Intern(name)
+}
+
+// insert adds a new pc→id mapping, doubling the table past 3/4 load so
+// probe chains stay short.
+func (c *locCache) insert(pc uintptr, id trace.LocID) {
+	if (c.n+1)*4 > len(c.pcs)*3 {
+		oldPCs, oldIDs := c.pcs, c.ids
+		c.grow(len(oldPCs) * 2)
+		for i, p := range oldPCs {
+			if p != 0 {
+				c.place(p, oldIDs[i])
+			}
+		}
+	}
+	c.place(pc, id)
+	c.n++
+}
+
+func (c *locCache) grow(size int) {
+	c.pcs = make([]uintptr, size)
+	c.ids = make([]trace.LocID, size)
+}
+
+func (c *locCache) place(pc uintptr, id trace.LocID) {
+	mask := uintptr(len(c.pcs) - 1)
+	i := locHash(pc) & mask
+	for c.pcs[i] != 0 {
+		i = (i + 1) & mask
+	}
+	c.pcs[i] = pc
+	c.ids[i] = id
+}
+
+// locHash is Fibonacci hashing on the PC. Call-site PCs share their high
+// bits and stride by instruction alignment, so the multiply mixes them
+// into the high half, which becomes the table index after masking.
+func locHash(pc uintptr) uintptr {
+	return uintptr((uint64(pc) * 0x9E3779B97F4A7C15) >> 32)
 }
 
 // trimPath keeps the last two path segments for compact, stable locations.

@@ -9,11 +9,15 @@
 // -mem-budget) and SIGINT: a cutoff still prints the partial verdict with
 // the status explaining why, but a truncated space is never CERTIFIED.
 //
+// The shared telemetry flags (-telemetry, -metrics-addr, -progress,
+// -flight) work here as on the checker tools.
+//
 // Usage:
 //
 //	certify -w philo -size 1 -preemptions 2
 //	certify -w bank-buggy -size 2 -dpor
-//	certify -w sor -timeout 30s -json
+//	certify -w sor -timeout 30s -json -telemetry run.json
+//	certify -w philo -flight cert.json  # inspect in Perfetto or explorescope
 package main
 
 import (
@@ -74,6 +78,8 @@ func main() {
 	)
 	var memBudget cli.ByteSize
 	flag.Var(&memBudget, "mem-budget", "heap budget (e.g. 512MiB); stop with status \"budget-exhausted\" when exceeded (0 = unlimited)")
+	common = cli.NewCommon("certify")
+	common.RegisterTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 	if *workload == "" {
 		fatal(fmt.Errorf("-w is required"))
@@ -81,6 +87,10 @@ func main() {
 	spec, ok := workloads.Get(*workload)
 	if !ok {
 		fatal(fmt.Errorf("unknown workload %q; available: %v", *workload, workloads.Names()))
+	}
+	common.Workload = *workload
+	if err := common.StartTelemetry(); err != nil {
+		fatal(err)
 	}
 
 	// SIGINT cancels the exploration cooperatively; the partial verdict
@@ -140,6 +150,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	common.SetStatus(rep.Status)
 	// A certificate means the search covered the whole bounded space: it
 	// finished (no budget/deadline/panic cutoff), no prefix was abandoned,
 	// nothing crashed, and the mode was actually exhaustive.
@@ -190,6 +201,7 @@ func main() {
 		if err := enc.Encode(sum); err != nil {
 			fatal(err)
 		}
+		closeCommon()
 		if violations > 0 || deadlocks > 0 || rep.Panics > 0 {
 			os.Exit(1)
 		}
@@ -215,6 +227,7 @@ func main() {
 		if firstReport != "" {
 			fmt.Println("first report:", firstReport)
 		}
+		closeCommon()
 		os.Exit(1)
 	case certified:
 		fmt.Println("CERTIFIED: cooperable and deadlock-free over the entire bounded schedule space")
@@ -223,9 +236,26 @@ func main() {
 	default:
 		fmt.Println("no violations found (not a certificate: space truncated or dpor mode)")
 	}
+	closeCommon()
+}
+
+// common carries the shared telemetry surfaces (-telemetry, -metrics-addr,
+// -progress, -flight); certify keeps its own exploration and budget flags.
+var common *cli.Common
+
+// closeCommon flushes the telemetry surfaces on every exit path (Close is
+// idempotent, so reaching it twice is fine).
+func closeCommon() {
+	if common == nil {
+		return
+	}
+	if err := common.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "certify:", err)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "certify:", err)
+	closeCommon()
 	os.Exit(2)
 }

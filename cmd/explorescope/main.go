@@ -1,0 +1,141 @@
+// Command explorescope inspects flight-recorder recordings: it merges and
+// filters recordings, converts between the Chrome trace_event JSON and the
+// compact binary spill format, and prints a top-N phase attribution table.
+//
+// Input format is detected by suffix: .json is trace_event JSON, anything
+// else is the binary spill format. The same rule picks the -o output
+// format, so converting is just naming the other extension:
+//
+//	explorescope run.bin                    # attribution table
+//	explorescope -top 5 -cat sched run.json # top 5 scheduler rows
+//	explorescope -o merged.json a.bin b.bin # merge + convert for Perfetto
+//	explorescope -name schedule -o sched.json run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs/flight"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "explorescope:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report out.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explorescope", flag.ContinueOnError)
+	var (
+		out     = fs.String("o", "", "write the merged/filtered recording here (.json = trace_event, else spill)")
+		cat     = fs.String("cat", "", "filter: category (sched|run|pool|checker|harness|cli)")
+		name    = fs.String("name", "", "filter: exact event name")
+		from    = fs.Int64("from", 0, "filter: inclusive lower time bound, ns")
+		to      = fs.Int64("to", 0, "filter: exclusive upper time bound, ns (0 = end)")
+		top     = fs.Int("top", 20, "attribution rows to print (0 = all)")
+		summary = fs.Bool("tracks", false, "print per-track event counts instead of attribution")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("at least one recording file is required")
+	}
+
+	recs := make([]flight.Recording, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		rec, err := flight.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, rec)
+	}
+	rec := recs[0]
+	if len(recs) > 1 {
+		rec = flight.Merge(recs...)
+	}
+
+	if *cat != "" || *name != "" || *from != 0 || *to != 0 {
+		opts := flight.FilterOptions{Name: *name, From: *from, To: *to}
+		if *cat != "" {
+			c, ok := flight.CatByName(*cat)
+			if !ok {
+				return fmt.Errorf("unknown category %q (sched|run|pool|checker|harness|cli)", *cat)
+			}
+			opts.Cat, opts.CatSet = c, true
+		}
+		rec = rec.Filter(opts)
+	}
+
+	if *out != "" {
+		if err := flight.WriteFile(*out, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d events on %d tracks to %s\n", rec.Events(), len(rec.Tracks), *out)
+		return nil
+	}
+
+	if *summary {
+		printTracks(stdout, rec)
+		return nil
+	}
+	printAttribution(stdout, rec, *top)
+	return nil
+}
+
+func header(w io.Writer, rec flight.Recording, wall int64) {
+	fmt.Fprintf(w, "flight recording: %d tracks, %d events, %d dropped, wall %v\n",
+		len(rec.Tracks), rec.Events(), rec.Dropped, time.Duration(wall))
+}
+
+// printAttribution renders the top-N span attribution table: self and
+// total time plus span count per (category, name), sorted by self time.
+func printAttribution(w io.Writer, rec flight.Recording, top int) {
+	rows, wall := rec.Attribution()
+	header(w, rec, wall)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return
+	}
+	shown := rows
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	fmt.Fprintf(w, "%12s %12s %8s  %-8s %s\n", "self", "total", "count", "category", "name")
+	for _, r := range shown {
+		fmt.Fprintf(w, "%12v %12v %8d  %-8s %s\n",
+			time.Duration(r.SelfNs), time.Duration(r.TotalNs), r.Count, r.Cat, r.Name)
+	}
+	if len(shown) != len(rows) {
+		fmt.Fprintf(w, "(%d of %d rows shown)\n", len(shown), len(rows))
+	}
+}
+
+// printTracks renders per-track event counts and time extents.
+func printTracks(w io.Writer, rec flight.Recording) {
+	_, wall := rec.Attribution()
+	header(w, rec, wall)
+	fmt.Fprintf(w, "%5s %8s %12s  %s\n", "tid", "events", "extent", "track")
+	for _, t := range rec.Tracks {
+		var extent int64
+		if n := len(t.Events); n > 0 {
+			lo, hi := t.Events[0].TS, t.Events[0].TS
+			for _, e := range t.Events[1:] {
+				if e.TS < lo {
+					lo = e.TS
+				}
+				if e.TS > hi {
+					hi = e.TS
+				}
+			}
+			extent = hi - lo
+		}
+		fmt.Fprintf(w, "%5d %8d %12v  %s\n", t.ID, len(t.Events), time.Duration(extent), t.Name)
+	}
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/flight"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden snapshots instead of comparing")
+
+// sampleRecording builds a fully deterministic recording (explicit
+// timestamps and span IDs, no wall clock) shaped like a small parallel
+// exploration: a driver span with a nested schedule, a steal flow to a
+// worker, and a worker replay span.
+func sampleRecording() flight.Recording {
+	r := flight.New(flight.Options{TrackCap: 64})
+	d := r.Track("explore-driver")
+	w := r.Track("explore-worker-1")
+
+	d.Emit(flight.Event{TS: 1000, ID: 1, Kind: flight.KindBegin, Cat: flight.CatSched, Name: "explore",
+		Args: [4]flight.Arg{flight.A("max_runs", 64)}})
+	d.Emit(flight.Event{TS: 2000, ID: 2, Parent: 1, Kind: flight.KindBegin, Cat: flight.CatSched, Name: "schedule",
+		Args: [4]flight.Arg{flight.A("depth", 0)}})
+	d.Emit(flight.Event{TS: 2500, ID: 7, Kind: flight.KindFlowOut, Cat: flight.CatSched, Name: "steal"})
+	d.Emit(flight.Event{TS: 6000, ID: 2, Kind: flight.KindEnd, Cat: flight.CatSched, Name: "schedule", Str: "ok",
+		Args: [4]flight.Arg{flight.A("events", 42)}})
+	d.Emit(flight.Event{TS: 9000, ID: 1, Kind: flight.KindEnd, Cat: flight.CatSched, Name: "explore", Str: "complete"})
+
+	w.Emit(flight.Event{TS: 3000, ID: 7, Kind: flight.KindFlowIn, Cat: flight.CatSched, Name: "steal"})
+	w.Emit(flight.Event{TS: 3500, ID: 3, Kind: flight.KindBegin, Cat: flight.CatSched, Name: "replay",
+		Args: [4]flight.Arg{flight.A("depth", 1)}})
+	w.Emit(flight.Event{TS: 4000, Kind: flight.KindInstant, Cat: flight.CatChecker, Name: "budget", Str: "budget-states"})
+	w.Emit(flight.Event{TS: 8000, ID: 3, Kind: flight.KindEnd, Cat: flight.CatSched, Name: "replay"})
+	return r.Snapshot()
+}
+
+// writeSample exports the sample as trace_event JSON under dir.
+func writeSample(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flight.WriteJSON(f, sampleRecording()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkGolden compares got against the named snapshot in testdata,
+// rewriting it under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden snapshot rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden snapshot missing (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestJSONGolden pins the exported trace_event JSON byte-for-byte.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := flight.WriteJSON(&buf, sampleRecording()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_golden.json", buf.Bytes())
+}
+
+// TestConvertRoundTrip drives the acceptance criterion: trace_event JSON
+// round-trips through the tool — JSON → spill → JSON — byte-identically.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir)
+	spill := filepath.Join(dir, "mid.bin")
+	back := filepath.Join(dir, "back.json")
+
+	var out strings.Builder
+	if err := run([]string{"-o", spill, in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := "wrote 9 events on 2 tracks to " + spill + "\n"; out.String() != want {
+		t.Fatalf("convert output = %q, want %q", out.String(), want)
+	}
+	if err := run([]string{"-o", back, spill}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, got) {
+		t.Errorf("JSON → spill → JSON is not byte-identical\n--- original ---\n%s\n--- round-tripped ---\n%s", orig, got)
+	}
+}
+
+// TestAttributionGolden pins the default top-N attribution table.
+func TestAttributionGolden(t *testing.T) {
+	in := writeSample(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "attr_golden.txt", out.Bytes())
+}
+
+// TestMergeAndFilter merges two copies and filters to scheduler events.
+func TestMergeAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir)
+	merged := filepath.Join(dir, "merged.json")
+	var out strings.Builder
+	if err := run([]string{"-cat", "sched", "-o", merged, in, in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 9 events per copy, minus the one CatChecker instant each: 16 on 4 tracks.
+	if want := "wrote 16 events on 4 tracks to " + merged + "\n"; out.String() != want {
+		t.Fatalf("merge output = %q, want %q", out.String(), want)
+	}
+	f, err := os.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := flight.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Cat != flight.CatSched {
+				t.Fatalf("filter leaked a %s event: %+v", e.Cat, e)
+			}
+		}
+	}
+}
+
+// TestTracksSummary checks the per-track listing.
+func TestTracksSummary(t *testing.T) {
+	in := writeSample(t, t.TempDir())
+	var out bytes.Buffer
+	if err := run([]string{"-tracks", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"explore-driver", "explore-worker-1", "2 tracks, 9 events"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("tracks summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestErrors covers the user-facing failure modes.
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no input files: want error")
+	}
+	if err := run([]string{"nope.json"}, &out); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	in := writeSample(t, t.TempDir())
+	if err := run([]string{"-cat", "bogus", in}, &out); err == nil || !strings.Contains(err.Error(), "unknown category") {
+		t.Fatalf("bogus category: want unknown-category error, got %v", err)
+	}
+}

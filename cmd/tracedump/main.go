@@ -7,6 +7,7 @@
 //	tracedump -i bank.trc -print
 //	tracedump -i bank.trc -locs
 //	tracedump -i bank.trc
+//	tracedump -w bank -o bank.trc -telemetry run.json -flight rec.json
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 }
 
 // run is the whole command behind a testable seam: flags in, report out.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("tracedump", flag.ContinueOnError)
 	var (
 		workload = fs.String("w", "", "workload to record")
@@ -50,9 +51,20 @@ func run(args []string, stdout io.Writer) error {
 		fFrom    = fs.Int("from", 0, "print filter: first event index")
 		fTo      = fs.Int("to", 0, "print filter: one past last event index (0 = end)")
 	)
+	common := cli.NewCommon("tracedump")
+	common.RegisterTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := common.StartTelemetry(); err != nil {
+		return err
+	}
+	defer func() {
+		common.Workload = *workload
+		if cerr := common.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var tr *trace.Trace
 	switch {

@@ -212,6 +212,10 @@ func (c *Checker) Event(e trace.Event) {
 	}
 }
 
+// FlightName names the checker's batch spans in flight recordings; it
+// implements sched.FlightNamed.
+func (c *Checker) FlightName() string { return "atomizer" }
+
 // ObserveBatch processes one batch of events in trace order; it implements
 // sched.BatchObserver (the fused pipeline's amortized-dispatch path).
 //

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -75,18 +76,34 @@ func BatteryBudget(bud sched.Budget, name string, seeds, threads, size int) ([]*
 	sp := mBatteryTimer.Start()
 	defer sp.Stop()
 	status := sched.StatusComplete
+	var ftrack *flight.Track
+	var batSpan flight.Span
+	if fr := flight.Active(); fr != nil {
+		ftrack = fr.Track("battery")
+		batSpan = ftrack.Begin(flight.CatCLI, "battery", 0,
+			flight.A("seeds", int64(seeds)), flight.A("strategies", int64(len(strategies))))
+		defer func() { batSpan.EndStr(string(status)) }()
+	}
 	var traces []*trace.Trace
 	var results []*sched.Result
 	for _, strat := range strategies {
 		if st := tr.Cutoff(); st != "" {
 			status = st
+			ftrack.Instant(flight.CatCLI, "cutoff", string(st))
 			break
+		}
+		var runSpan flight.Span
+		if ftrack != nil {
+			runSpan = ftrack.Begin(flight.CatSched, "schedule", batSpan.ID())
 		}
 		res, err := sched.Run(spec.New(threads, size), sched.Options{
 			Strategy:    strat,
 			RecordTrace: true,
 			Ctx:         tr.RunContext(),
 		})
+		if ftrack != nil {
+			sched.EndRunSpan(runSpan, res, err)
+		}
 		if err != nil {
 			if errors.Is(err, sched.ErrCancelled) {
 				// The run itself was interrupted mid-flight; its partial

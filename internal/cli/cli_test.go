@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 )
 
@@ -138,5 +139,75 @@ func TestBatteryBudgetMaxStates(t *testing.T) {
 	// The one completed run is the battery's deterministic first strategy.
 	if traces[0].Meta.Strategy != "cooperative" {
 		t.Fatalf("first strategy = %q", traces[0].Meta.Strategy)
+	}
+}
+
+// TestFlightFlag drives the -flight plumbing end to end: StartTelemetry
+// enables the recorder, the battery records schedule spans, and Close
+// writes a recording that parses back with at least one schedule span —
+// the same contract the CI telemetry smoke asserts on the built binary.
+func TestFlightFlag(t *testing.T) {
+	path := t.TempDir() + "/rec.json"
+	c := NewCommon("cli-test")
+	c.Flight = path
+	c.Workload = "philo"
+	c.Seeds = 1
+	if err := c.StartTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Battery(); err != nil {
+		c.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if flight.Enabled() {
+		t.Fatal("recorder still enabled after Close")
+	}
+	rec, err := flight.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := 0
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind == flight.KindBegin && e.Name == "schedule" {
+				schedules++
+			}
+		}
+	}
+	if schedules < 1 {
+		t.Fatalf("recording has %d schedule spans, want >= 1", schedules)
+	}
+	// Close is idempotent and must not rewrite or re-disable anything.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightFlagSpill checks the non-.json suffix writes the binary spill.
+func TestFlightFlagSpill(t *testing.T) {
+	path := t.TempDir() + "/rec.bin"
+	c := NewCommon("cli-test")
+	c.Flight = path
+	c.Workload = "philo"
+	c.Seeds = 0
+	if err := c.StartTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Battery(); err != nil {
+		c.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := flight.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("spill recording is empty")
 	}
 }

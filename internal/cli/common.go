@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -76,6 +77,10 @@ type Common struct {
 	// Progress, when positive, is the interval of the stderr progress line
 	// (-progress).
 	Progress time.Duration
+	// Flight, when set, enables the flight recorder for the run and writes
+	// the recording here on Close (-flight); a .json suffix means Chrome
+	// trace_event JSON (load in Perfetto), anything else the binary spill.
+	Flight string
 	// Timeout is the run's wall-clock budget (-timeout); when it expires
 	// the tool reports partial results with status "deadline". 0 = none.
 	Timeout time.Duration
@@ -93,23 +98,49 @@ type Common struct {
 	status       sched.Status
 	stopProgress func()
 	shutdownHTTP func() error
+	flightRec    *flight.Recorder
 }
 
-// RegisterCommon registers the shared flags on the default flag set and
-// returns the destination struct. Call before flag.Parse; tool names the
-// binary in telemetry metadata and diagnostics.
+// NewCommon returns an empty Common for tools that register flag groups
+// selectively (certify's exploration flags replace the battery group;
+// tracedump runs on its own FlagSet). tool names the binary in telemetry
+// metadata and diagnostics.
+func NewCommon(tool string) *Common { return &Common{tool: tool} }
+
+// RegisterWorkloadFlags registers the workload/battery selection flags
+// (-w, -seeds, -threads, -size) on fs.
+func (c *Common) RegisterWorkloadFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Workload, "w", "", "workload name (see -list on coopcheck)")
+	fs.IntVar(&c.Seeds, "seeds", 4, "random schedules on top of the deterministic battery")
+	fs.IntVar(&c.Threads, "threads", 0, "worker override (0 = workload default)")
+	fs.IntVar(&c.Size, "size", 0, "size override (0 = workload default)")
+}
+
+// RegisterTelemetryFlags registers the observability flags (-telemetry,
+// -metrics-addr, -progress, -flight) on fs. StartTelemetry brings the
+// surfaces up; Close flushes them.
+func (c *Common) RegisterTelemetryFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Telemetry, "telemetry", "", "write the run-report metrics snapshot to this JSON file")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
+	fs.DurationVar(&c.Progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 5s)")
+	fs.StringVar(&c.Flight, "flight", "", "record a flight trace and write it here (.json = Perfetto trace_event, else binary spill)")
+}
+
+// RegisterBudgetFlags registers the run-budget flags (-timeout,
+// -max-states, -mem-budget) on fs.
+func (c *Common) RegisterBudgetFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&c.Timeout, "timeout", 0, "wall-clock budget; on expiry report partial results with status \"deadline\" (0 = none)")
+	fs.Int64Var(&c.MaxStates, "max-states", 0, "stop after this many instrumented events across all schedules (0 = unlimited)")
+	fs.Var(&c.MemBudget, "mem-budget", "heap budget (e.g. 512MiB); stop with status \"budget-exhausted\" when exceeded (0 = unlimited)")
+}
+
+// RegisterCommon registers all shared flag groups on the default flag set
+// and returns the destination struct. Call before flag.Parse.
 func RegisterCommon(tool string) *Common {
-	c := &Common{tool: tool}
-	flag.StringVar(&c.Workload, "w", "", "workload name (see -list on coopcheck)")
-	flag.IntVar(&c.Seeds, "seeds", 4, "random schedules on top of the deterministic battery")
-	flag.IntVar(&c.Threads, "threads", 0, "worker override (0 = workload default)")
-	flag.IntVar(&c.Size, "size", 0, "size override (0 = workload default)")
-	flag.StringVar(&c.Telemetry, "telemetry", "", "write the run-report metrics snapshot to this JSON file")
-	flag.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live metrics JSON + pprof on this address (e.g. :6060)")
-	flag.DurationVar(&c.Progress, "progress", 0, "print a progress line to stderr at this interval (e.g. 5s)")
-	flag.DurationVar(&c.Timeout, "timeout", 0, "wall-clock budget; on expiry report partial results with status \"deadline\" (0 = none)")
-	flag.Int64Var(&c.MaxStates, "max-states", 0, "stop after this many instrumented events across all schedules (0 = unlimited)")
-	flag.Var(&c.MemBudget, "mem-budget", "heap budget (e.g. 512MiB); stop with status \"budget-exhausted\" when exceeded (0 = unlimited)")
+	c := NewCommon(tool)
+	c.RegisterWorkloadFlags(flag.CommandLine)
+	c.RegisterTelemetryFlags(flag.CommandLine)
+	c.RegisterBudgetFlags(flag.CommandLine)
 	return c
 }
 
@@ -142,6 +173,15 @@ func (c *Common) Start() error {
 		case <-c.sigDone:
 		}
 	}()
+	return c.StartTelemetry()
+}
+
+// StartTelemetry brings up only the observability surfaces the flags
+// requested — the -metrics-addr HTTP endpoint, the -progress reporter, and
+// the -flight recorder — without touching signals or the budget context.
+// Tools that own their signal handling (certify, tracedump) call this
+// instead of Start; Close tears everything down either way.
+func (c *Common) StartTelemetry() error {
 	if c.MetricsAddr != "" {
 		addr, shutdown, err := obs.Serve(c.MetricsAddr, obs.Default)
 		if err != nil {
@@ -153,6 +193,9 @@ func (c *Common) Start() error {
 	}
 	if c.Progress > 0 {
 		c.stopProgress = obs.StartProgress(os.Stderr, c.Progress, obs.Default)
+	}
+	if c.Flight != "" {
+		c.flightRec = flight.Enable(flight.Options{})
 	}
 	return nil
 }
@@ -220,6 +263,20 @@ func (c *Common) Close() error {
 	if c.cancel != nil {
 		c.cancel()
 		c.cancel = nil
+	}
+	// Disable before the telemetry snapshot so the flight.events /
+	// flight.dropped counters it flushes land in the run report.
+	if c.flightRec != nil {
+		flight.Disable()
+		rec := c.flightRec.Snapshot()
+		c.flightRec = nil
+		path := c.Flight
+		c.Flight = ""
+		if err := flight.WriteFile(path, rec); err != nil {
+			return fmt.Errorf("%s: -flight: %w", c.tool, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: flight recording (%d events on %d tracks, %d dropped) written to %s\n",
+			c.tool, rec.Events(), len(rec.Tracks), rec.Dropped, path)
 	}
 	if c.Telemetry != "" {
 		s := obs.Default.Snapshot()

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/movers"
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -217,6 +218,10 @@ func (c *Checker) HintEvents(n int) {
 	}
 	c.cls.HintEvents(n)
 }
+
+// FlightName names the checker's batch spans in flight recordings; it
+// implements sched.FlightNamed.
+func (c *Checker) FlightName() string { return "coop" }
 
 // ObserveBatch processes one batch of events in trace order; it implements
 // sched.BatchObserver (the fused pipeline's amortized-dispatch path).
@@ -424,11 +429,20 @@ func (c *Checker) YieldFreeFraction() float64 {
 // Analyze runs a fresh checker over a complete trace.
 func Analyze(tr *trace.Trace, opts Options) *Checker {
 	c := New(opts)
+	var s flight.Span
+	if fr := flight.Active(); fr != nil {
+		// Same lane pool as sched.FeedTrace's per-batch checker spans, so
+		// an offline coop pass lands next to the batched analyses.
+		ftr := fr.Acquire("checkers")
+		defer fr.Release(ftr)
+		s = ftr.Begin(flight.CatChecker, "coop", 0, flight.A("events", int64(tr.Len())))
+	}
 	c.HintEvents(tr.Len())
 	for _, e := range tr.Events {
 		c.Event(e)
 	}
 	c.FlushMetrics()
+	s.End(flight.A("violations", int64(len(c.Violations()))))
 	return c
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"testing"
 
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -55,6 +56,28 @@ func fusedBenchTrace(nThreads, rounds int) *trace.Trace {
 // steps the fused engine retires, which is what the per-checker benchmarks
 // report individually.
 func BenchmarkFusedCheckers(b *testing.B) {
+	tr := fusedBenchTrace(4, 4000)
+	b.ReportAllocs()
+	events := tr.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa := FusedRunner{}.Analyze(tr)
+		if len(fa.KnownRaces) != 0 {
+			b.Fatalf("bench trace unexpectedly racy: %v", fa.KnownRaces)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*5*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "trace-events/s")
+}
+
+// BenchmarkFusedCheckersFlight is BenchmarkFusedCheckers with the flight
+// recorder enabled: per-pass spans, per-batch checker spans, and the lane
+// acquire/release pairs all on. Compare against BenchmarkFusedCheckers
+// (recorder off) for the enabled overhead, which the issue bounds at <5%.
+func BenchmarkFusedCheckersFlight(b *testing.B) {
+	flight.Enable(flight.Options{})
+	defer flight.Disable()
 	tr := fusedBenchTrace(4, 4000)
 	b.ReportAllocs()
 	events := tr.Len()

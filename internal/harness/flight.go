@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/report"
+)
+
+// Phase-attribution surfacing for the experiment tables: when the flight
+// recorder is on, a table builder snapshots the runtime.phase.* counters
+// around its runs and appends a "where did the time go" note splitting the
+// virtual-runtime wall clock into generation / handoff / analysis. With
+// the recorder off nothing is measured and nothing is added, so the table
+// goldens stay byte-identical.
+
+var (
+	mPhaseGen      = obs.Default.Counter("runtime.phase.generation_ns")
+	mPhaseHandoff  = obs.Default.Counter("runtime.phase.handoff_ns")
+	mPhaseAnalysis = obs.Default.Counter("runtime.phase.analysis_ns")
+	mPhaseTotal    = obs.Default.Counter("runtime.phase.total_ns")
+)
+
+// phaseBaseline is the cumulative phase counters before a table's runs, so
+// the note reports the table's own share of process-wide totals.
+type phaseBaseline struct {
+	on                            bool
+	gen, handoff, analysis, total int64
+}
+
+func capturePhases() phaseBaseline {
+	if !flight.Enabled() {
+		return phaseBaseline{}
+	}
+	return phaseBaseline{
+		on:       true,
+		gen:      mPhaseGen.Load(),
+		handoff:  mPhaseHandoff.Load(),
+		analysis: mPhaseAnalysis.Load(),
+		total:    mPhaseTotal.Load(),
+	}
+}
+
+// note appends the phase-attribution line to t when the recorder was on
+// at capture time and the runs in between measured anything.
+func (b phaseBaseline) note(t *report.Table) {
+	if !b.on {
+		return
+	}
+	total := mPhaseTotal.Load() - b.total
+	if total <= 0 {
+		return
+	}
+	gen := mPhaseGen.Load() - b.gen
+	handoff := mPhaseHandoff.Load() - b.handoff
+	analysis := mPhaseAnalysis.Load() - b.analysis
+	t.AddNote("phase attribution (flight): generation %s, handoff %s, analysis %s of %v virtual-runtime wall clock",
+		report.Pct(float64(gen)/float64(total)),
+		report.Pct(float64(handoff)/float64(total)),
+		report.Pct(float64(analysis)/float64(total)),
+		time.Duration(total).Round(time.Microsecond))
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs/flight"
+)
+
+// countFlightSpans returns how many spans named name begin in the recording.
+func countFlightSpans(rec flight.Recording, name string) int {
+	n := 0
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind == flight.KindBegin && e.Name == name {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestTable3FlightPhaseNote checks the flight-gated phase-attribution
+// note: present (with all three phases) when the recorder is on, and the
+// table byte-identical to the recorder-off output otherwise — which is
+// what keeps the committed Table 3 golden stable.
+func TestTable3FlightPhaseNote(t *testing.T) {
+	cfg := Config{Seeds: 1, Quick: true, Workloads: []string{"bank"}}
+	off, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off.String(), "phase attribution") {
+		t.Fatal("phase note present with recorder disabled")
+	}
+
+	r := flight.Enable(flight.Options{})
+	defer flight.Disable()
+	on, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(on.String(), "phase attribution (flight): generation") {
+		t.Fatalf("phase note missing with recorder enabled:\n%s", on.String())
+	}
+
+	// The same run exercised the instrumented fused passes and pool tasks.
+	rec := r.Snapshot()
+	if got := countFlightSpans(rec, "fused-pass1"); got == 0 {
+		t.Fatal("no fused-pass1 spans recorded")
+	}
+	if got := countFlightSpans(rec, "fused-pass2"); got == 0 {
+		t.Fatal("no fused-pass2 spans recorded")
+	}
+}
+
+// TestMapIdxFlightTaskSpans checks the pool instrumentation: one CatPool
+// "task" span per index, ended even when the task panics.
+func TestMapIdxFlightTaskSpans(t *testing.T) {
+	r := flight.Enable(flight.Options{})
+	defer flight.Disable()
+	pl := newWorkPool(4)
+	_, err := mapIdx(pl, 8, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic in task 3") {
+		t.Fatalf("want panic error for task 3, got %v", err)
+	}
+	rec := r.Snapshot()
+	begins, ends := 0, 0
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Name != "task" || e.Cat != flight.CatPool {
+				continue
+			}
+			switch e.Kind {
+			case flight.KindBegin:
+				begins++
+			case flight.KindEnd:
+				ends++
+			}
+		}
+	}
+	if begins != 8 || ends != 8 {
+		t.Fatalf("task spans begin/end = %d/%d, want 8/8 (panicking task must still close its span)", begins, ends)
+	}
+}

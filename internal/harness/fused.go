@@ -5,10 +5,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/lockset"
 	"repro/internal/movers"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/race"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/velodrome"
+)
+
+// Fused-pass timing, pre-resolved per the hot-path rule.
+var (
+	mFusedPass1 = obs.Default.Timer("harness.fused.pass1")
+	mFusedPass2 = obs.Default.Timer("harness.fused.pass2")
 )
 
 // FusedRunner runs every Table 3 checker over a recorded trace in two
@@ -57,20 +65,40 @@ type FusedAnalysis struct {
 // Analyze runs the fused pipeline over one recorded trace. Metrics are
 // flushed once per checker, matching the per-checker Analyze functions.
 func (f FusedRunner) Analyze(tr *trace.Trace) *FusedAnalysis {
+	var ftr *flight.Track
+	if fr := flight.Active(); fr != nil {
+		ftr = fr.Acquire("fused")
+		defer fr.Release(ftr)
+	}
+
 	d := race.New()
 	ls := lockset.New()
 	vc := velodrome.New(velodrome.Options{MethodsAtomic: true})
+	sp1 := mFusedPass1.Start()
+	var fs1 flight.Span
+	if ftr != nil {
+		fs1 = ftr.Begin(flight.CatHarness, "fused-pass1", 0, flight.A("events", int64(tr.Len())))
+	}
 	sched.FeedTrace(tr, f.BatchSize, d, ls, vc)
 	vios := vc.Violations()
 	d.FlushMetrics()
 	ls.FlushMetrics()
 	vc.FlushMetrics(len(vios))
+	fs1.End()
+	sp1.Stop()
 
 	known := d.RacyVarSet()
 	ac := atom.New(atom.Options{MethodsAtomic: true, RaceOnsets: d.RaceOnsets()})
 	coop := core.New(core.Options{Policy: movers.DefaultPolicy(), KnownRaces: known})
+	sp2 := mFusedPass2.Start()
+	var fs2 flight.Span
+	if ftr != nil {
+		fs2 = ftr.Begin(flight.CatHarness, "fused-pass2", 0, flight.A("events", int64(tr.Len())))
+	}
 	sched.FeedTrace(tr, f.BatchSize, ac, coop)
 	coop.FlushMetrics()
+	fs2.End()
+	sp2.Stop()
 
 	return &FusedAnalysis{
 		Race:           d,

@@ -150,6 +150,7 @@ func Overhead(cfg Config) ([]OverheadRow, error) {
 
 // Table4 renders the instrumentation-overhead table.
 func Table4(cfg Config) (*report.Table, error) {
+	pb := capturePhases()
 	rows, err := Overhead(cfg)
 	if err != nil {
 		return nil, err
@@ -169,6 +170,7 @@ func Table4(cfg Config) (*report.Table, error) {
 	}
 	t.AddNote("bare = no observers, no location capture; coop = online cooperability (embedded FastTrack)")
 	t.AddNote("minimum of repeated runs; seeded-random schedule held fixed across stacks")
+	pb.note(t)
 	return t, nil
 }
 

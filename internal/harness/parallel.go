@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/workloads"
 )
 
@@ -97,6 +98,19 @@ func mapIdx[T any](pl *workPool, n int, fn func(int) (T, error)) ([]T, error) {
 			}
 		}()
 		out[i], errs[i] = fn(i)
+	}
+	if fr := flight.Active(); fr != nil {
+		// Spawned and inline tasks interleave freely, so each task borrows a
+		// pool lane for its span rather than sharing one track. The recover
+		// above runs inside fn's frame, so the span always ends.
+		inner := call
+		call = func(i int) {
+			ftr := fr.Acquire("pool")
+			s := ftr.Begin(flight.CatPool, "task", 0, flight.A("idx", int64(i)))
+			inner(i)
+			s.End()
+			fr.Release(ftr)
+		}
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {

@@ -139,6 +139,7 @@ func distinctViolationLocs(traces []*trace.Trace, opts core.Options) map[trace.L
 // specification burden for race freedom (happens-before and lockset),
 // atomicity, and cooperability before/after yield inference.
 func Table3(cfg Config) (*report.Table, error) {
+	pb := capturePhases()
 	t := report.NewTable("Table 3: checker comparison",
 		"benchmark", "ft-races", "ls-warn", "atom-viol", "velo-viol", "coop-before", "coop-after", "yields", "atomic-blocks")
 	specs, err := cfg.specs()
@@ -213,6 +214,7 @@ func Table3(cfg Config) (*report.Table, error) {
 	t.AddNote("velo-viol = max unserializable transactions in any single trace (Velodrome, methods-atomic)")
 	t.AddNote("coop-after = violations remaining once the inferred yield set is applied (0 = cooperable)")
 	t.AddNote("yields vs atomic-blocks compares specification burden (paper: few yields vs one block per method)")
+	pb.note(t)
 	return t, nil
 }
 

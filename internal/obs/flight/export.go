@@ -1,0 +1,310 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON renders the recording as Chrome trace_event JSON — the JSON
+// object format with a "traceEvents" array — loadable directly in
+// Perfetto or chrome://tracing. Output is deterministic for goldens: one
+// event per line, thread-name metadata first in track order, then events
+// sorted by (timestamp, track, emit order), args keys sorted.
+//
+// Mapping: tracks become threads of pid 1; Begin/End are ph "B"/"E"
+// (nested by timestamp, so span IDs are not emitted); instants are ph "i"
+// with thread scope; FlowOut/FlowIn are ph "s"/"f" carrying the flow ID;
+// the Str annotation travels as args["note"]; the drop count rides in
+// "otherData". Timestamps are microseconds with fractional nanoseconds
+// (Perfetto keeps the precision).
+func WriteJSON(w io.Writer, rec Recording) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	first := true
+	line := func(s string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := line(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"repro"}}`); err != nil {
+		return err
+	}
+	tracks := append([]TrackData(nil), rec.Tracks...)
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].ID < tracks[j].ID })
+	for _, t := range tracks {
+		if err := line(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			t.ID, jsonString(t.Name))); err != nil {
+			return err
+		}
+	}
+
+	type flatEvent struct {
+		e     Event
+		tid   int
+		order int // per-track emit index, the stable tie-break
+	}
+	var all []flatEvent
+	for _, t := range tracks {
+		for i, e := range t.Events {
+			all = append(all, flatEvent{e: e, tid: t.ID, order: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].e.TS != all[j].e.TS {
+			return all[i].e.TS < all[j].e.TS
+		}
+		if all[i].tid != all[j].tid {
+			return all[i].tid < all[j].tid
+		}
+		return all[i].order < all[j].order
+	})
+
+	for _, fe := range all {
+		s, err := eventJSON(fe.e, fe.tid)
+		if err != nil {
+			return err
+		}
+		if err := line(s); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(bw, "\n],\n\"otherData\":{\"dropped\":\"%d\"}}\n", rec.Dropped); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// eventJSON renders one event as a single-line trace_event object with a
+// fixed field order.
+func eventJSON(e Event, tid int) (string, error) {
+	ph := ""
+	switch e.Kind {
+	case KindBegin:
+		ph = "B"
+	case KindEnd:
+		ph = "E"
+	case KindInstant:
+		ph = "i"
+	case KindFlowOut:
+		ph = "s"
+	case KindFlowIn:
+		ph = "f"
+	default:
+		return "", fmt.Errorf("flight: event kind %d has no trace_event phase", e.Kind)
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"name":`...)
+	buf = append(buf, jsonString(e.Name)...)
+	buf = append(buf, `,"cat":"`...)
+	buf = append(buf, e.Cat.String()...)
+	buf = append(buf, `","ph":"`...)
+	buf = append(buf, ph...)
+	buf = append(buf, `","ts":`...)
+	buf = strconv.AppendFloat(buf, float64(e.TS)/1e3, 'f', -1, 64)
+	buf = append(buf, `,"pid":1,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	switch e.Kind {
+	case KindInstant:
+		buf = append(buf, `,"s":"t"`...)
+	case KindFlowOut:
+		buf = append(buf, `,"id":"0x`...)
+		buf = strconv.AppendUint(buf, e.ID, 16)
+		buf = append(buf, '"')
+	case KindFlowIn:
+		buf = append(buf, `,"id":"0x`...)
+		buf = strconv.AppendUint(buf, e.ID, 16)
+		buf = append(buf, `","bp":"e"`...)
+	}
+	if args := argsJSON(e); args != "" {
+		buf = append(buf, `,"args":`...)
+		buf = append(buf, args...)
+	}
+	buf = append(buf, '}')
+	return string(buf), nil
+}
+
+// argsJSON renders the event's args (plus the Str annotation as "note")
+// as a JSON object with sorted keys, or "" when there are none.
+func argsJSON(e Event) string {
+	type kv struct {
+		key string
+		val string // pre-rendered JSON value
+	}
+	var kvs []kv
+	for _, a := range e.Args {
+		if a.Key == "" {
+			continue
+		}
+		kvs = append(kvs, kv{a.Key, strconv.FormatInt(a.Val, 10)})
+	}
+	if e.Str != "" {
+		kvs = append(kvs, kv{"note", string(jsonString(e.Str))})
+	}
+	if len(kvs) == 0 {
+		return ""
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].key < kvs[j].key })
+	buf := make([]byte, 0, 64)
+	buf = append(buf, '{')
+	for i, p := range kvs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, jsonString(p.key)...)
+		buf = append(buf, ':')
+		buf = append(buf, p.val...)
+	}
+	buf = append(buf, '}')
+	return string(buf)
+}
+
+// jsonString marshals s as a JSON string literal.
+func jsonString(s string) []byte {
+	b, _ := json.Marshal(s) // strings cannot fail to marshal
+	return b
+}
+
+// jsonEvent is the subset of trace_event fields the reader consumes.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type jsonTrace struct {
+	TraceEvents []jsonEvent       `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData"`
+}
+
+// ReadJSON parses trace_event JSON produced by WriteJSON (or hand-edited
+// in the same shape) back into a Recording. Span IDs are regenerated by
+// pairing each "E" with the innermost open "B" on its thread — WriteJSON
+// does not emit them — so a read recording re-exports byte-identically
+// even though its internal IDs differ from the original's.
+func ReadJSON(r io.Reader) (Recording, error) {
+	var jt jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return Recording{}, fmt.Errorf("flight: parse trace JSON: %w", err)
+	}
+	var rec Recording
+	if d, ok := jt.OtherData["dropped"]; ok {
+		n, err := strconv.ParseInt(d, 10, 64)
+		if err != nil {
+			return Recording{}, fmt.Errorf("flight: bad otherData.dropped %q", d)
+		}
+		rec.Dropped = n
+	}
+
+	byTid := map[int]*TrackData{}
+	track := func(tid int) *TrackData {
+		if t := byTid[tid]; t != nil {
+			return t
+		}
+		t := &TrackData{ID: tid, Name: fmt.Sprintf("track-%d", tid)}
+		byTid[tid] = t
+		return t
+	}
+	var ids uint64
+	stacks := map[int][]uint64{} // open span IDs per tid
+	for i, je := range jt.TraceEvents {
+		if je.Ph == "M" {
+			if je.Name == "thread_name" && je.Tid != 0 {
+				name, _ := je.Args["name"].(string)
+				t := track(je.Tid)
+				if name != "" {
+					t.Name = name
+				}
+			}
+			continue
+		}
+		e := Event{Name: je.Name, TS: int64(math.Round(je.TS * 1e3))}
+		if c, ok := CatByName(je.Cat); ok {
+			e.Cat = c
+		}
+		switch je.Ph {
+		case "B":
+			e.Kind = KindBegin
+			ids++
+			e.ID = ids
+			if st := stacks[je.Tid]; len(st) > 0 {
+				e.Parent = st[len(st)-1]
+			}
+			stacks[je.Tid] = append(stacks[je.Tid], e.ID)
+		case "E":
+			e.Kind = KindEnd
+			if st := stacks[je.Tid]; len(st) > 0 {
+				e.ID = st[len(st)-1]
+				stacks[je.Tid] = st[:len(st)-1]
+			}
+		case "i":
+			e.Kind = KindInstant
+		case "s", "f":
+			if je.Ph == "s" {
+				e.Kind = KindFlowOut
+			} else {
+				e.Kind = KindFlowIn
+			}
+			id, err := parseHexID(je.ID)
+			if err != nil {
+				return Recording{}, fmt.Errorf("flight: event %d: %w", i, err)
+			}
+			e.ID = id
+		default:
+			return Recording{}, fmt.Errorf("flight: event %d: unsupported phase %q", i, je.Ph)
+		}
+		keys := make([]string, 0, len(je.Args))
+		for k := range je.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var args []Arg
+		for _, k := range keys {
+			switch v := je.Args[k].(type) {
+			case string:
+				e.Str = v
+			case float64:
+				args = append(args, Arg{Key: k, Val: int64(math.Round(v))})
+			}
+		}
+		e.setArgs(args)
+		t := track(je.Tid)
+		t.Events = append(t.Events, e)
+	}
+
+	tids := make([]int, 0, len(byTid))
+	for tid := range byTid {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		rec.Tracks = append(rec.Tracks, *byTid[tid])
+	}
+	return rec, nil
+}
+
+func parseHexID(s string) (uint64, error) {
+	if len(s) < 3 || s[0] != '0' || s[1] != 'x' {
+		return 0, fmt.Errorf("bad flow id %q", s)
+	}
+	return strconv.ParseUint(s[2:], 16, 64)
+}

@@ -1,0 +1,40 @@
+package flight
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteFile writes rec to path, picking the format by suffix: .json means
+// Chrome trace_event JSON (Perfetto-loadable), anything else the compact
+// binary spill. The same rule drives ReadFile, the -flight CLI flag, and
+// cmd/explorescope, so converting is just renaming the extension.
+func WriteFile(path string, rec Recording) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = WriteJSON(f, rec)
+	} else {
+		err = WriteSpill(f, rec)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadFile reads one recording from path, picking the decoder by the same
+// suffix rule as WriteFile.
+func ReadFile(path string) (Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Recording{}, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return ReadJSON(f)
+	}
+	return ReadSpill(f)
+}

@@ -1,0 +1,457 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sample builds a small deterministic recording exercising every event
+// kind, span nesting, string annotations, and two tracks.
+func sample() Recording {
+	r := New(Options{TrackCap: 64})
+	d := r.Track("driver")
+	w := r.Track("worker-1")
+
+	top := d.Begin(CatSched, "explore", 0, A("workers", 2))
+	s1 := d.Begin(CatSched, "schedule", top.ID(), A("seed", 7))
+	d.Emit(Event{TS: 100, Kind: KindInstant, Cat: CatPool, Name: "mark"}) // raw Emit with explicit TS
+	s1.End(A("events", 42))
+	d.FlowOut(CatSched, "steal", 99)
+	w.FlowIn(CatSched, "steal", 99)
+	ws := w.Begin(CatSched, "schedule", 0)
+	w.Instant(CatSched, "budget", "budget-states", A("states", 1000))
+	ws.EndStr("complete")
+	top.End()
+	return r.Snapshot()
+}
+
+func TestEmitAndSnapshot(t *testing.T) {
+	rec := sample()
+	if len(rec.Tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(rec.Tracks))
+	}
+	if rec.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", rec.Dropped)
+	}
+	d := rec.Tracks[0]
+	if d.Name != "driver" || d.ID != 1 {
+		t.Fatalf("track 0 = %q id %d", d.Name, d.ID)
+	}
+	if got := rec.Events(); got != 10 {
+		t.Fatalf("events = %d, want 10", got)
+	}
+	// Span nesting: schedule's parent is the explore span.
+	var explore, schedule Event
+	for _, e := range d.Events {
+		if e.Kind == KindBegin && e.Name == "explore" {
+			explore = e
+		}
+		if e.Kind == KindBegin && e.Name == "schedule" {
+			schedule = e
+		}
+	}
+	if explore.ID == 0 || schedule.Parent != explore.ID {
+		t.Fatalf("schedule.Parent = %d, explore.ID = %d", schedule.Parent, explore.ID)
+	}
+	// Timestamps are monotone except the explicitly stamped bare event.
+	if d.Events[2].TS != 100 {
+		t.Fatalf("explicit TS not preserved: %d", d.Events[2].TS)
+	}
+}
+
+func TestDropAccounting(t *testing.T) {
+	r := New(Options{TrackCap: 4})
+	tr := r.Track("t")
+	for i := 0; i < 10; i++ {
+		tr.Instant(CatSched, "x", "")
+	}
+	rec := r.Snapshot()
+	if len(rec.Tracks[0].Events) != 4 {
+		t.Fatalf("kept = %d, want 4", len(rec.Tracks[0].Events))
+	}
+	if rec.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.Dropped)
+	}
+	events, dropped := r.totals()
+	if events != 4 || dropped != 6 {
+		t.Fatalf("totals = %d/%d, want 4/6", events, dropped)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := New(Options{TrackCap: 1 << 12})
+	tr := r.Track("shared")
+	const (
+		goroutines = 8
+		per        = 1000 // 8000 emits > 4096 cap: exercises the drop path too
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Instant(CatPool, "task", "", A("g", int64(g)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	rec := r.Snapshot()
+	kept := len(rec.Tracks[0].Events)
+	if kept != 1<<12 {
+		t.Fatalf("kept = %d, want %d", kept, 1<<12)
+	}
+	if rec.Dropped != goroutines*per-1<<12 {
+		t.Fatalf("dropped = %d, want %d", rec.Dropped, goroutines*per-1<<12)
+	}
+	for i, e := range rec.Tracks[0].Events {
+		if e.Name != "task" || e.TS == 0 {
+			t.Fatalf("event %d torn: %+v", i, e)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	if Enabled() {
+		t.Fatal("recorder unexpectedly enabled at test start")
+	}
+	if Active() != nil {
+		t.Fatal("Active() non-nil while disabled")
+	}
+	evBefore := obs.Default.Counter("flight.events").Load()
+	drBefore := obs.Default.Counter("flight.dropped").Load()
+
+	r := Enable(Options{TrackCap: 4})
+	if !Enabled() || Active() != r {
+		t.Fatal("Enable did not install the recorder")
+	}
+	tr := r.Track("t")
+	for i := 0; i < 6; i++ {
+		tr.Instant(CatCLI, "tick", "")
+	}
+	got := Disable()
+	if got != r || Enabled() {
+		t.Fatal("Disable did not uninstall the recorder")
+	}
+	if Disable() != nil {
+		t.Fatal("second Disable returned a recorder")
+	}
+	if d := obs.Default.Counter("flight.events").Load() - evBefore; d != 4 {
+		t.Fatalf("flight.events delta = %d, want 4", d)
+	}
+	if d := obs.Default.Counter("flight.dropped").Load() - drBefore; d != 2 {
+		t.Fatalf("flight.dropped delta = %d, want 2", d)
+	}
+	// Re-flushing is a no-op thanks to delta accounting.
+	r.FlushMetrics()
+	if d := obs.Default.Counter("flight.events").Load() - evBefore; d != 4 {
+		t.Fatalf("flight.events after re-flush = %d, want 4", d)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Track
+	tr.Emit(Event{})
+	tr.Instant(CatSched, "x", "")
+	tr.FlowOut(CatSched, "x", 1)
+	tr.FlowIn(CatSched, "x", 1)
+	s := tr.Begin(CatSched, "x", 0)
+	s.End()
+	s.EndStr("ok") // zero span: all no-ops, must not panic
+}
+
+func TestAcquireRelease(t *testing.T) {
+	r := New(Options{TrackCap: 8})
+	a := r.Acquire("pool")
+	b := r.Acquire("pool")
+	if a == b {
+		t.Fatal("two live Acquires returned the same track")
+	}
+	r.Release(a)
+	c := r.Acquire("pool")
+	if c != a {
+		t.Fatalf("Acquire did not reuse the released track: got %q", c.Name())
+	}
+	r.Release(nil) // no-op
+	if len(r.Snapshot().Tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(r.Snapshot().Tracks))
+	}
+}
+
+func TestMergeRenumbers(t *testing.T) {
+	a, b := sample(), sample()
+	m := Merge(a, b)
+	if len(m.Tracks) != 4 {
+		t.Fatalf("merged tracks = %d, want 4", len(m.Tracks))
+	}
+	for i, tr := range m.Tracks {
+		if tr.ID != i+1 {
+			t.Fatalf("track %d has ID %d", i, tr.ID)
+		}
+	}
+	// IDs from the second input must not collide with the first's.
+	seen := map[uint64]int{}
+	for ti, tr := range m.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind != KindBegin {
+				continue
+			}
+			if prev, ok := seen[e.ID]; ok && (prev < 2) != (ti < 2) {
+				t.Fatalf("span ID %d appears in both inputs", e.ID)
+			}
+			seen[e.ID] = ti
+		}
+	}
+	if m.Dropped != a.Dropped+b.Dropped {
+		t.Fatalf("merged dropped = %d", m.Dropped)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	rec := sample()
+	byName := rec.Filter(FilterOptions{Name: "schedule"})
+	n := 0
+	for _, tr := range byName.Tracks {
+		for _, e := range tr.Events {
+			if e.Name != "schedule" {
+				t.Fatalf("name filter leaked %q", e.Name)
+			}
+			n++
+		}
+	}
+	if n != 4 { // two schedule spans, Begin+End each
+		t.Fatalf("schedule events = %d, want 4", n)
+	}
+
+	// A cat filter keeps the End of a kept Begin even though End args differ.
+	byCat := rec.Filter(FilterOptions{Cat: CatSched, CatSet: true})
+	if byCat.Events() != 9 { // everything except the bare cat-less event
+		t.Fatalf("cat filter kept %d events, want 9", byCat.Events())
+	}
+
+	// Time-range filters are [From, To).
+	all := rec.Filter(FilterOptions{})
+	if all.Events() != rec.Events() {
+		t.Fatal("empty filter dropped events")
+	}
+	none := rec.Filter(FilterOptions{From: 1 << 60})
+	if len(none.Tracks) != 0 {
+		t.Fatal("far-future From kept events")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	rec := Recording{Tracks: []TrackData{{
+		ID: 1, Name: "t",
+		Events: []Event{
+			{TS: 0, Kind: KindBegin, Cat: CatSched, Name: "outer", ID: 1},
+			{TS: 10, Kind: KindBegin, Cat: CatSched, Name: "inner", ID: 2, Parent: 1},
+			{TS: 40, Kind: KindEnd, Cat: CatSched, Name: "inner", ID: 2},
+			{TS: 100, Kind: KindEnd, Cat: CatSched, Name: "outer", ID: 1},
+			{TS: 120, Kind: KindBegin, Cat: CatSched, Name: "open", ID: 3},
+			{TS: 150, Kind: KindInstant, Cat: CatSched, Name: "tick"},
+		},
+	}}}
+	rows, wall := rec.Attribution()
+	if wall != 150 {
+		t.Fatalf("wall = %d, want 150", wall)
+	}
+	byName := map[string]AttrRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["outer"]; r.TotalNs != 100 || r.SelfNs != 70 || r.Count != 1 {
+		t.Fatalf("outer = %+v", r)
+	}
+	if r := byName["inner"]; r.TotalNs != 30 || r.SelfNs != 30 {
+		t.Fatalf("inner = %+v", r)
+	}
+	// The unclosed span is closed at the track's last timestamp.
+	if r := byName["open"]; r.TotalNs != 30 || r.SelfNs != 30 {
+		t.Fatalf("open = %+v", r)
+	}
+	// Sorted by descending self time.
+	if rows[0].Name != "outer" {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rec := sample()
+	var buf1 bytes.Buffer
+	if err := WriteJSON(&buf1, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteJSON(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("JSON round trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+			buf1.String(), buf2.String())
+	}
+	if got.Dropped != rec.Dropped || len(got.Tracks) != len(rec.Tracks) {
+		t.Fatalf("round trip lost structure: %d tracks, dropped %d", len(got.Tracks), got.Dropped)
+	}
+	// Spot-check the wire shape Perfetto depends on.
+	s := buf1.String()
+	for _, want := range []string{
+		`"ph":"B"`, `"ph":"E"`, `"ph":"i"`, `"ph":"s"`, `"ph":"f"`,
+		`"thread_name"`, `"id":"0x63"`, `"note":"complete"`, `"dropped":"0"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	rec := sample()
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpill(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("spill round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+	// Spill is the compact format: it must beat JSON by a wide margin.
+	var jbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()*3 > jbuf.Len() {
+		t.Errorf("spill %d bytes vs JSON %d: expected >3x compaction", buf.Len(), jbuf.Len())
+	}
+}
+
+func TestSpillRejectsCorrupt(t *testing.T) {
+	if _, err := ReadSpill(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSpill(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated spill accepted")
+	}
+}
+
+func TestCatString(t *testing.T) {
+	for c := Cat(0); int(c) < catCount; c++ {
+		if c.String() == "?" {
+			t.Fatalf("cat %d has no name", c)
+		}
+		back, ok := CatByName(c.String())
+		if !ok || back != c {
+			t.Fatalf("cat %d does not round trip via %q", c, c.String())
+		}
+	}
+	if Cat(200).String() != "?" {
+		t.Fatal("out-of-range cat printed a name")
+	}
+	if _, ok := CatByName("nope"); ok {
+		t.Fatal("CatByName accepted garbage")
+	}
+}
+
+// BenchmarkDisabledCheck is the zero-cost-when-disabled claim: the guard
+// every instrumentation site runs when no recorder is installed.
+func BenchmarkDisabledCheck(b *testing.B) {
+	if Enabled() {
+		b.Fatal("recorder enabled")
+	}
+	for i := 0; i < b.N; i++ {
+		if r := Active(); r != nil {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+// BenchmarkEmit is the enabled hot path: one atomic reserve plus a struct
+// store (on a pre-resolved track, per the handle rule).
+func BenchmarkEmit(b *testing.B) {
+	r := New(Options{TrackCap: 1 << 16})
+	tr := r.Track("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(CatSched, "tick", "", A("i", int64(i)))
+	}
+}
+
+// BenchmarkSpan measures a full Begin/End pair, the unit cost of one
+// schedule-level span.
+func BenchmarkSpan(b *testing.B) {
+	r := New(Options{TrackCap: 1 << 16})
+	tr := r.Track("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Begin(CatSched, "schedule", 0).End(A("events", 1))
+	}
+}
+
+func ExampleWriteJSON() {
+	r := New(Options{})
+	tr := r.Track("main")
+	s := tr.Begin(CatCLI, "run", 0)
+	s.End()
+	rec := r.Snapshot()
+	fmt.Println(len(rec.Tracks), rec.Tracks[0].Name)
+	// Output: 1 main
+}
+
+// TestSnapshotDeterminism checks the run-report snapshot stays
+// deterministic with the flight counters in play: after a flush, two
+// back-to-back snapshots of the same registry state encode to identical
+// bytes, and both carry the flight.events / flight.dropped counters.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := New(Options{TrackCap: 2})
+	tr := r.Track("t")
+	for i := 0; i < 5; i++ {
+		tr.Instant(CatSched, "x", "")
+	}
+	before := mFlightEvents.Load()
+	beforeDropped := mFlightDropped.Load()
+	r.FlushMetrics()
+	if got := mFlightEvents.Load() - before; got != 2 {
+		t.Fatalf("flight.events delta = %d, want 2", got)
+	}
+	if got := mFlightDropped.Load() - beforeDropped; got != 3 {
+		t.Fatalf("flight.dropped delta = %d, want 3", got)
+	}
+
+	s1 := obs.Default.Snapshot()
+	s2 := obs.Default.Snapshot()
+	b1, err := s1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identical registry states encoded to different snapshot bytes")
+	}
+	if _, ok := s1.Counters["flight.events"]; !ok {
+		t.Fatal("flight.events missing from snapshot")
+	}
+	if _, ok := s1.Counters["flight.dropped"]; !ok {
+		t.Fatal("flight.dropped missing from snapshot")
+	}
+}

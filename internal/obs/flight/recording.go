@@ -1,0 +1,235 @@
+package flight
+
+import "sort"
+
+// TrackData is one drained track: its lane ID, display name, and events in
+// emit order.
+type TrackData struct {
+	ID     int
+	Name   string
+	Events []Event
+}
+
+// Recording is a quiesced recorder's data — what the exporters, the merge/
+// filter tooling, and the attribution table operate on.
+type Recording struct {
+	Dropped int64
+	Tracks  []TrackData
+}
+
+// Snapshot drains the recorder into a Recording. It copies each track's
+// filled prefix, so it is only exact once producers have quiesced (i.e.
+// after Disable, or between exploration runs); a concurrent Emit can be
+// missed or half-visible, which is acceptable for a flight recorder and
+// documented rather than locked away.
+func (r *Recorder) Snapshot() Recording {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rec Recording
+	for _, t := range r.tracks {
+		n := t.n.Load()
+		if c := int64(len(t.buf)); n > c {
+			rec.Dropped += n - c
+			n = c
+		}
+		events := make([]Event, n)
+		copy(events, t.buf[:n])
+		rec.Tracks = append(rec.Tracks, TrackData{ID: t.id, Name: t.name, Events: events})
+	}
+	return rec
+}
+
+// Events counts the recording's events across tracks.
+func (r Recording) Events() int {
+	n := 0
+	for _, t := range r.Tracks {
+		n += len(t.Events)
+	}
+	return n
+}
+
+// Merge combines recordings into one: tracks are renumbered into one ID
+// space in input order and drop counts sum. Span/flow IDs are assumed
+// disjoint between inputs from different processes; explorescope's merge
+// renumbers them per input to guarantee it.
+func Merge(recs ...Recording) Recording {
+	var out Recording
+	var maxID uint64
+	for _, r := range recs {
+		out.Dropped += r.Dropped
+		shift := maxID
+		for _, t := range r.Tracks {
+			events := make([]Event, len(t.Events))
+			copy(events, t.Events)
+			for i := range events {
+				if events[i].ID != 0 {
+					events[i].ID += shift
+				}
+				if events[i].Parent != 0 {
+					events[i].Parent += shift
+				}
+				if id := events[i].ID; id > maxID {
+					maxID = id
+				}
+			}
+			out.Tracks = append(out.Tracks, TrackData{
+				ID:     len(out.Tracks) + 1,
+				Name:   t.Name,
+				Events: events,
+			})
+		}
+	}
+	return out
+}
+
+// FilterOptions selects a recording subset. Zero values mean "no
+// constraint"; To==0 means "no upper time bound".
+type FilterOptions struct {
+	Cat    Cat
+	CatSet bool
+	Name   string // exact event-name match
+	From   int64  // inclusive TS lower bound, ns
+	To     int64  // exclusive TS upper bound, ns; 0 = unbounded
+}
+
+// Filter returns the recording restricted to matching events. Tracks left
+// empty by the filter are dropped; a KindEnd whose Begin matched is kept by
+// ID so spans survive name filters intact.
+func (r Recording) Filter(o FilterOptions) Recording {
+	out := Recording{Dropped: r.Dropped}
+	for _, t := range r.Tracks {
+		keptIDs := map[uint64]bool{}
+		var events []Event
+		for _, e := range t.Events {
+			keep := matches(e, o)
+			if !keep && e.Kind == KindEnd && keptIDs[e.ID] {
+				keep = true // close a span whose Begin was kept
+			}
+			if !keep {
+				continue
+			}
+			if e.Kind == KindBegin {
+				keptIDs[e.ID] = true
+			}
+			events = append(events, e)
+		}
+		if len(events) > 0 {
+			out.Tracks = append(out.Tracks, TrackData{ID: t.ID, Name: t.Name, Events: events})
+		}
+	}
+	return out
+}
+
+func matches(e Event, o FilterOptions) bool {
+	if o.CatSet && e.Cat != o.Cat {
+		return false
+	}
+	if o.Name != "" && e.Name != o.Name {
+		return false
+	}
+	if e.TS < o.From {
+		return false
+	}
+	if o.To != 0 && e.TS >= o.To {
+		return false
+	}
+	return true
+}
+
+// AttrRow is one attribution line: every span with this (category, name)
+// pair aggregated across tracks. TotalNs includes child spans; SelfNs
+// excludes time covered by nested spans on the same track.
+type AttrRow struct {
+	Name    string
+	Cat     Cat
+	Count   int
+	TotalNs int64
+	SelfNs  int64
+}
+
+// Attribution walks each track's span nesting (by Begin/End pairing, a
+// stack per track) and aggregates total and self time per (cat, name).
+// Spans left open — a cutoff run, a dropped End — are closed at the
+// track's last timestamp so their time still lands somewhere visible.
+// Rows sort by descending SelfNs, then name. The second return is the
+// recording's wall-clock extent (max TS − min TS across all events).
+func (r Recording) Attribution() ([]AttrRow, int64) {
+	type key struct {
+		cat  Cat
+		name string
+	}
+	type openSpan struct {
+		k       key
+		startTS int64
+		childNs int64
+	}
+	agg := map[key]*AttrRow{}
+	var minTS, maxTS int64
+	first := true
+	account := func(k key, total, self int64) {
+		row := agg[k]
+		if row == nil {
+			row = &AttrRow{Name: k.name, Cat: k.cat}
+			agg[k] = row
+		}
+		row.Count++
+		row.TotalNs += total
+		row.SelfNs += self
+	}
+	for _, t := range r.Tracks {
+		var stack []openSpan
+		var trackMax int64
+		for _, e := range t.Events {
+			if first || e.TS < minTS {
+				minTS = e.TS
+			}
+			if first || e.TS > maxTS {
+				maxTS = e.TS
+			}
+			first = false
+			if e.TS > trackMax {
+				trackMax = e.TS
+			}
+			switch e.Kind {
+			case KindBegin:
+				stack = append(stack, openSpan{k: key{e.Cat, e.Name}, startTS: e.TS})
+			case KindEnd:
+				if len(stack) == 0 {
+					continue // unmatched End: its Begin was dropped
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				total := e.TS - top.startTS
+				account(top.k, total, total-top.childNs)
+				if len(stack) > 0 {
+					stack[len(stack)-1].childNs += total
+				}
+			}
+		}
+		// Close spans the recording never saw an End for at the track's
+		// last timestamp (innermost first, so parents absorb child time).
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			total := trackMax - top.startTS
+			account(top.k, total, total-top.childNs)
+			if len(stack) > 0 {
+				stack[len(stack)-1].childNs += total
+			}
+		}
+	}
+	rows := make([]AttrRow, 0, len(agg))
+	for _, row := range agg {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SelfNs != rows[j].SelfNs {
+			return rows[i].SelfNs > rows[j].SelfNs
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if first {
+		return rows, 0
+	}
+	return rows, maxTS - minTS
+}

@@ -1,0 +1,270 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary spill format for long recordings — the flight-recorder analogue
+// of the trace container in internal/trace/io.go ("CRTR"): a string table
+// plus varint-packed events with delta-encoded timestamps, typically
+// ~10-15 bytes/event vs ~150 for the JSON export.
+//
+// Layout (all integers varint/uvarint, little-endian continuation):
+//
+//	magic "FLTR" | version | dropped
+//	string count | strings (len-prefixed bytes)   — index 0 is always ""
+//	track count  | per track: id, name idx, event count,
+//	    per event: ts delta, kind, cat, name idx, str idx,
+//	               id delta-from-zero, parent, arg count, args (key idx, val)
+
+const (
+	spillMagic   = "FLTR"
+	spillVersion = 1
+
+	// Validation limits: generous for real recordings, small enough that a
+	// corrupt or adversarial header cannot balloon allocations.
+	maxSpillStrings   = 1 << 20
+	maxSpillStringLen = 1 << 16
+	maxSpillTracks    = 1 << 16
+	maxSpillEvents    = 1 << 26
+)
+
+// WriteSpill writes the recording in the compact binary spill format.
+func WriteSpill(w io.Writer, rec Recording) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(spillMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, spillVersion)
+	writeVarint(bw, rec.Dropped)
+
+	// String table: every name, annotation, arg key, and track name, plus
+	// the reserved empty string at index 0. Sorted for determinism.
+	idx := map[string]uint64{"": 0}
+	var table []string
+	intern := func(s string) {
+		if _, ok := idx[s]; !ok {
+			idx[s] = 1 // placeholder; real index assigned after sort
+			table = append(table, s)
+		}
+	}
+	for _, t := range rec.Tracks {
+		intern(t.Name)
+		for i := range t.Events {
+			e := &t.Events[i]
+			intern(e.Name)
+			intern(e.Str)
+			for _, a := range e.Args {
+				intern(a.Key)
+			}
+		}
+	}
+	sort.Strings(table)
+	for i, s := range table {
+		idx[s] = uint64(i + 1)
+	}
+	writeUvarint(bw, uint64(len(table)))
+	for _, s := range table {
+		writeUvarint(bw, uint64(len(s)))
+		bw.WriteString(s)
+	}
+
+	writeUvarint(bw, uint64(len(rec.Tracks)))
+	for _, t := range rec.Tracks {
+		writeUvarint(bw, uint64(t.ID))
+		writeUvarint(bw, idx[t.Name])
+		writeUvarint(bw, uint64(len(t.Events)))
+		var prevTS int64
+		for i := range t.Events {
+			e := &t.Events[i]
+			writeVarint(bw, e.TS-prevTS)
+			prevTS = e.TS
+			bw.WriteByte(byte(e.Kind))
+			bw.WriteByte(byte(e.Cat))
+			writeUvarint(bw, idx[e.Name])
+			writeUvarint(bw, idx[e.Str])
+			writeUvarint(bw, e.ID)
+			writeUvarint(bw, e.Parent)
+			n := 0
+			for _, a := range e.Args {
+				if a.Key != "" {
+					n++
+				}
+			}
+			writeUvarint(bw, uint64(n))
+			for _, a := range e.Args {
+				if a.Key == "" {
+					continue
+				}
+				writeUvarint(bw, idx[a.Key])
+				writeVarint(bw, a.Val)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpill parses a binary spill file back into a Recording.
+func ReadSpill(r io.Reader) (Recording, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Recording{}, fmt.Errorf("flight: read spill magic: %w", err)
+	}
+	if string(magic) != spillMagic {
+		return Recording{}, fmt.Errorf("flight: not a spill file (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Recording{}, err
+	}
+	if version != spillVersion {
+		return Recording{}, fmt.Errorf("flight: unsupported spill version %d", version)
+	}
+	var rec Recording
+	if rec.Dropped, err = binary.ReadVarint(br); err != nil {
+		return Recording{}, err
+	}
+
+	nstr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Recording{}, err
+	}
+	if nstr > maxSpillStrings {
+		return Recording{}, fmt.Errorf("flight: spill string table too large (%d)", nstr)
+	}
+	table := make([]string, nstr+1) // index 0 = ""
+	for i := uint64(1); i <= nstr; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Recording{}, err
+		}
+		if l > maxSpillStringLen {
+			return Recording{}, fmt.Errorf("flight: spill string too long (%d)", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return Recording{}, err
+		}
+		table[i] = string(b)
+	}
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(table)) {
+			return "", fmt.Errorf("flight: spill string index %d out of range", i)
+		}
+		return table[i], nil
+	}
+
+	ntracks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Recording{}, err
+	}
+	if ntracks > maxSpillTracks {
+		return Recording{}, fmt.Errorf("flight: spill track count too large (%d)", ntracks)
+	}
+	for ti := uint64(0); ti < ntracks; ti++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Recording{}, err
+		}
+		nameIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Recording{}, err
+		}
+		name, err := str(nameIdx)
+		if err != nil {
+			return Recording{}, err
+		}
+		nev, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Recording{}, err
+		}
+		if nev > maxSpillEvents {
+			return Recording{}, fmt.Errorf("flight: spill event count too large (%d)", nev)
+		}
+		events := make([]Event, nev)
+		var ts int64
+		for i := range events {
+			e := &events[i]
+			dt, err := binary.ReadVarint(br)
+			if err != nil {
+				return Recording{}, err
+			}
+			ts += dt
+			e.TS = ts
+			kind, err := br.ReadByte()
+			if err != nil {
+				return Recording{}, err
+			}
+			if Kind(kind) < KindBegin || Kind(kind) > KindFlowIn {
+				return Recording{}, fmt.Errorf("flight: spill event kind %d invalid", kind)
+			}
+			e.Kind = Kind(kind)
+			cat, err := br.ReadByte()
+			if err != nil {
+				return Recording{}, err
+			}
+			e.Cat = Cat(cat)
+			nameIdx, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Recording{}, err
+			}
+			if e.Name, err = str(nameIdx); err != nil {
+				return Recording{}, err
+			}
+			strIdx, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Recording{}, err
+			}
+			if e.Str, err = str(strIdx); err != nil {
+				return Recording{}, err
+			}
+			if e.ID, err = binary.ReadUvarint(br); err != nil {
+				return Recording{}, err
+			}
+			if e.Parent, err = binary.ReadUvarint(br); err != nil {
+				return Recording{}, err
+			}
+			nargs, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Recording{}, err
+			}
+			if nargs > maxArgs {
+				return Recording{}, fmt.Errorf("flight: spill arg count %d exceeds %d", nargs, maxArgs)
+			}
+			for ai := uint64(0); ai < nargs; ai++ {
+				keyIdx, err := binary.ReadUvarint(br)
+				if err != nil {
+					return Recording{}, err
+				}
+				key, err := str(keyIdx)
+				if err != nil {
+					return Recording{}, err
+				}
+				val, err := binary.ReadVarint(br)
+				if err != nil {
+					return Recording{}, err
+				}
+				e.Args[ai] = Arg{Key: key, Val: val}
+			}
+		}
+		rec.Tracks = append(rec.Tracks, TrackData{ID: int(id), Name: name, Events: events})
+	}
+	return rec, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}

@@ -42,14 +42,9 @@ func StartProgress(w io.Writer, interval time.Duration, r *Registry) (stop func(
 				return
 			case now := <-ticker.C:
 				cur := states.Load()
-				rate := float64(cur-last) / now.Sub(lastAt).Seconds()
+				line := progressLine(cur, cur-last, now.Sub(lastAt),
+					runs.Load(), frontier.Load(), maxRuns.Load(), now.Sub(start))
 				last, lastAt = cur, now
-				line := fmt.Sprintf("progress: %s states (%s/s), %d runs, frontier hwm %d",
-					humanCount(cur), humanCount(int64(rate)), runs.Load(), frontier.Load())
-				if total, n := maxRuns.Load(), runs.Load(); total > 0 && n > 0 && n < total {
-					remain := time.Duration(float64(now.Sub(start)) / float64(n) * float64(total-n))
-					line += fmt.Sprintf(", eta %s", remain.Round(time.Second))
-				}
 				fmt.Fprintln(w, line)
 			}
 		}
@@ -58,6 +53,27 @@ func StartProgress(w io.Writer, interval time.Duration, r *Registry) (stop func(
 		close(done)
 		<-exited
 	}
+}
+
+// progressLine formats one report from counter readings and elapsed
+// intervals. Timer coalescing under load or a stepped clock can hand the
+// reporter a zero or negative interval, and a counter reset a negative
+// delta; those disable the rate and ETA fields for the tick instead of
+// printing Inf/NaN rates or negative ETAs.
+func progressLine(cur, delta int64, sinceLast time.Duration, runs, frontier, maxRuns int64, sinceStart time.Duration) string {
+	line := fmt.Sprintf("progress: %s states", humanCount(cur))
+	if sinceLast > 0 && delta >= 0 {
+		rate := float64(delta) / sinceLast.Seconds()
+		line += fmt.Sprintf(" (%s/s)", humanCount(int64(rate)))
+	}
+	line += fmt.Sprintf(", %d runs, frontier hwm %d", runs, frontier)
+	if maxRuns > 0 && runs > 0 && runs < maxRuns && sinceStart > 0 {
+		remain := time.Duration(float64(sinceStart) / float64(runs) * float64(maxRuns-runs))
+		if remain >= 0 {
+			line += fmt.Sprintf(", eta %s", remain.Round(time.Second))
+		}
+	}
+	return line
 }
 
 // humanCount renders n with a k/M/G suffix for progress lines.

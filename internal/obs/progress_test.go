@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressLineFormat pins the happy-path format the reporter emits
+// (the end-to-end goroutine path is covered by TestProgressLine).
+func TestProgressLineFormat(t *testing.T) {
+	got := progressLine(25_000, 5_000, time.Second, 10, 3, 40, 10*time.Second)
+	want := "progress: 25.0k states (5000/s), 10 runs, frontier hwm 3, eta 30s"
+	if got != want {
+		t.Fatalf("progressLine = %q, want %q", got, want)
+	}
+}
+
+// TestProgressLineDegenerateIntervals is the regression guard for the ETA
+// hardening: zero or negative elapsed intervals (coalesced ticks, stepped
+// clocks) and negative deltas (counter reset) must drop the rate and ETA
+// fields for the tick instead of rendering Inf/NaN or a negative ETA.
+func TestProgressLineDegenerateIntervals(t *testing.T) {
+	cases := []struct {
+		name       string
+		delta      int64
+		sinceLast  time.Duration
+		sinceStart time.Duration
+	}{
+		{"zero interval", 100, 0, 10 * time.Second},
+		{"negative interval", 100, -time.Second, 10 * time.Second},
+		{"negative delta", -100, time.Second, 10 * time.Second},
+		{"zero start elapsed", 100, time.Second, 0},
+		{"negative start elapsed", 100, time.Second, -time.Second},
+	}
+	for _, c := range cases {
+		got := progressLine(1000, c.delta, c.sinceLast, 10, 3, 40, c.sinceStart)
+		for _, bad := range []string{"Inf", "NaN", "eta -", "(-"} {
+			if strings.Contains(got, bad) {
+				t.Errorf("%s: line contains %q: %q", c.name, bad, got)
+			}
+		}
+		if !strings.Contains(got, "1000 states") || !strings.Contains(got, "10 runs") {
+			t.Errorf("%s: counts missing from line %q", c.name, got)
+		}
+	}
+	// Zero/negative last-interval specifically drops the rate...
+	if got := progressLine(1000, 100, 0, 10, 3, 40, 10*time.Second); strings.Contains(got, "/s") {
+		t.Errorf("zero interval kept a rate: %q", got)
+	}
+	// ...and zero/negative start elapsed specifically drops the ETA.
+	if got := progressLine(1000, 100, time.Second, 10, 3, 40, 0); strings.Contains(got, "eta") {
+		t.Errorf("zero start elapsed kept an eta: %q", got)
+	}
+}
+
+// TestProgressLineNoBound checks the ETA only appears with a known bound
+// and unfinished runs.
+func TestProgressLineNoBound(t *testing.T) {
+	if got := progressLine(10, 5, time.Second, 4, 1, 0, time.Second); strings.Contains(got, "eta") {
+		t.Errorf("unbounded run has an eta: %q", got)
+	}
+	if got := progressLine(10, 5, time.Second, 40, 1, 40, time.Second); strings.Contains(got, "eta") {
+		t.Errorf("finished run has an eta: %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerCounters checks the timer's snapshot encoding contract: each
+// Stop adds one completion to <name>.count and the elapsed nanoseconds to
+// <name>.ns.
+func TestTimerCounters(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("phase")
+	s := tm.Start()
+	time.Sleep(time.Millisecond)
+	d := s.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("Stop returned %v, want >= 1ms", d)
+	}
+	if got := r.Counter("phase.count").Load(); got != 1 {
+		t.Fatalf("phase.count = %d, want 1", got)
+	}
+	if got := r.Counter("phase.ns").Load(); got < int64(time.Millisecond) || got < int64(d) {
+		t.Fatalf("phase.ns = %d, want >= %d", got, d)
+	}
+}
+
+// TestTimerAccumulates checks repeated spans sum into the same counters
+// and that Timer lookups share backing counters by name.
+func TestTimerAccumulates(t *testing.T) {
+	r := NewRegistry()
+	a := r.Timer("work")
+	b := r.Timer("work")
+	for i := 0; i < 3; i++ {
+		a.Start().Stop()
+	}
+	b.Start().Stop()
+	if got := r.Counter("work.count").Load(); got != 4 {
+		t.Fatalf("work.count = %d, want 4 (two Timer handles, same counters)", got)
+	}
+	if r.Counter("work.ns").Load() < 0 {
+		t.Fatal("work.ns went negative")
+	}
+}
+
+// TestTimerConcurrent stops overlapping spans from multiple goroutines;
+// the counters are atomics, so counts must be exact.
+func TestTimerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("par")
+	done := make(chan struct{})
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				tm.Start().Stop()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := r.Counter("par.count").Load(); got != workers*per {
+		t.Fatalf("par.count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestTimerInSnapshot checks timers surface in snapshots under the
+// documented names with no extra machinery.
+func TestTimerInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Timer("snap").Start().Stop()
+	s := r.Snapshot()
+	if _, ok := s.Counters["snap.count"]; !ok {
+		t.Fatal("snap.count missing from snapshot")
+	}
+	if _, ok := s.Counters["snap.ns"]; !ok {
+		t.Fatal("snap.ns missing from snapshot")
+	}
+}

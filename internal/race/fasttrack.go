@@ -380,6 +380,10 @@ func (d *Detector) report(r Race) {
 	d.races = append(d.races, r)
 }
 
+// FlightName names the detector's batch spans in flight recordings; it
+// implements sched.FlightNamed.
+func (d *Detector) FlightName() string { return "fasttrack" }
+
 // ObserveBatch processes one batch of events in trace order; it implements
 // sched.BatchObserver. The loop body is a direct (devirtualized) call, so
 // the per-event interface dispatch of the legacy path is paid once per

@@ -1,6 +1,11 @@
 package sched
 
-import "repro/internal/trace"
+import (
+	"fmt"
+
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
 
 // DefaultBatchSize is the runtime's event-batch buffer size when
 // Options.BatchSize is zero. 4096 events (128 KiB of trace.Event) amortizes
@@ -61,13 +66,36 @@ func FeedTrace(tr *trace.Trace, batchSize int, observers ...Observer) {
 		}
 	}
 	batched, perEvent := splitObservers(observers)
+	// When the flight recorder is on, each ObserveBatch gets its own span
+	// named after the checker (FlightNamed) on an acquired lane — FeedTrace
+	// runs concurrently from pool workers, so lanes cannot be shared.
+	var ftrack *flight.Track
+	var names []string
+	if fr := flight.Active(); fr != nil && len(batched) > 0 {
+		ftrack = fr.Acquire("checkers")
+		defer fr.Release(ftrack)
+		names = make([]string, len(batched))
+		for i, bo := range batched {
+			if fn, ok := bo.(FlightNamed); ok {
+				names[i] = fn.FlightName()
+			} else {
+				names[i] = fmt.Sprintf("observer-%d", i)
+			}
+		}
+	}
 	events := tr.Events
 	for start := 0; start < len(events); start += batchSize {
 		end := start + batchSize
 		if end > len(events) {
 			end = len(events)
 		}
-		for _, bo := range batched {
+		for i, bo := range batched {
+			if ftrack != nil {
+				s := ftrack.Begin(flight.CatChecker, names[i], 0, flight.A("events", int64(end-start)))
+				bo.ObserveBatch(events[start:end])
+				s.End()
+				continue
+			}
 			bo.ObserveBatch(events[start:end])
 		}
 	}

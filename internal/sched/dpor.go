@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -43,21 +44,40 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	bud := StartBudget(opts.Budget)
 	defer bud.Stop()
 	rep := &ExploreReport{Status: StatusComplete}
+	var ftrack *flight.Track
+	var exSpan flight.Span
+	if fr := flight.Active(); fr != nil {
+		ftrack = fr.Track("explore")
+		exSpan = ftrack.Begin(flight.CatSched, "explore-dpor", 0, flight.A("max_runs", int64(maxRuns)))
+		defer func() {
+			exSpan.EndStr(string(rep.Status),
+				flight.A("runs", int64(rep.Runs)), flight.A("states", rep.States))
+		}()
+	}
 	stack := [][]trace.TID{nil}
 	seen := map[string]bool{"": true}
 	for len(stack) > 0 {
 		if st := bud.Cutoff(); st != "" {
 			rep.Status = st
+			ftrack.Instant(flight.CatSched, "cutoff", string(st), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		if rep.Runs >= maxRuns {
 			rep.Status = StatusBudget
+			ftrack.Instant(flight.CatSched, "budget", string(StatusBudget), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		prefix := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
+		var runSpan flight.Span
+		if ftrack != nil {
+			runSpan = ftrack.Begin(flight.CatSched, "schedule", exSpan.ID(), flight.A("depth", int64(len(prefix))))
+		}
 		res, points, err := replayPrefix(p, &opts, bud.RunContext(), prefix)
+		if ftrack != nil {
+			EndRunSpan(runSpan, res, err)
+		}
 		if errors.Is(err, ErrCancelled) {
 			rep.Status = bud.CancelStatus()
 			rep.Abandoned++
@@ -70,6 +90,7 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 		}
 		if _, ok := err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
 			rep.Panics++
+			ftrack.Instant(flight.CatSched, "panic", string(rep.Status), flight.A("run", int64(rep.Runs)))
 		}
 		if !opts.Visit(res, err) {
 			rep.Abandoned += len(stack)
@@ -94,6 +115,7 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 		// Running preemption counts, shared by every flip considered below
 		// (recounting per pair was quadratic in trace depth).
 		pre := preemptionPrefix(points)
+		pushed := 0
 
 		// For each event j, consider the latest earlier conflicting events
 		// of each other thread: reversing such a pair is the only
@@ -140,8 +162,12 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 				if !seen[key] {
 					seen[key] = true
 					stack = append(stack, np)
+					pushed++
 				}
 			}
+		}
+		if ftrack != nil && pushed > 0 {
+			ftrack.Instant(flight.CatSched, "backtrack", "", flight.A("pushed", int64(pushed)))
 		}
 	}
 	rep.Abandoned += len(stack)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -69,21 +70,40 @@ func Explore(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	bud := StartBudget(opts.Budget)
 	defer bud.Stop()
 	rep := &ExploreReport{Status: StatusComplete}
+	var ftrack *flight.Track
+	var exSpan flight.Span
+	if fr := flight.Active(); fr != nil {
+		ftrack = fr.Track("explore")
+		exSpan = ftrack.Begin(flight.CatSched, "explore", 0, flight.A("max_runs", int64(maxRuns)))
+		defer func() {
+			exSpan.EndStr(string(rep.Status),
+				flight.A("runs", int64(rep.Runs)), flight.A("states", rep.States))
+		}()
+	}
 	// Each stack entry is a forced decision prefix.
 	stack := [][]trace.TID{nil}
 	for len(stack) > 0 {
 		if st := bud.Cutoff(); st != "" {
 			rep.Status = st
+			ftrack.Instant(flight.CatSched, "cutoff", string(st), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		if rep.Runs >= maxRuns {
 			rep.Status = StatusBudget
+			ftrack.Instant(flight.CatSched, "budget", string(StatusBudget), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		prefix := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
+		var runSpan flight.Span
+		if ftrack != nil {
+			runSpan = ftrack.Begin(flight.CatSched, "schedule", exSpan.ID(), flight.A("depth", int64(len(prefix))))
+		}
 		res, points, err := replayPrefix(p, &opts, bud.RunContext(), prefix)
+		if ftrack != nil {
+			EndRunSpan(runSpan, res, err)
+		}
 		mExploreReplays.Inc()
 		if errors.Is(err, ErrCancelled) {
 			// Interrupted mid-run by the deadline or a cancellation: the
@@ -101,6 +121,7 @@ func Explore(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 		}
 		if _, ok := err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
 			rep.Panics++
+			ftrack.Instant(flight.CatSched, "panic", string(rep.Status), flight.A("run", int64(rep.Runs)))
 		}
 		if !opts.Visit(res, err) {
 			rep.Abandoned += len(stack)

@@ -3,9 +3,11 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -38,6 +40,7 @@ type exTask struct {
 	res    *Result
 	err    error
 	points []ChoicePoint
+	flow   uint64 // flight-recorder flow ID (steal arrow); 0 when not recording
 }
 
 // exFrontier is the shared LIFO of unclaimed tasks. Claiming removes a task,
@@ -128,12 +131,19 @@ func exploreParallel(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 	mExploreMaxRuns.Set(int64(maxRuns))
 	bud := StartBudget(opts.Budget)
 	defer bud.Stop()
+	fr := flight.Active()
+	var ftrack *flight.Track
+	var exSpan flight.Span
 	frontier := newExFrontier()
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Parallel-1; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var wtrack *flight.Track
+			if fr != nil {
+				wtrack = fr.Track(fmt.Sprintf("explore-worker-%d", w+1))
+			}
 			for {
 				idle := time.Now()
 				t := frontier.take()
@@ -141,12 +151,21 @@ func exploreParallel(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 				if t == nil {
 					return
 				}
+				var replaySpan flight.Span
+				if wtrack != nil {
+					wtrack.FlowIn(flight.CatSched, "steal", t.flow)
+					replaySpan = wtrack.Begin(flight.CatSched, "replay", 0,
+						flight.A("depth", int64(len(t.prefix))))
+				}
 				busy := time.Now()
 				replayTask(p, &opts, bud.RunContext(), t)
 				mWorkerBusyNs.Add(int64(time.Since(busy)))
 				mExploreSteals.Inc()
+				if wtrack != nil {
+					EndRunSpan(replaySpan, t.res, t.err)
+				}
 			}
-		}()
+		}(w)
 	}
 	// Stop the pool (abandoning unclaimed speculation) and wait for in-
 	// flight replays before returning, so no goroutine outlives the search.
@@ -157,29 +176,57 @@ func exploreParallel(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 
 	newTask := func(prefix []trace.TID) *exTask {
 		t := &exTask{prefix: prefix, done: make(chan struct{})}
+		if ftrack != nil {
+			// The flow arrow starts at the push; it lands wherever a worker
+			// steals the task (a driver inline replay leaves it dangling,
+			// which Perfetto tolerates).
+			t.flow = fr.NewID()
+			ftrack.FlowOut(flight.CatSched, "steal", t.flow)
+		}
 		frontier.push(t)
 		return t
 	}
 
+	if fr != nil {
+		ftrack = fr.Track("explore-driver")
+		exSpan = ftrack.Begin(flight.CatSched, "explore", 0,
+			flight.A("max_runs", int64(maxRuns)), flight.A("workers", int64(opts.Parallel)))
+	}
 	// stack mirrors the sequential DFS stack; frontier holds the subset of
 	// it not yet claimed by a worker, in the same order.
 	stack := []*exTask{newTask(nil)}
 	rep := &ExploreReport{Status: StatusComplete}
+	if ftrack != nil {
+		defer func() {
+			exSpan.EndStr(string(rep.Status),
+				flight.A("runs", int64(rep.Runs)), flight.A("states", rep.States))
+		}()
+	}
 	for len(stack) > 0 {
 		if st := bud.Cutoff(); st != "" {
 			rep.Status = st
+			ftrack.Instant(flight.CatSched, "cutoff", string(st), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		if rep.Runs >= maxRuns {
 			rep.Status = StatusBudget
+			ftrack.Instant(flight.CatSched, "budget", string(StatusBudget), flight.A("runs", int64(rep.Runs)))
 			break
 		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		var runSpan flight.Span
+		if ftrack != nil {
+			runSpan = ftrack.Begin(flight.CatSched, "schedule", exSpan.ID(),
+				flight.A("depth", int64(len(t.prefix))))
+		}
 		if frontier.claim(t) {
 			replayTask(p, &opts, bud.RunContext(), t)
 		} else {
 			<-t.done
+		}
+		if ftrack != nil {
+			EndRunSpan(runSpan, t.res, t.err)
 		}
 		if errors.Is(t.err, ErrCancelled) {
 			rep.Status = bud.CancelStatus()
@@ -195,6 +242,7 @@ func exploreParallel(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 		}
 		if _, ok := t.err.(*ExploreError); ok { //nolint:errorlint // replayPrefix returns it unwrapped
 			rep.Panics++
+			ftrack.Instant(flight.CatSched, "panic", string(rep.Status), flight.A("run", int64(rep.Runs)))
 		}
 		if !opts.Visit(t.res, t.err) {
 			rep.Abandoned += len(stack)

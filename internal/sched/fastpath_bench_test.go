@@ -2,6 +2,8 @@ package sched
 
 import (
 	"testing"
+
+	"repro/internal/obs/flight"
 )
 
 // runTraceGen measures raw trace-generation throughput (events/s): the
@@ -45,6 +47,17 @@ func BenchmarkTraceGen(b *testing.B) { runTraceGen(b, false) }
 // pipeline — per-event frame symbolization and the scheduler-goroutine
 // rendezvous protocol — the denominator of the fast path's speedup.
 func BenchmarkTraceGenLegacy(b *testing.B) { runTraceGen(b, true) }
+
+// BenchmarkTraceGenFlight is BenchmarkTraceGen with the flight recorder
+// enabled: the recorder's cost when it IS on — per-run phase-attribution
+// stamps and the Enabled checks taken on their hot branch. Compare against
+// BenchmarkTraceGen (recorder off, the <1%-overhead nil-check path) for
+// the enabled overhead, which the issue bounds at <5%.
+func BenchmarkTraceGenFlight(b *testing.B) {
+	flight.Enable(flight.Options{})
+	defer flight.Disable()
+	runTraceGen(b, false)
+}
 
 // pingPongProgram forces a genuine context switch at every event: two
 // workers under round-robin quantum 1, so every emitted event hands the

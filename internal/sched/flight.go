@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"errors"
+
+	"repro/internal/obs/flight"
+)
+
+// Flight-recorder integration for the explorer and runtime (DESIGN.md
+// "Observability"). All instrumentation here is span-granular — one span
+// per schedule replay, per checker batch — never per instrumented event,
+// and every site guards on a nil recorder so disabled runs pay one atomic
+// load.
+
+// FlightNamed is implemented by observers that want their flight-recorder
+// batch spans named after the analysis they run ("fasttrack", "eraser",
+// ...). Observers without it appear as "observer-N" in recordings.
+type FlightNamed interface {
+	FlightName() string
+}
+
+// flightStatus compresses a replay outcome into the annotation on its
+// schedule span: empty for a clean run, the failure class otherwise.
+func flightStatus(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrDeadlock):
+		return "deadlock"
+	}
+	var ee *ExploreError
+	if errors.As(err, &ee) {
+		return "panic"
+	}
+	return "error"
+}
+
+// EndRunSpan closes one schedule/replay span with the run's event count
+// and phase attribution (see SchedStats), annotated with the outcome
+// class. The zero Span (recorder disabled) is a no-op.
+func EndRunSpan(s flight.Span, res *Result, err error) {
+	if res == nil {
+		s.EndStr(flightStatus(err))
+		return
+	}
+	s.EndStr(flightStatus(err),
+		flight.A("events", int64(res.Events)),
+		flight.A("gen_ns", res.Stats.PhaseGenNs),
+		flight.A("handoff_ns", res.Stats.PhaseHandoffNs),
+		flight.A("analysis_ns", res.Stats.PhaseAnalysisNs),
+	)
+}

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/obs/flight"
+	"repro/internal/trace"
+)
+
+// exploreBoth runs the same exploration with the flight recorder enabled
+// and disabled, returning the recording plus both visit sequences.
+func exploreBoth(t *testing.T, parallel int) (flight.Recording, *ExploreReport, []int, []int) {
+	t.Helper()
+	explore := func() (*ExploreReport, []int) {
+		var visits []int
+		rep, err := Explore(counterProgram(2, 2, true), ExploreOptions{
+			MaxPreemptions: 1,
+			Parallel:       parallel,
+			Visit: func(res *Result, err error) bool {
+				if err != nil {
+					t.Fatalf("replay error: %v", err)
+				}
+				visits = append(visits, res.Events)
+				return true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, visits
+	}
+	flight.Enable(flight.Options{})
+	rep, withRec := explore()
+	r := flight.Disable()
+	_, without := explore()
+	return r.Snapshot(), rep, withRec, without
+}
+
+// countSpans returns how many spans named name begin in the recording.
+func countSpans(rec flight.Recording, name string) int {
+	n := 0
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind == flight.KindBegin && e.Name == name {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestExploreFlightSpans(t *testing.T) {
+	rec, rep, withRec, without := exploreBoth(t, 1)
+	if len(withRec) != len(without) {
+		t.Fatalf("recorder changed the visit count: %d vs %d", len(withRec), len(without))
+	}
+	for i := range withRec {
+		if withRec[i] != without[i] {
+			t.Fatalf("recorder changed visit %d: %d vs %d events", i, withRec[i], without[i])
+		}
+	}
+	if got := countSpans(rec, "explore"); got != 1 {
+		t.Fatalf("explore spans = %d, want 1", got)
+	}
+	if got := countSpans(rec, "schedule"); got != rep.Runs {
+		t.Fatalf("schedule spans = %d, want %d (one per run)", got, rep.Runs)
+	}
+	// The explore span's end is annotated with the report status.
+	var endStr string
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind == flight.KindEnd && e.Name == "explore" {
+				endStr = e.Str
+			}
+		}
+	}
+	if endStr != string(rep.Status) {
+		t.Fatalf("explore end note = %q, want %q", endStr, rep.Status)
+	}
+}
+
+func TestExploreParallelFlightFlows(t *testing.T) {
+	rec, rep, withRec, without := exploreBoth(t, 4)
+	if len(withRec) != len(without) || len(withRec) != rep.Runs {
+		t.Fatalf("visits %d/%d vs runs %d", len(withRec), len(without), rep.Runs)
+	}
+	if got := countSpans(rec, "schedule"); got != rep.Runs {
+		t.Fatalf("driver schedule spans = %d, want %d", got, rep.Runs)
+	}
+	// Every task push emits a steal flow origin — deterministically one per
+	// run plus the abandoned frontier (zero here, search ran to completion).
+	flowOuts := 0
+	for _, tr := range rec.Tracks {
+		for _, e := range tr.Events {
+			if e.Kind == flight.KindFlowOut && e.Name == "steal" {
+				flowOuts++
+			}
+		}
+	}
+	if flowOuts != rep.Runs {
+		t.Fatalf("steal flow origins = %d, want %d", flowOuts, rep.Runs)
+	}
+	// Worker replays, when they happened, land on worker tracks as "replay"
+	// spans consuming the flow; the driver track must exist regardless.
+	found := false
+	for _, tr := range rec.Tracks {
+		if tr.Name == "explore-driver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no explore-driver track recorded")
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	flight.Enable(flight.Options{})
+	defer flight.Disable()
+	res, err := Run(counterProgram(3, 50, true), Options{
+		Strategy:    &RoundRobin{Quantum: 1},
+		RecordTrace: true,
+		Observers:   []Observer{&CountObserver{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.PhaseTotalNs <= 0 {
+		t.Fatalf("PhaseTotalNs = %d, want > 0", st.PhaseTotalNs)
+	}
+	if st.PhaseHandoffNs <= 0 {
+		t.Fatalf("PhaseHandoffNs = %d, want > 0 (quantum-1 round robin switches constantly)", st.PhaseHandoffNs)
+	}
+	if st.PhaseAnalysisNs <= 0 {
+		t.Fatalf("PhaseAnalysisNs = %d, want > 0 (per-event observer attached)", st.PhaseAnalysisNs)
+	}
+	if sum := st.PhaseGenNs + st.PhaseHandoffNs + st.PhaseAnalysisNs; sum != st.PhaseTotalNs && st.PhaseGenNs != 0 {
+		t.Fatalf("phases don't partition total: gen %d + handoff %d + analysis %d != %d",
+			st.PhaseGenNs, st.PhaseHandoffNs, st.PhaseAnalysisNs, st.PhaseTotalNs)
+	}
+}
+
+func TestPhaseAttributionDisabled(t *testing.T) {
+	if flight.Enabled() {
+		t.Fatal("recorder unexpectedly enabled")
+	}
+	res, err := Run(counterProgram(2, 10, true), Options{Strategy: Cooperative{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.PhaseTotalNs != 0 || st.PhaseGenNs != 0 || st.PhaseHandoffNs != 0 || st.PhaseAnalysisNs != 0 {
+		t.Fatalf("phase stats nonzero with recorder disabled: %+v", st)
+	}
+}
+
+func TestFeedTraceCheckerSpans(t *testing.T) {
+	res, err := Run(counterProgram(2, 20, true), Options{Strategy: Cooperative{}, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := flight.Enable(flight.Options{})
+	defer flight.Disable()
+	named := &namedBatchObserver{}
+	anon := &anonBatchObserver{}
+	FeedTrace(res.Trace, 16, named, anon)
+	rec := r.Snapshot()
+	batches := (res.Trace.Len() + 15) / 16
+	if got := countSpans(rec, "test-checker"); got != batches {
+		t.Fatalf("named checker spans = %d, want %d", got, batches)
+	}
+	if got := countSpans(rec, "observer-1"); got != batches {
+		t.Fatalf("fallback-named spans = %d, want %d", got, batches)
+	}
+	if named.events != res.Trace.Len() || anon.events != res.Trace.Len() {
+		t.Fatalf("observers saw %d/%d events, want %d", named.events, anon.events, res.Trace.Len())
+	}
+}
+
+type namedBatchObserver struct{ events int }
+
+func (o *namedBatchObserver) Event(trace.Event)            {}
+func (o *namedBatchObserver) ObserveBatch(b []trace.Event) { o.events += len(b) }
+func (o *namedBatchObserver) FlightName() string           { return "test-checker" }
+
+type anonBatchObserver struct{ events int }
+
+func (o *anonBatchObserver) Event(trace.Event)            {}
+func (o *anonBatchObserver) ObserveBatch(b []trace.Event) { o.events += len(b) }

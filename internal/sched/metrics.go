@@ -46,6 +46,13 @@ var (
 	mRunLocMisses      = obs.Default.Counter("runtime.loc.misses")
 	mRunDirectHandoffs = obs.Default.Counter("runtime.handoff.direct")
 	mRunElidedParks    = obs.Default.Counter("runtime.handoff.elided")
+
+	// Phase attribution (flight recorder enabled only; see SchedStats):
+	// cumulative wall clock per run phase, summed across runs.
+	mRunPhaseGen      = obs.Default.Counter("runtime.phase.generation_ns")
+	mRunPhaseHandoff  = obs.Default.Counter("runtime.phase.handoff_ns")
+	mRunPhaseAnalysis = obs.Default.Counter("runtime.phase.analysis_ns")
+	mRunPhaseTotal    = obs.Default.Counter("runtime.phase.total_ns")
 )
 
 // flushMetrics publishes one finished run's counters; called exactly once
@@ -62,4 +69,10 @@ func (rt *Runtime) flushMetrics() {
 	mRunLocMisses.Add(int64(rt.locs.miss))
 	mRunDirectHandoffs.Add(int64(rt.directHandoffs))
 	mRunElidedParks.Add(int64(rt.elidedParks))
+	if rt.phaseTotalNs > 0 {
+		mRunPhaseGen.Add(rt.phaseGenNs)
+		mRunPhaseHandoff.Add(rt.phaseHandoffNs)
+		mRunPhaseAnalysis.Add(rt.phaseAnalysisNs)
+		mRunPhaseTotal.Add(rt.phaseTotalNs)
+	}
 }

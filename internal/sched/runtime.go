@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/trace"
 )
 
@@ -177,6 +179,19 @@ type SchedStats struct {
 	// LocCacheMisses counts symbolization slow paths.
 	LocCacheHits   int
 	LocCacheMisses int
+
+	// Phase attribution: the run's wall clock split into generation (the
+	// virtual threads executing workload code), handoff (baton transfer
+	// between threads), and analysis (observer fan-out and batch flushes).
+	// Measured only while the flight recorder is enabled — all four fields
+	// are zero otherwise, so undisturbed runs pay nothing for them.
+	// Generation is the remainder (total − handoff − analysis), clamped at
+	// zero; handoff intervals are true wall clock, timed from the yielding
+	// goroutine's send to the resumed goroutine's receive.
+	PhaseGenNs      int64
+	PhaseHandoffNs  int64
+	PhaseAnalysisNs int64
+	PhaseTotalNs    int64
 }
 
 // ErrDeadlock wraps scheduler deadlock reports.
@@ -271,6 +286,21 @@ type Runtime struct {
 	directHandoffs int
 	elidedParks    int
 
+	// Phase attribution (flight recorder enabled only; see SchedStats).
+	// handoffT0 is the baton-carried handshake: the yielding goroutine
+	// stamps it immediately before the resume-channel send and the resumed
+	// goroutine reads it after the receive — the channel gives the
+	// happens-before edge — so each measured interval is true wall-clock
+	// handoff time, never double-counted across threads. killAll clears
+	// phaseOn first so teardown wakes are not misattributed.
+	phaseOn         bool
+	runT0           time.Time
+	handoffT0       time.Time
+	phaseHandoffNs  int64
+	phaseAnalysisNs int64
+	phaseGenNs      int64
+	phaseTotalNs    int64
+
 	// runnableBuf backs runnableIDs across scheduling decisions. Exactly
 	// one goroutine holds the baton at a time, so reuse is safe; Strategy
 	// implementations that retain the runnable set must copy it (Guided
@@ -350,6 +380,10 @@ func Run(p *Program, opts Options) (*Result, error) {
 		}
 	}
 	rt.strat.Reset()
+	if flight.Enabled() {
+		rt.phaseOn = true
+		rt.runT0 = time.Now()
+	}
 
 	rt.spawn("main", p.main)
 	err := rt.loop()
@@ -360,6 +394,13 @@ func Run(p *Program, opts Options) (*Result, error) {
 	// panics are caught here rather than by a thread's recover.
 	if ferr := rt.flushBatchFinal(); ferr != nil && err == nil {
 		err = ferr
+	}
+	if !rt.runT0.IsZero() {
+		rt.phaseTotalNs = time.Since(rt.runT0).Nanoseconds()
+		rt.phaseGenNs = rt.phaseTotalNs - rt.phaseHandoffNs - rt.phaseAnalysisNs
+		if rt.phaseGenNs < 0 {
+			rt.phaseGenNs = 0
+		}
 	}
 	rt.flushMetrics()
 
@@ -373,12 +414,16 @@ func Run(p *Program, opts Options) (*Result, error) {
 		FinalVolatiles: rt.volVals,
 		Schedule:       rt.schedule,
 		Stats: SchedStats{
-			Switches:       rt.switches,
-			Preemptions:    rt.preemptions,
-			DirectHandoffs: rt.directHandoffs,
-			ElidedParks:    rt.elidedParks,
-			LocCacheHits:   rt.locs.hits,
-			LocCacheMisses: rt.locs.miss,
+			Switches:        rt.switches,
+			Preemptions:     rt.preemptions,
+			DirectHandoffs:  rt.directHandoffs,
+			ElidedParks:     rt.elidedParks,
+			LocCacheHits:    rt.locs.hits,
+			LocCacheMisses:  rt.locs.miss,
+			PhaseGenNs:      rt.phaseGenNs,
+			PhaseHandoffNs:  rt.phaseHandoffNs,
+			PhaseAnalysisNs: rt.phaseAnalysisNs,
+			PhaseTotalNs:    rt.phaseTotalNs,
 		},
 	}
 	if rt.tr != nil {
@@ -425,6 +470,7 @@ func (rt *Runtime) loop() error {
 		return rt.legacyLoop()
 	}
 	if next, ok := rt.pickNext(); ok {
+		rt.noteHandoffStart()
 		rt.threads[next].resume <- struct{}{}
 		<-rt.toSched
 	}
@@ -440,6 +486,7 @@ func (rt *Runtime) legacyLoop() error {
 		if !ok {
 			return rt.finish()
 		}
+		rt.noteHandoffStart()
 		rt.threads[next].resume <- struct{}{}
 		<-rt.toSched
 	}
@@ -524,9 +571,29 @@ func (rt *Runtime) handoff(t *thread, parkAfter bool) {
 		return
 	}
 	rt.directHandoffs++
+	rt.noteHandoffStart()
 	rt.threads[next].resume <- struct{}{}
 	if parkAfter {
 		rt.waitTurn(t)
+	}
+}
+
+// noteHandoffStart stamps the baton-carried handoff timestamp immediately
+// before a resume-channel send; the resumed goroutine settles the interval
+// in noteResumed. No-op unless phase attribution is on.
+func (rt *Runtime) noteHandoffStart() {
+	if rt.phaseOn {
+		rt.handoffT0 = time.Now()
+	}
+}
+
+// noteResumed closes the handoff interval opened by noteHandoffStart. It
+// runs on the resumed goroutine right after the resume-channel receive, so
+// the channel orders the stamp before the read.
+func (rt *Runtime) noteResumed() {
+	if rt.phaseOn && !rt.handoffT0.IsZero() {
+		rt.phaseHandoffNs += time.Since(rt.handoffT0).Nanoseconds()
+		rt.handoffT0 = time.Time{}
 	}
 }
 
@@ -636,6 +703,7 @@ func (rt *Runtime) waitsForCycle() []trace.TID {
 // unwinds, preventing leaks after an error.
 func (rt *Runtime) killAll() {
 	rt.killed = true
+	rt.phaseOn = false // teardown wakes are not handoffs
 	for _, t := range rt.threads {
 		if t.state == stateDone {
 			continue
@@ -648,6 +716,7 @@ func (rt *Runtime) killAll() {
 // threadBody is the goroutine wrapper around a virtual thread.
 func (rt *Runtime) threadBody(t *thread) {
 	<-t.resume
+	rt.noteResumed()
 	defer func() {
 		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
 			if rt.err == nil {
@@ -677,6 +746,7 @@ func (rt *Runtime) threadBody(t *thread) {
 // waitTurn parks the calling thread until the scheduler resumes it.
 func (rt *Runtime) waitTurn(t *thread) {
 	<-t.resume
+	rt.noteResumed()
 	if rt.killed {
 		panic(errKilled)
 	}
@@ -775,8 +845,22 @@ func (rt *Runtime) emit(t *thread, op trace.Op, target uint64, loc trace.LocID) 
 	if rt.tr != nil {
 		rt.tr.Append(e)
 	}
-	for _, o := range rt.observers {
-		o.Event(e)
+	if len(rt.observers) > 0 {
+		// Observer fan-out is analysis time. Timed per event only when
+		// phase attribution is on AND per-event observers exist at all, so
+		// the common configurations (no observers, or batch-only) never pay
+		// a clock read here.
+		if rt.phaseOn {
+			t0 := time.Now()
+			for _, o := range rt.observers {
+				o.Event(e)
+			}
+			rt.phaseAnalysisNs += time.Since(t0).Nanoseconds()
+		} else {
+			for _, o := range rt.observers {
+				o.Event(e)
+			}
+		}
 	}
 	if rt.batch != nil {
 		rt.batch = append(rt.batch, e)
@@ -809,6 +893,14 @@ func (rt *Runtime) flushBatch() {
 	// aborted and its analysis results discarded anyway). Exactly one
 	// goroutine runs at a time, so nothing appends while we iterate.
 	rt.batch = rt.batch[:0]
+	if rt.phaseOn {
+		t0 := time.Now()
+		for _, bo := range rt.batchObs {
+			bo.ObserveBatch(pending)
+		}
+		rt.phaseAnalysisNs += time.Since(t0).Nanoseconds()
+		return
+	}
 	for _, bo := range rt.batchObs {
 		bo.ObserveBatch(pending)
 	}

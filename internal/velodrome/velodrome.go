@@ -304,6 +304,10 @@ func (c *Checker) access(e trace.Event, id int32) {
 	v.write = id + 1
 }
 
+// FlightName names the checker's batch spans in flight recordings; it
+// implements sched.FlightNamed.
+func (c *Checker) FlightName() string { return "velodrome" }
+
 // ObserveBatch processes one batch of events in trace order; it implements
 // sched.BatchObserver (the fused pipeline's amortized-dispatch path).
 //

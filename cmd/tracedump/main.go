@@ -155,6 +155,12 @@ func run(args []string, stdout io.Writer) (err error) {
 	fmt.Fprintf(stdout, "sync ops:  %d acquires, %d releases, %d waits, %d notifies\n",
 		tr.CountOp(trace.OpAcquire), tr.CountOp(trace.OpRelease),
 		tr.CountOp(trace.OpWait), tr.CountOp(trace.OpNotify))
+	sends, recvs := tr.CountOp(trace.OpSend), tr.CountOp(trace.OpRecv)
+	closes, selects := tr.CountOp(trace.OpClose), tr.CountOp(trace.OpSelect)
+	if sends+recvs+closes+selects > 0 {
+		fmt.Fprintf(stdout, "chan ops:  %d sends, %d recvs, %d closes, %d selects\n",
+			sends, recvs, closes, selects)
+	}
 	fmt.Fprintf(stdout, "yields:    %d\n", tr.CountOp(trace.OpYield))
 	return nil
 }

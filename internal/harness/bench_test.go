@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/obs/flight"
+	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // fusedBenchTrace builds a method-span-structured trace exercising every
@@ -110,4 +112,37 @@ func BenchmarkLegacyCheckers(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(events)*5*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "trace-events/s")
+}
+
+// BenchmarkChannelWorkloads times the channel-native service family end to
+// end: virtual-runtime execution with trace recording plus the full fused
+// analysis of each trace. This is the regression gate for the channel
+// runtime (offer/take bookkeeping, select readiness scans) and for the
+// checkers' chan-op paths, which the memory-op benchmarks above never
+// touch. Larger sizes than the workload defaults keep the runtime cost
+// visible against the per-run setup.
+func BenchmarkChannelWorkloads(b *testing.B) {
+	specs := []string{"ratelimit", "connpool", "pubsub", "heartbeat"}
+	b.ReportAllocs()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range specs {
+			spec, ok := workloads.Get(name)
+			if !ok {
+				b.Fatalf("workload %q not registered", name)
+			}
+			res, err := sched.Run(spec.New(4, 8), sched.Options{
+				Strategy:    sched.NewRandom(int64(i + 1)),
+				RecordTrace: true,
+			})
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			events += res.Trace.Len()
+			FusedRunner{}.Analyze(res.Trace)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "trace-events/s")
 }

@@ -38,7 +38,7 @@ func Table1(cfg Config) (*report.Table, error) {
 				methods[e.Target] = true
 			case e.Op.IsAccess() || e.Op.IsVolatile():
 				accesses++
-			case e.Op.IsLockOp() || e.Op == trace.OpWait || e.Op == trace.OpNotify:
+			case e.Op.IsLockOp() || e.Op == trace.OpWait || e.Op == trace.OpNotify || e.Op.IsChanOp():
 				syncs++
 			case e.Op == trace.OpYield:
 				yields++

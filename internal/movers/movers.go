@@ -80,11 +80,24 @@ type Policy struct {
 	// off classifies fork as a left mover, which commits the enclosing
 	// transaction instead of ending it.
 	ForkIsBoundary bool
+	// ChanIsBoundary treats blocking channel operations (send, recv,
+	// select) as cooperative scheduling points — they can park the thread,
+	// so cooperative semantics switches there, like wait and join. On in
+	// the defaults. Turning it off applies the pure Lipton treatment:
+	// buffered send is a left mover (release-like: it publishes and cannot
+	// be overtaken by the matching receive), buffered receive a right
+	// mover (acquire-like), and an unbuffered send/recv is a rendezvous
+	// whose two halves pair into both movers under the two-phase
+	// discipline — the channel is empty before and after, so adjacent
+	// foreign operations on it commute across the pair. Close is a left
+	// mover (broadcast release) and select remains a boundary either way:
+	// its commit is a scheduling choice, not a commuting action.
+	ChanIsBoundary bool
 }
 
 // DefaultPolicy matches the semantics described in DESIGN.md.
 func DefaultPolicy() Policy {
-	return Policy{JoinIsBoundary: true, ForkIsBoundary: true}
+	return Policy{JoinIsBoundary: true, ForkIsBoundary: true, ChanIsBoundary: true}
 }
 
 // Classify reports the mover class of a single operation kind under policy
@@ -126,10 +139,54 @@ func (p Policy) Classify(op trace.Op, racy bool) Mover {
 		// Notify requires holding the guarding lock, so it cannot execute
 		// concurrently with a conflicting monitor operation.
 		return None
-	default:
-		// Enter/Exit/AtomicBegin/AtomicEnd are analysis markers.
+	case trace.OpSend, trace.OpRecv, trace.OpClose, trace.OpSelect:
+		// Op-only entry point: without the event's Target the buffered/
+		// unbuffered distinction is unknown, so this returns the
+		// conservative class; ClassifyChan refines when the event is in
+		// hand. Close never blocks — it is a left mover (broadcast
+		// release) under either policy setting.
+		if op == trace.OpClose {
+			return Left
+		}
+		if op == trace.OpSelect || p.ChanIsBoundary {
+			return Boundary
+		}
+		if op == trace.OpSend {
+			return Left
+		}
+		return Right
+	case trace.OpEnter, trace.OpExit, trace.OpAtomicBegin, trace.OpAtomicEnd:
+		// Analysis markers.
 		return None
+	default:
+		// Unknown op kinds are conservatively non-movers: an op added to
+		// the vocabulary but not taught here must break reducibility
+		// loudly rather than silently commute.
+		return Non
 	}
+}
+
+// ClassifyChan refines the channel-op classes with the buffering bit the
+// event Target carries (trace.ChanUnbuffered). Under the Lipton treatment
+// (ChanIsBoundary off) an unbuffered send or receive is one half of a
+// rendezvous: the pair executes back-to-back logically, the channel is
+// empty on both sides, and adjacent foreign channel operations commute
+// across it — a both mover. Buffered halves keep their release/acquire
+// asymmetry (send Left, recv Right).
+func (p Policy) ClassifyChan(op trace.Op, unbuffered bool) Mover {
+	if op == trace.OpClose {
+		return Left
+	}
+	if op == trace.OpSelect || p.ChanIsBoundary {
+		return Boundary
+	}
+	if unbuffered {
+		return Both
+	}
+	if op == trace.OpSend {
+		return Left
+	}
+	return Right
 }
 
 // Classifier assigns mover classes to a stream of events. Classification of
@@ -242,6 +299,12 @@ func (c *Classifier) Detector() *race.Detector { return c.detector }
 func (c *Classifier) Classify(e trace.Event) Mover {
 	if c.detector != nil {
 		c.detector.Event(e)
+	}
+	if e.Op.IsChanOp() {
+		// The event carries the buffering bit, so the refined channel
+		// classification applies (unbuffered rendezvous halves pair into
+		// both movers under the Lipton treatment).
+		return c.policy.ClassifyChan(e.Op, trace.ChanUnbuffered(e.Target))
 	}
 	racy := false
 	if e.Op == trace.OpRead || e.Op == trace.OpWrite {

@@ -199,3 +199,67 @@ func TestWaitIsBoundary(t *testing.T) {
 		t.Errorf("wait = %v, want Boundary", got)
 	}
 }
+
+func TestChanClassificationDefaultPolicy(t *testing.T) {
+	// Default policy: blocking chan ops and selects are boundaries
+	// (cooperative scheduling points); close never blocks and is a left
+	// mover (broadcast release).
+	c := NewOnline(DefaultPolicy())
+	cases := []struct {
+		op    trace.Op
+		unbuf bool
+		want  Mover
+	}{
+		{trace.OpSend, false, Boundary},
+		{trace.OpRecv, false, Boundary},
+		{trace.OpSend, true, Boundary},
+		{trace.OpRecv, true, Boundary},
+		{trace.OpSelect, false, Boundary},
+		{trace.OpClose, false, Left},
+		{trace.OpClose, true, Left},
+	}
+	for _, tc := range cases {
+		e := trace.Event{Op: tc.op, Target: trace.ChanTarget(1, tc.unbuf)}
+		if got := c.Classify(e); got != tc.want {
+			t.Errorf("%v (unbuffered=%v) = %v, want %v", tc.op, tc.unbuf, got, tc.want)
+		}
+	}
+}
+
+func TestChanClassificationLiptonTreatment(t *testing.T) {
+	// With ChanIsBoundary off, buffered halves keep the release/acquire
+	// asymmetry (send left, recv right) and an unbuffered half is one side
+	// of a rendezvous — a both mover. Select remains a boundary: it is a
+	// scheduling choice point regardless of policy.
+	c := NewOnline(Policy{})
+	cases := []struct {
+		op    trace.Op
+		unbuf bool
+		want  Mover
+	}{
+		{trace.OpSend, false, Left},
+		{trace.OpRecv, false, Right},
+		{trace.OpSend, true, Both},
+		{trace.OpRecv, true, Both},
+		{trace.OpSelect, true, Boundary},
+		{trace.OpClose, false, Left},
+	}
+	for _, tc := range cases {
+		e := trace.Event{Op: tc.op, Target: trace.ChanTarget(2, tc.unbuf)}
+		if got := c.Classify(e); got != tc.want {
+			t.Errorf("%v (unbuffered=%v) = %v, want %v", tc.op, tc.unbuf, got, tc.want)
+		}
+	}
+}
+
+func TestUnknownOpIsNonMover(t *testing.T) {
+	// An op outside the vocabulary must break reducibility loudly (a non
+	// mover blocks every reduction) rather than silently commute.
+	if got := DefaultPolicy().Classify(trace.Op(200), false); got != Non {
+		t.Errorf("Policy.Classify(unknown op) = %v, want Non", got)
+	}
+	c := NewOnline(DefaultPolicy())
+	if got := c.Classify(trace.Event{Op: trace.Op(200), Target: 1}); got != Non {
+		t.Errorf("Classifier.Classify(unknown op) = %v, want Non", got)
+	}
+}

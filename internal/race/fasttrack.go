@@ -85,13 +85,16 @@ type varState struct {
 	rTid   trace.TID
 }
 
-// lockKey and volKey interleave locks and volatiles into one table's key
-// space: both are "synchronization object → clock snapshot" maps, so
-// sharing a table halves the page overhead of a fresh detector. Small ids
-// stay dense; runtime volatile ids (offset by 1<<32) land in the table's
-// overflow map, exactly as sparse map keys did before.
-func lockKey(id uint64) uint64 { return id << 1 }
-func volKey(id uint64) uint64  { return id<<1 | 1 }
+// lockKey, volKey, and chanKey interleave locks, volatiles, and channels
+// into one table's key space: all three are "synchronization object → clock
+// snapshot" maps, so sharing a table cuts the page overhead of a fresh
+// detector. Small ids stay dense; runtime volatile ids (offset by 1<<32)
+// land in the table's overflow map, exactly as sparse map keys did before.
+// The tag moved from 1 bit to 2 when channels arrived; the keys are
+// internal to the detector, so the widening is invisible outside.
+func lockKey(id uint64) uint64 { return id << 2 }
+func volKey(id uint64) uint64  { return id<<2 | 1 }
+func chanKey(id uint64) uint64 { return id<<2 | 2 }
 
 // Detector is a streaming FastTrack race detector. Feed it every event of a
 // trace in order via Event; it implements sched.Observer.
@@ -258,9 +261,10 @@ func (d *Detector) Event(e trace.Event) {
 	switch e.Op {
 	case trace.OpBegin, trace.OpEnd, trace.OpNotify,
 		trace.OpYield, trace.OpEnter, trace.OpExit,
-		trace.OpAtomicBegin, trace.OpAtomicEnd:
+		trace.OpAtomicBegin, trace.OpAtomicEnd, trace.OpSelect:
 		// No happens-before effect. Begin still materializes the clock so
-		// epochs are well-defined.
+		// epochs are well-defined. Select has no effect of its own: the
+		// committed case's send/recv event carries the synchronization.
 		d.clock(t)
 	case trace.OpFork:
 		child := trace.TID(e.Target)
@@ -291,6 +295,24 @@ func (d *Detector) Event(e trace.Event) {
 		} else {
 			d.clock(t)
 		}
+	case trace.OpSend, trace.OpRecv, trace.OpClose:
+		// Channel ops are modeled as a symmetric acquire+release on a
+		// per-channel synchronization object: join the channel's clock, then
+		// snapshot the (joined) thread clock back into it and tick. This is
+		// sound for Go channel semantics — it includes every real edge (send
+		// happens-before the receive that takes it; close happens-before a
+		// recv observing closed) — and over-synchronizes buffered channels
+		// (a later send is not really ordered after an unrelated earlier
+		// recv), trading a few missed-race-report opportunities for never
+		// reporting a false race through a channel. DESIGN.md, "Channel
+		// semantics".
+		k := chanKey(trace.ChanID(e.Target))
+		if cp := d.sync.Probe(k); cp != nil && *cp != nil {
+			d.threads[t] = d.clock(t).Join(*cp)
+		}
+		cp := d.sync.At(k)
+		*cp = d.snapshot(*cp, d.clock(t))
+		d.threads[t] = d.clock(t).Tick(int(t))
 	case trace.OpRead:
 		d.accesses++
 		d.read(e)

@@ -21,6 +21,7 @@ func NewOracle(tr *trace.Trace) *Oracle {
 	threads := make(map[trace.TID]vc.VC)
 	locks := make(map[uint64]vc.VC)
 	vols := make(map[uint64]vc.VC)
+	chans := make(map[uint64]vc.VC)
 	clock := func(t trace.TID) vc.VC {
 		c, ok := threads[t]
 		if !ok {
@@ -42,6 +43,12 @@ func NewOracle(tr *trace.Trace) *Oracle {
 		case trace.OpVolRead:
 			c = c.Join(vols[e.Target])
 			threads[t] = c
+		case trace.OpSend, trace.OpRecv, trace.OpClose:
+			// Acquire half of the symmetric chan model (mirrors the
+			// FastTrack detector's chan rule exactly; OpSelect has no
+			// happens-before effect of its own).
+			c = c.Join(chans[trace.ChanID(e.Target)])
+			threads[t] = c
 		}
 		// Every event ticks its thread's clock so distinct events of one
 		// thread have distinct, ordered clocks.
@@ -53,6 +60,9 @@ func NewOracle(tr *trace.Trace) *Oracle {
 			locks[e.Target] = c.Copy()
 		case trace.OpVolWrite:
 			vols[e.Target] = c.Copy()
+		case trace.OpSend, trace.OpRecv, trace.OpClose:
+			// Release half of the symmetric chan model.
+			chans[trace.ChanID(e.Target)] = c.Copy()
 		case trace.OpFork:
 			// The child's begin must come after the fork event itself.
 			child := trace.TID(e.Target)

@@ -102,13 +102,16 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 		tr := res.Trace
 
 		// decisionOf[e] = index of the choice point that scheduled event e
-		// (the last point whose EventIdx equals e).
+		// (the last thread-pick point whose EventIdx equals e). Select
+		// decisions are skipped: their "runnable" sets hold case indices,
+		// not tids, so a thread flip must target the pick that scheduled
+		// the selecting thread, not the case decision stacked on top of it.
 		decisionOf := make([]int, len(tr.Events))
 		for i := range decisionOf {
 			decisionOf[i] = -1
 		}
 		for pi, pt := range points {
-			if pt.EventIdx < len(decisionOf) {
+			if !pt.Select && pt.EventIdx < len(decisionOf) {
 				decisionOf[pt.EventIdx] = pi
 			}
 		}
@@ -160,6 +163,32 @@ func ExploreDPOR(p *Program, opts ExploreOptions) (*ExploreReport, error) {
 				np[dp] = ej.Tid
 				key := prefixKey(np)
 				if !seen[key] {
+					seen[key] = true
+					stack = append(stack, np)
+					pushed++
+				}
+			}
+		}
+		// Select nondeterminism is enumerated exhaustively — no reduction
+		// is attempted over select commits, since the dependence relation
+		// already treats a select as conflicting with every channel op.
+		// Every alternative ready case of every unfrozen select decision is
+		// pushed; a select branch never costs a preemption (Current is -1).
+		for pi := len(points) - 1; pi >= len(prefix); pi-- {
+			pt := points[pi]
+			if !pt.Select || len(pt.Runnable) < 2 {
+				continue
+			}
+			for _, alt := range pt.Runnable {
+				if alt == pt.Chosen {
+					continue
+				}
+				np := make([]trace.TID, pi+1)
+				for k := 0; k < pi; k++ {
+					np[k] = points[k].Chosen
+				}
+				np[pi] = alt
+				if key := prefixKey(np); !seen[key] {
 					seen[key] = true
 					stack = append(stack, np)
 					pushed++

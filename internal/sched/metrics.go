@@ -47,6 +47,13 @@ var (
 	mRunDirectHandoffs = obs.Default.Counter("runtime.handoff.direct")
 	mRunElidedParks    = obs.Default.Counter("runtime.handoff.elided")
 
+	// Channel op telemetry: one count per committed channel operation
+	// (selects count once per commit, plus the committed send/recv).
+	mRunChanSends   = obs.Default.Counter("runtime.chan.sends")
+	mRunChanRecvs   = obs.Default.Counter("runtime.chan.recvs")
+	mRunChanCloses  = obs.Default.Counter("runtime.chan.closes")
+	mRunChanSelects = obs.Default.Counter("runtime.chan.selects")
+
 	// Phase attribution (flight recorder enabled only; see SchedStats):
 	// cumulative wall clock per run phase, summed across runs.
 	mRunPhaseGen      = obs.Default.Counter("runtime.phase.generation_ns")
@@ -69,6 +76,12 @@ func (rt *Runtime) flushMetrics() {
 	mRunLocMisses.Add(int64(rt.locs.miss))
 	mRunDirectHandoffs.Add(int64(rt.directHandoffs))
 	mRunElidedParks.Add(int64(rt.elidedParks))
+	if rt.chanSends > 0 || rt.chanRecvs > 0 || rt.chanCloses > 0 || rt.chanSelects > 0 {
+		mRunChanSends.Add(int64(rt.chanSends))
+		mRunChanRecvs.Add(int64(rt.chanRecvs))
+		mRunChanCloses.Add(int64(rt.chanCloses))
+		mRunChanSelects.Add(int64(rt.chanSelects))
+	}
 	if rt.phaseTotalNs > 0 {
 		mRunPhaseGen.Add(rt.phaseGenNs)
 		mRunPhaseHandoff.Add(rt.phaseHandoffNs)

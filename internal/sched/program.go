@@ -34,6 +34,7 @@ type Program struct {
 	volatiles []objDef
 	mutexes   []objDef
 	conds     []condDef
+	chans     []chanDef
 }
 
 type objDef struct {
@@ -43,6 +44,11 @@ type objDef struct {
 type condDef struct {
 	name  string
 	mutex *Mutex
+}
+
+type chanDef struct {
+	name string
+	cap  int
 }
 
 // NewProgram returns an empty program with the given diagnostic name.
@@ -101,6 +107,28 @@ func (p *Program) Cond(name string, m *Mutex) *Cond {
 	return &Cond{id: uint64(len(p.conds) - 1), name: name, mutex: m}
 }
 
+// Chan declares a channel of int64 values with the given capacity
+// (0 = unbuffered rendezvous, Go semantics). Channel events carry a
+// composite Target — trace.ChanTarget(id, capacity==0) — so offline
+// analyses can see buffering without re-running the program.
+func (p *Program) Chan(name string, capacity int) *Chan {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sched: channel %q has negative capacity %d", name, capacity))
+	}
+	p.chans = append(p.chans, chanDef{name: name, cap: capacity})
+	return &Chan{id: uint64(len(p.chans) - 1), name: name, cap: capacity}
+}
+
+// Chans declares n channels named prefix0..prefix{n-1}, all with the same
+// capacity.
+func (p *Program) Chans(prefix string, n, capacity int) []*Chan {
+	out := make([]*Chan, n)
+	for i := range out {
+		out[i] = p.Chan(fmt.Sprintf("%s%d", prefix, i), capacity)
+	}
+	return out
+}
+
 // Var is a handle to a plain shared variable.
 type Var struct {
 	id   uint64
@@ -155,3 +183,19 @@ func (c *Cond) Name() string { return c.name }
 
 // Mutex returns the guarding lock.
 func (c *Cond) Mutex() *Mutex { return c.mutex }
+
+// Chan is a handle to a declared channel.
+type Chan struct {
+	id   uint64
+	name string
+	cap  int
+}
+
+// ID returns the channel's dense id.
+func (c *Chan) ID() uint64 { return c.id }
+
+// Name returns the declared name.
+func (c *Chan) Name() string { return c.name }
+
+// Cap returns the declared capacity (0 = unbuffered).
+func (c *Chan) Cap() int { return c.cap }

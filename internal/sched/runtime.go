@@ -88,6 +88,7 @@ type Symbols struct {
 	Mutexes   []string // lock id -> name
 	Methods   []string // method id -> name
 	Threads   []string // tid -> name
+	Chans     []string // channel id -> name
 }
 
 // VarName resolves a plain or volatile access target.
@@ -122,6 +123,16 @@ func (s *Symbols) MethodName(target uint64) string {
 	return fmt.Sprintf("method#%d", target)
 }
 
+// ChanName resolves a channel event target (the composite encoding of
+// trace.ChanTarget).
+func (s *Symbols) ChanName(target uint64) string {
+	id := trace.ChanID(target)
+	if s != nil && id < uint64(len(s.Chans)) {
+		return s.Chans[id]
+	}
+	return fmt.Sprintf("chan#%d", id)
+}
+
 // TargetName resolves an event's target according to its op kind.
 func (s *Symbols) TargetName(e trace.Event) string {
 	switch e.Op {
@@ -133,6 +144,13 @@ func (s *Symbols) TargetName(e trace.Event) string {
 		return s.MethodName(e.Target)
 	case trace.OpFork, trace.OpJoin:
 		return fmt.Sprintf("T%d", e.Target)
+	case trace.OpSend, trace.OpRecv, trace.OpClose:
+		return s.ChanName(e.Target)
+	case trace.OpSelect:
+		if e.Target == trace.ChanNone {
+			return "default"
+		}
+		return s.ChanName(e.Target)
 	}
 	return ""
 }
@@ -156,6 +174,10 @@ type Result struct {
 	// Schedule is the tid of each event in execution order; feeding it to
 	// NewReplay reproduces this run exactly.
 	Schedule []trace.TID
+	// Choices is the committed case index of every select decision, in
+	// commit order. Replaying requires both Schedule and Choices when the
+	// program selects among simultaneously ready cases (see Replay.Choices).
+	Choices []int
 	// Stats is the run's scheduling telemetry (also flushed to the obs
 	// registry).
 	Stats SchedStats
@@ -216,6 +238,9 @@ const (
 	waitLock
 	waitCond
 	waitJoin
+	waitChanSend
+	waitChanRecv
+	waitChanSelect
 )
 
 type thread struct {
@@ -228,6 +253,10 @@ type thread struct {
 	waitOn   waitKind
 	waitID   uint64
 	signaled bool // condition notify received
+	// selWatch holds the channel ids a select blocked in waitChanSelect is
+	// watching; any state change on one of them wakes the thread to
+	// re-evaluate readiness. Cleared when the select commits.
+	selWatch []uint64
 }
 
 type mutexState struct {
@@ -256,6 +285,7 @@ type Runtime struct {
 	volVals []int64
 	mus     []mutexState
 	conds   []condState
+	chs     []chanState
 
 	strings   *trace.Strings
 	tr        *trace.Trace
@@ -279,6 +309,17 @@ type Runtime struct {
 	yields      int // OpYield events
 	switches    int // context switches (scheduler picked a different thread)
 	preemptions int // switches away from a still-runnable thread
+
+	// Channel telemetry (runtime.chan.* counters).
+	chanSends   int
+	chanRecvs   int
+	chanCloses  int
+	chanSelects int
+
+	// choices records the committed case index of every select that chose
+	// among ready cases, in commit order (Result.Choices; Replay consumes
+	// them to reproduce select nondeterminism).
+	choices []int
 
 	// Fast-path telemetry (see handoff): switches that bypassed the
 	// scheduler goroutine, and scheduling points resolved in place with no
@@ -332,6 +373,7 @@ func Run(p *Program, opts Options) (*Result, error) {
 		volVals:   make([]int64, len(p.volatiles)),
 		mus:       make([]mutexState, len(p.mutexes)),
 		conds:     make([]condState, len(p.conds)),
+		chs:       make([]chanState, len(p.chans)),
 		strings:   trace.NewStrings(),
 		observers: perEvent,
 		batchObs:  batched,
@@ -354,10 +396,14 @@ func Run(p *Program, opts Options) (*Result, error) {
 	for i := range rt.mus {
 		rt.mus[i].owner = -1
 	}
+	for i := range rt.chs {
+		rt.chs[i].cap = p.chans[i].cap
+	}
 	rt.symbols = &Symbols{
 		Vars:      names(p.vars),
 		Volatiles: names(p.volatiles),
 		Mutexes:   names(p.mutexes),
+		Chans:     chanNames(p.chans),
 	}
 	if opts.EventsHint > 0 {
 		rt.schedule = make([]trace.TID, 0, opts.EventsHint)
@@ -413,6 +459,7 @@ func Run(p *Program, opts Options) (*Result, error) {
 		FinalVars:      rt.vals,
 		FinalVolatiles: rt.volVals,
 		Schedule:       rt.schedule,
+		Choices:        rt.choices,
 		Stats: SchedStats{
 			Switches:        rt.switches,
 			Preemptions:     rt.preemptions,
@@ -433,6 +480,14 @@ func Run(p *Program, opts Options) (*Result, error) {
 }
 
 func names(defs []objDef) []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.name
+	}
+	return out
+}
+
+func chanNames(defs []chanDef) []string {
 	out := make([]string, len(defs))
 	for i, d := range defs {
 		out[i] = d.name
@@ -643,6 +698,12 @@ func (rt *Runtime) deadlockError() error {
 			fmt.Fprintf(&b, " T%d(%s) blocked in wait;", t.id, t.name)
 		case waitJoin:
 			fmt.Fprintf(&b, " T%d(%s) blocked joining T%d;", t.id, t.name, t.waitID)
+		case waitChanSend:
+			fmt.Fprintf(&b, " T%d(%s) blocked sending on chan %s;", t.id, t.name, rt.symbols.ChanName(t.waitID))
+		case waitChanRecv:
+			fmt.Fprintf(&b, " T%d(%s) blocked receiving on chan %s;", t.id, t.name, rt.symbols.ChanName(t.waitID))
+		case waitChanSelect:
+			fmt.Fprintf(&b, " T%d(%s) blocked in select (%d cases);", t.id, t.name, len(t.selWatch))
 		}
 	}
 	if cycle := rt.waitsForCycle(); len(cycle) > 0 {

@@ -30,6 +30,17 @@ type Strategy interface {
 	Pick(runnable []trace.TID, current trace.TID) trace.TID
 }
 
+// SelectChooser is an optional Strategy extension: the runtime consults it
+// whenever a select commits a case, passing the ready case indices in
+// ascending order. Returning an index outside ready aborts the run with
+// ErrReplayDiverged. Strategies that do not implement it commit the lowest
+// ready index — deterministic, but blind to select nondeterminism; Random
+// randomizes the choice, Guided records it as a choice point the explorers
+// branch on, and Replay forces a recorded choice sequence.
+type SelectChooser interface {
+	Choose(ready []int) int
+}
+
 // Cooperative schedules context switches only at yield points (yields,
 // waits, joins, thread boundaries) and otherwise lets the current thread
 // run on. This is the paper's cooperative semantics: an execution under
@@ -146,6 +157,11 @@ func (s *Random) Pick(runnable []trace.TID, current trace.TID) trace.TID {
 	return runnable[s.rng.Intn(len(runnable))]
 }
 
+// Choose implements SelectChooser: uniform among the ready cases.
+func (s *Random) Choose(ready []int) int {
+	return ready[s.rng.Intn(len(ready))]
+}
+
 // PCT implements a simplified probabilistic concurrency testing scheduler
 // (Burckhardt et al.): threads get random priorities, the highest-priority
 // runnable thread always runs, and Depth-1 random change points demote the
@@ -234,12 +250,24 @@ func (s *PCT) Pick(runnable []trace.TID, current trace.TID) trace.TID {
 type Replay struct {
 	// Schedule is the per-event thread order, e.g. Result.Schedule.
 	Schedule []trace.TID
+	// Choices optionally forces the recorded select decisions
+	// (Result.Choices) in commit order. Without it, replayed selects
+	// commit the lowest ready index, which diverges when the original run
+	// chose differently among simultaneously ready cases.
+	Choices []int
 
-	cursor int
+	cursor    int
+	choiceCur int
 }
 
 // NewReplay returns a Replay strategy over a recorded schedule.
 func NewReplay(schedule []trace.TID) *Replay { return &Replay{Schedule: schedule} }
+
+// NewReplayChoices returns a Replay strategy that also forces the recorded
+// select decisions (use Result.Schedule and Result.Choices).
+func NewReplayChoices(schedule []trace.TID, choices []int) *Replay {
+	return &Replay{Schedule: schedule, Choices: choices}
+}
 
 // Name implements Strategy.
 func (s *Replay) Name() string { return "replay" }
@@ -248,7 +276,7 @@ func (s *Replay) Name() string { return "replay" }
 func (s *Replay) Seed() int64 { return 0 }
 
 // Reset implements Strategy.
-func (s *Replay) Reset() { s.cursor = 0 }
+func (s *Replay) Reset() { s.cursor, s.choiceCur = 0, 0 }
 
 // Preempt implements Strategy: reconsider after every event.
 func (s *Replay) Preempt(e trace.Event) bool {
@@ -269,6 +297,18 @@ func (s *Replay) Pick(runnable []trace.TID, current trace.TID) trace.TID {
 	return runnable[0]
 }
 
+// Choose implements SelectChooser: the recorded decision while the
+// sequence lasts (a recorded choice that is no longer ready aborts the run
+// with ErrReplayDiverged), then the lowest ready index.
+func (s *Replay) Choose(ready []int) int {
+	if s.choiceCur < len(s.Choices) {
+		c := s.Choices[s.choiceCur]
+		s.choiceCur++
+		return c
+	}
+	return ready[0]
+}
+
 // Guided follows a sequence of decision-point choices and then continues
 // like Cooperative's deterministic policy, preferring to keep the current
 // thread running. Unlike Replay (one decision per event), Guided makes one
@@ -285,6 +325,10 @@ type Guided struct {
 }
 
 // ChoicePoint is one scheduling decision: what was runnable and what ran.
+// For select decisions (Select true) the "runnable" set holds the ready
+// case *indices* and Current is -1, so the explorers' alternative
+// expansion and preemption accounting apply unchanged (a select branch
+// never costs a preemption).
 type ChoicePoint struct {
 	Runnable []trace.TID
 	Chosen   trace.TID
@@ -294,6 +338,8 @@ type ChoicePoint struct {
 	// an EventIdx when picked threads block without emitting; the last one
 	// scheduled the thread that produced the event.
 	EventIdx int
+	// Select marks a select-case decision rather than a thread pick.
+	Select bool
 }
 
 // Name implements Strategy.
@@ -329,6 +375,25 @@ func (s *Guided) Pick(runnable []trace.TID, current trace.TID) trace.TID {
 	s.cursor++
 	cp := ChoicePoint{Runnable: append([]trace.TID(nil), runnable...), Chosen: choice, Current: current, EventIdx: s.events}
 	sort.Slice(cp.Runnable, func(i, j int) bool { return cp.Runnable[i] < cp.Runnable[j] })
+	s.Points = append(s.Points, cp)
+	return choice
+}
+
+// Choose implements SelectChooser. Select decisions share the Prefix
+// stream with Pick — each consumes one slot — so a forced prefix replays
+// the identical decision sequence whether a slot lands on a thread pick or
+// a select commit. Unforced selects take the lowest ready index
+// (deterministic, mirroring Pick's current-then-lowest policy).
+func (s *Guided) Choose(ready []int) int {
+	choice := ready[0]
+	if s.cursor < len(s.Prefix) {
+		choice = int(s.Prefix[s.cursor])
+	}
+	s.cursor++
+	cp := ChoicePoint{Runnable: make([]trace.TID, len(ready)), Chosen: trace.TID(choice), Current: -1, EventIdx: s.events, Select: true}
+	for i, r := range ready {
+		cp.Runnable[i] = trace.TID(r)
+	}
 	s.Points = append(s.Points, cp)
 	return choice
 }

@@ -86,6 +86,11 @@ func TestDifferentialDiffprogs(t *testing.T) {
 	if f, ok := rep.Func("touchTwice"); !ok || f.Claimed() {
 		t.Errorf("touchTwice: must not be claimed (racy in caller context), got verdict %q", f.Verdict)
 	}
+	// The channel-disciplined helper must be claimed: its only scheduling
+	// interactions are channel ops, boundaries under the default policy.
+	if f, ok := rep.Func("relayThrough"); !ok || !f.Claimed() {
+		t.Errorf("relayThrough: want a cooperability claim, got %+v (found=%v)", f, ok)
+	}
 
 	sawDynViolation := false
 	for _, prog := range diffprogs.All {

@@ -28,6 +28,7 @@ var All = []Prog{
 	{"volatile-flag", BuildVolatileFlag},
 	{"barrier-phase", BuildBarrierPhase},
 	{"queue-handoff", BuildQueueHandoff},
+	{"chan-relay", BuildChanRelay},
 }
 
 // addUnderLock is the disciplined helper: yield-free cooperable, and
@@ -174,6 +175,35 @@ func BuildBarrierPhase() *sched.Program {
 		h2 := t.Fork("w2", worker)
 		t.Join(h1)
 		t.Join(h2)
+	})
+	return p
+}
+
+// relayThrough is the channel-disciplined helper: it moves one value from
+// in to out with no shared-memory accesses at all. Every scheduling
+// interaction is a channel op — a boundary under the default policy — so
+// the function is cooperable as written, with no explicit yields.
+func relayThrough(t *sched.T, in, out *sched.Chan) {
+	v, ok := t.Recv(in)
+	if !ok {
+		return
+	}
+	t.Send(out, v)
+}
+
+// BuildChanRelay: main pushes a value through a relay thread over two
+// buffered channels — the positive channel case of the corpus.
+func BuildChanRelay() *sched.Program {
+	p := sched.NewProgram("chan-relay")
+	in := p.Chan("in", 1)
+	out := p.Chan("out", 1)
+	p.SetMain(func(t *sched.T) {
+		h := t.Fork("relay", func(t *sched.T) { relayThrough(t, in, out) })
+		t.Send(in, 42)
+		_, _ = t.Recv(out)
+		t.Join(h)
+		t.Close(in)
+		t.Close(out)
 	})
 	return p
 }

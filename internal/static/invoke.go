@@ -216,10 +216,13 @@ func (it *interp) intrinsic(f *types.Func, act action, call *ast.CallExpr, recvE
 			switch act.op {
 			case trace.OpAcquire, trace.OpRelease:
 				want = kindMutex
+			case trace.OpWait, trace.OpNotify, trace.OpJoin,
+				trace.OpSend, trace.OpRecv, trace.OpClose:
+				// Channel identity never changes a mover class (the op kind
+				// and buffering decide), so chans stay opaque like conds.
+				want = kindOpaque
 			case trace.OpVolRead, trace.OpVolWrite:
 				want = kindVolatile
-			case trace.OpWait, trace.OpNotify, trace.OpJoin:
-				want = kindOpaque
 			}
 			k = it.resolveTarget(args[act.target], want, call.Pos())
 		}
@@ -337,6 +340,10 @@ func (it *interp) create(kind creatorKind, call *ast.CallExpr) binding {
 			it.an.fields.set(k, "mutex", args[1])
 		}
 		return binding{kind: bindKey, key: k}
+	case createChan:
+		return binding{kind: bindKey, key: freshKey(kindOpaque, it.inst, pos, "chan:"+name, multi)}
+	case createChans:
+		return binding{kind: bindKey, key: freshKey(kindOpaque, it.inst, pos, "chans:"+name, true)}
 	}
 	return binding{}
 }

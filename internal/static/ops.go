@@ -41,6 +41,8 @@ const (
 	createMutex
 	createMutexes
 	createCond
+	createChan  // p.Chan(name, cap)
+	createChans // p.Chans(prefix, n, cap) -> slice, elements multi
 )
 
 // action is the interpretation of one call expression.
@@ -111,6 +113,19 @@ func schedAction(f *types.Func) (action, bool) {
 			return action{kind: actOp, op: trace.OpNotify, target: 0}, true
 		case "Join":
 			return action{kind: actOp, op: trace.OpJoin, target: 0}, true
+		case "Send":
+			return action{kind: actOp, op: trace.OpSend, target: 0}, true
+		case "Recv":
+			return action{kind: actOp, op: trace.OpRecv, target: 0}, true
+		case "Close":
+			return action{kind: actOp, op: trace.OpClose, target: 0}, true
+		case "Select", "SelectDefault":
+			// The case set is dynamic; statically a select is one scheduling
+			// choice point, target-less like Yield. Under the default policy
+			// (ChanIsBoundary) it classifies as a boundary, so a function
+			// whose only scheduling interactions are channel-disciplined is
+			// claimable without explicit yields.
+			return action{kind: actOp, op: trace.OpSelect, target: -2}, true
 		case "Fork":
 			return action{kind: actFork, fnArg: 1}, true
 		case "WithLock":
@@ -136,6 +151,10 @@ func schedAction(f *types.Func) (action, bool) {
 			return action{kind: actCreator, creator: createMutexes}, true
 		case "Cond":
 			return action{kind: actCreator, creator: createCond}, true
+		case "Chan":
+			return action{kind: actCreator, creator: createChan}, true
+		case "Chans":
+			return action{kind: actCreator, creator: createChans}, true
 		case "SetMain":
 			return action{kind: actSetMain, fnArg: 0}, true
 		}
@@ -149,13 +168,23 @@ func schedAction(f *types.Func) (action, bool) {
 		case "Name", "Mutex":
 			return action{kind: actPure}, true
 		}
+	case "Chan":
+		switch name {
+		case "ID", "Name", "Cap":
+			return action{kind: actPure}, true
+		}
 	case "Handle":
 		if name == "TID" {
 			return action{kind: actPure}, true
 		}
 	case "":
-		if name == "NewProgram" {
+		switch name {
+		case "NewProgram":
 			return action{kind: actCreator, creator: createProgram}, true
+		case "SendCase", "RecvCase":
+			// Select-case constructors carry no instrumented effect of their
+			// own; the Select commit emits the ops.
+			return action{kind: actPure}, true
 		}
 	}
 	return action{}, false

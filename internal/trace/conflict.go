@@ -9,10 +9,25 @@ package trace
 //   - operations on the same lock (acquire/release/wait/notify);
 //   - accesses to the same plain variable, at least one writing;
 //   - accesses to the same volatile, at least one writing;
+//   - channel operations on the same channel (send/recv/close), since
+//     reordering them changes FIFO contents, rendezvous pairing, or the
+//     closed flag;
+//   - a select against any channel operation: the committed case depends
+//     on the readiness of every channel in the select's case list, and the
+//     event records only the chosen one, so independence cannot be
+//     established from the trace alone;
 //   - a fork and any event of the forked thread;
 //   - a join and any event of the joined thread.
+//
+// Unrecognized or invalid op kinds are conservatively DEPENDENT on
+// everything: a new op added to the vocabulary but not taught here must
+// weaken partial-order reduction loudly (exploring too much) rather than
+// silently pruning real interleavings.
 func Conflict(a, b Event) bool {
 	if a.Tid == b.Tid {
+		return true
+	}
+	if !a.Op.Valid() || !b.Op.Valid() {
 		return true
 	}
 	switch {
@@ -22,6 +37,10 @@ func Conflict(a, b Event) bool {
 		return a.Target == b.Target && (a.Op.IsWrite() || b.Op.IsWrite())
 	case a.Op.IsVolatile() && b.Op.IsVolatile():
 		return a.Target == b.Target && (a.Op.IsWrite() || b.Op.IsWrite())
+	case a.Op == OpSelect && b.Op.IsChanOp(), b.Op == OpSelect && a.Op.IsChanOp():
+		return true
+	case a.Op.IsChanOp() && b.Op.IsChanOp():
+		return ChanID(a.Target) == ChanID(b.Target)
 	case a.Op == OpFork:
 		return TID(a.Target) == b.Tid
 	case b.Op == OpFork:
@@ -30,6 +49,11 @@ func Conflict(a, b Event) bool {
 		return TID(a.Target) == b.Tid
 	case b.Op == OpJoin:
 		return TID(b.Target) == a.Tid
+	case !knownIndependentKind(a.Op) || !knownIndependentKind(b.Op):
+		// Conservative fall-through for ops this switch does not model:
+		// treat them as dependent on everything rather than silently
+		// commuting them.
+		return true
 	}
 	return false
 }
@@ -38,6 +62,23 @@ func Conflict(a, b Event) bool {
 func isSyncOp(o Op) bool {
 	switch o {
 	case OpAcquire, OpRelease, OpWait, OpNotify:
+		return true
+	}
+	return false
+}
+
+// knownIndependentKind lists the ops Conflict deliberately treats as
+// commuting with cross-thread events outside their own family. Every op in
+// the vocabulary must appear either in one of the dependence cases above
+// or here; anything else is conservatively dependent. The exhaustiveness
+// test in conflict_test.go enforces the invariant when numOps grows.
+func knownIndependentKind(o Op) bool {
+	switch o {
+	case OpBegin, OpEnd, OpYield, OpEnter, OpExit, OpAtomicBegin, OpAtomicEnd,
+		OpRead, OpWrite, OpVolRead, OpVolWrite,
+		OpAcquire, OpRelease, OpWait, OpNotify,
+		OpFork, OpJoin,
+		OpSend, OpRecv, OpClose, OpSelect:
 		return true
 	}
 	return false

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOpNamesComplete is the numOps completeness gate: every op in the
+// vocabulary must have a mnemonic in opNames (no bare-integer rendering)
+// and round-trip through OpByName. Growing the vocabulary without
+// extending opNames fails here before it garbles any tool output.
+func TestOpNamesComplete(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < numOps; o++ {
+		name := o.String()
+		if name == "" || strings.Contains(name, "op(") {
+			t.Errorf("Op(%d) renders as %q: opNames is missing an entry", o, name)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Op(%d) and Op(%d) share mnemonic %q", prev, o, name)
+		}
+		seen[name] = o
+		got, ok := OpByName(name)
+		if !ok || got != o {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", name, got, ok, o)
+		}
+	}
+}
+
+// TestConflictVocabularyComplete enforces the conservative-dependence
+// invariant: every valid op must be deliberately classified by Conflict —
+// either in one of its dependence families or in knownIndependentKind.
+// A new op that is neither falls through to "dependent on everything",
+// and this test makes that fallthrough loud at the moment the op is added.
+func TestConflictVocabularyComplete(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if !knownIndependentKind(o) {
+			t.Errorf("Op %v (%d) is not classified in conflict.go: add it to a dependence family or knownIndependentKind", o, o)
+		}
+	}
+}
+
+// TestConflictUnknownOpConservative: ops outside the vocabulary (a newer
+// writer's codes, or corruption) must conflict with everything rather than
+// silently commute during partial-order reduction.
+func TestConflictUnknownOpConservative(t *testing.T) {
+	future := Event{Tid: 1, Op: Op(numOps), Target: 7}
+	others := []Event{
+		{Tid: 2, Op: OpRead, Target: 1},
+		{Tid: 2, Op: OpYield},
+		{Tid: 2, Op: Op(numOps + 3), Target: 9},
+	}
+	for _, e := range others {
+		if !Conflict(future, e) || !Conflict(e, future) {
+			t.Errorf("unknown op must be conservatively dependent; Conflict(%v, %v) = false", future.Op, e.Op)
+		}
+	}
+}
+
+func TestConflictChanRules(t *testing.T) {
+	send := func(tid TID, ch uint64, unbuf bool) Event {
+		return Event{Tid: tid, Op: OpSend, Target: ChanTarget(ch, unbuf)}
+	}
+	recv := func(tid TID, ch uint64, unbuf bool) Event {
+		return Event{Tid: tid, Op: OpRecv, Target: ChanTarget(ch, unbuf)}
+	}
+
+	// Same channel: all op pairs conflict, regardless of the buffering bit.
+	if !Conflict(send(1, 3, false), recv(2, 3, false)) {
+		t.Error("send/recv on the same channel must conflict")
+	}
+	if !Conflict(send(1, 3, true), recv(2, 3, false)) {
+		t.Error("buffering bit must not affect channel identity in Conflict")
+	}
+	if !Conflict(Event{Tid: 1, Op: OpClose, Target: ChanTarget(3, false)}, send(2, 3, false)) {
+		t.Error("close/send on the same channel must conflict")
+	}
+
+	// Different channels: sends and receives commute.
+	if Conflict(send(1, 3, false), recv(2, 4, false)) {
+		t.Error("chan ops on different channels must not conflict")
+	}
+
+	// A select conflicts with every chan op — its readiness check spans
+	// channels the trace does not record.
+	sel := Event{Tid: 1, Op: OpSelect, Target: ChanTarget(9, false)}
+	if !Conflict(sel, send(2, 3, false)) || !Conflict(recv(2, 4, false), sel) {
+		t.Error("select must conflict with chan ops on any channel")
+	}
+	selDefault := Event{Tid: 1, Op: OpSelect, Target: ChanNone}
+	if !Conflict(selDefault, send(2, 3, false)) {
+		t.Error("default-committed select must still conflict with chan ops")
+	}
+
+	// But a select commutes with non-channel operations.
+	if Conflict(sel, Event{Tid: 2, Op: OpRead, Target: 5}) {
+		t.Error("select must not conflict with plain accesses")
+	}
+	// And chan ops commute with accesses and lock ops on other threads.
+	if Conflict(send(1, 3, false), Event{Tid: 2, Op: OpAcquire, Target: 3}) {
+		t.Error("chan send must not conflict with a lock acquire")
+	}
+}
+
+func TestChanTargetEncoding(t *testing.T) {
+	for _, id := range []uint64{0, 1, 42, 1 << 40} {
+		for _, unbuf := range []bool{false, true} {
+			tgt := ChanTarget(id, unbuf)
+			if ChanID(tgt) != id {
+				t.Errorf("ChanID(ChanTarget(%d, %v)) = %d", id, unbuf, ChanID(tgt))
+			}
+			if ChanUnbuffered(tgt) != unbuf {
+				t.Errorf("ChanUnbuffered(ChanTarget(%d, %v)) = %v", id, unbuf, !unbuf)
+			}
+		}
+	}
+	if ChanUnbuffered(ChanNone) {
+		t.Error("ChanNone must not read as unbuffered")
+	}
+}
+
+// TestFormatChanOps: the chan op family renders symbolically, never as a
+// bare integer (the tracedump -print / swimlane regression).
+func TestFormatChanOps(t *testing.T) {
+	tr := New()
+	tr.Append(Event{Tid: 0, Op: OpSend, Target: ChanTarget(1, true)})
+	tr.Append(Event{Tid: 1, Op: OpRecv, Target: ChanTarget(1, true)})
+	tr.Append(Event{Tid: 0, Op: OpClose, Target: ChanTarget(2, false)})
+	tr.Append(Event{Tid: 1, Op: OpSelect, Target: ChanNone})
+	wants := []string{"send(c1!)", "recv(c1!)", "close(c2)", "select(default)"}
+	for i, want := range wants {
+		if got := tr.Format(tr.Events[i]); !strings.Contains(got, want) {
+			t.Errorf("Format(event %d) = %q, want substring %q", i, got, want)
+		}
+	}
+	lanes := tr.Swimlanes(nil, 80)
+	for _, want := range []string{"send(c1)", "close(c2)", "select(default)"} {
+		if !strings.Contains(lanes, want) {
+			t.Errorf("Swimlanes output missing %q:\n%s", want, lanes)
+		}
+	}
+}
+
+// TestReadVersionGating: v1 traces without chan ops still read; a v1 trace
+// claiming chan ops is rejected (no v1 writer can have produced it); and
+// traces from a newer format version fail with the actionable
+// upgrade-the-reader error instead of a garbled decode.
+func TestReadVersionGating(t *testing.T) {
+	serialize := func(tr *Trace) []byte {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	// The version uvarint is the single byte right after the 4-byte magic
+	// for all small versions.
+	patchVersion := func(data []byte, v byte) []byte {
+		out := append([]byte(nil), data...)
+		if out[4] != traceVersion {
+			t.Fatalf("expected version byte %d at offset 4, found %d", traceVersion, out[4])
+		}
+		out[4] = v
+		return out
+	}
+
+	plain := New()
+	plain.Append(Event{Tid: 0, Op: OpWrite, Target: 1})
+	if _, err := Read(bytes.NewReader(patchVersion(serialize(plain), 1))); err != nil {
+		t.Errorf("v1 trace without chan ops must still read: %v", err)
+	}
+
+	chanTr := New()
+	chanTr.Append(Event{Tid: 0, Op: OpSend, Target: ChanTarget(1, false)})
+	if _, err := Read(bytes.NewReader(patchVersion(serialize(chanTr), 1))); err == nil {
+		t.Error("v1 trace containing a chan op must be rejected")
+	} else if !strings.Contains(err.Error(), "invalid op") {
+		t.Errorf("want invalid-op error, got: %v", err)
+	}
+
+	if _, err := Read(bytes.NewReader(patchVersion(serialize(plain), traceVersion+1))); err == nil {
+		t.Error("trace from a newer version must be rejected")
+	} else if !strings.Contains(err.Error(), "newer format version") {
+		t.Errorf("want actionable newer-version error, got: %v", err)
+	}
+
+	// The current writer round-trips chan ops.
+	got, err := Read(bytes.NewReader(serialize(chanTr)))
+	if err != nil {
+		t.Fatalf("round-trip of chan-op trace: %v", err)
+	}
+	if got.Events[0].Op != OpSend || got.Events[0].Target != ChanTarget(1, false) {
+		t.Errorf("round-trip mangled chan event: %+v", got.Events[0])
+	}
+}

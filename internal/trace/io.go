@@ -11,7 +11,7 @@ import (
 // Binary trace format (little-endian, varint-packed):
 //
 //	magic   "CRTR" (4 bytes)
-//	version uvarint (currently 1)
+//	version uvarint (currently 2)
 //	meta    workload string, strategy string, seed varint, threads uvarint
 //	strings uvarint count, then each string as uvarint len + bytes
 //	        (string 0, the empty string, is omitted)
@@ -19,11 +19,29 @@ import (
 //	        uvarint tid, byte op, uvarint target, uvarint loc
 //
 // Idx fields are implicit (position) and restored on read.
+//
+// Version history:
+//
+//	1: ops 0..16 (locks, volatiles, wait/notify, fork/join, spans)
+//	2: adds the channel op family (send, recv, close, select; ops 17..20)
+//
+// The wire layout is unchanged across versions; the version gates which op
+// codes are legal, so a v1 reader can never misdecode a channel op as
+// garbage — it refuses the file up front instead.
 
 const (
 	traceMagic   = "CRTR"
-	traceVersion = 1
+	traceVersion = 2
 )
+
+// maxOpForVersion returns the exclusive upper bound on op codes legal in a
+// trace written at format version v.
+func maxOpForVersion(v uint64) Op {
+	if v == 1 {
+		return OpSend // v1 predates the channel op family
+	}
+	return numOps
+}
 
 // WriteTo serializes the trace. It implements io.WriterTo.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -77,9 +95,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading version: %w", err)
 	}
-	if ver != traceVersion {
+	if ver > traceVersion {
+		return nil, fmt.Errorf("trace: trace written by a newer format version (%d; this reader supports up to %d) — upgrade the reader instead of truncating ops", ver, traceVersion)
+	}
+	if ver == 0 {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
+	maxOp := maxOpForVersion(ver)
 	t := New()
 	if t.Meta.Workload, err = readString(br); err != nil {
 		return nil, err
@@ -133,8 +155,8 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: event %d op: %w", i, err)
 		}
 		e.Op = Op(op)
-		if !e.Op.Valid() {
-			return nil, fmt.Errorf("trace: event %d has invalid op %d", i, op)
+		if !e.Op.Valid() || e.Op >= maxOp {
+			return nil, fmt.Errorf("trace: event %d has invalid op %d for format version %d", i, op, ver)
 		}
 		if e.Target, err = binary.ReadUvarint(br); err != nil {
 			return nil, fmt.Errorf("trace: event %d target: %w", i, err)

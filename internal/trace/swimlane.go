@@ -29,6 +29,11 @@ func (t *Trace) Swimlanes(resolve func(Event) string, maxEvents int) string {
 				return e.Op.String()
 			case OpFork, OpJoin:
 				return fmt.Sprintf("%s(T%d)", e.Op, e.Target)
+			case OpSend, OpRecv, OpClose, OpSelect:
+				if e.Op == OpSelect && e.Target == ChanNone {
+					return "select(default)"
+				}
+				return fmt.Sprintf("%s(c%d)", e.Op, ChanID(e.Target))
 			default:
 				return fmt.Sprintf("%s(%d)", e.Op, e.Target)
 			}

@@ -61,6 +61,21 @@ const (
 	OpAtomicBegin
 	// OpAtomicEnd closes an atomic block.
 	OpAtomicEnd
+	// OpSend is a channel send; Target encodes the ChanID (see ChanTarget).
+	// Sending publishes the sender's prior work to the receiver, so it is
+	// release-like; on an unbuffered channel it is also a rendezvous.
+	OpSend
+	// OpRecv is a channel receive; Target encodes the ChanID. Receiving
+	// observes the matching send's prior work, so it is acquire-like.
+	OpRecv
+	// OpClose closes a channel; Target encodes the ChanID. Close is a
+	// broadcast release: every subsequent receive observes it.
+	OpClose
+	// OpSelect records a committed select decision; Target encodes the
+	// ChanID of the chosen case (or ChanNone when the default case fired).
+	// The committed communication follows as its own OpSend/OpRecv event;
+	// OpSelect itself marks the nondeterministic choice point.
+	OpSelect
 
 	numOps = iota
 )
@@ -83,6 +98,10 @@ var opNames = [numOps]string{
 	OpExit:        "exit",
 	OpAtomicBegin: "abegin",
 	OpAtomicEnd:   "aend",
+	OpSend:        "send",
+	OpRecv:        "recv",
+	OpClose:       "close",
+	OpSelect:      "select",
 }
 
 // String returns the short mnemonic for the operation.
@@ -108,16 +127,50 @@ func (o Op) IsWrite() bool { return o == OpWrite || o == OpVolWrite }
 // IsLockOp reports whether o manipulates a lock directly.
 func (o Op) IsLockOp() bool { return o == OpAcquire || o == OpRelease }
 
+// IsChanOp reports whether o operates on a channel.
+func (o Op) IsChanOp() bool {
+	return o == OpSend || o == OpRecv || o == OpClose || o == OpSelect
+}
+
 // IsYieldPoint reports whether o is a point where cooperative semantics
 // permits a context switch: explicit yields, condition waits (which block),
-// thread boundaries, and joins (which block).
+// thread boundaries, joins (which block), and blocking channel operations
+// (send/recv may block; select commits a scheduling choice). Close never
+// blocks and is not a yield point.
 func (o Op) IsYieldPoint() bool {
 	switch o {
-	case OpYield, OpWait, OpBegin, OpEnd, OpJoin:
+	case OpYield, OpWait, OpBegin, OpEnd, OpJoin, OpSend, OpRecv, OpSelect:
 		return true
 	}
 	return false
 }
+
+// Channel targets. Channel events carry a composite Target: the low bits
+// are the dense ChanID and bit chanUnbufBit records whether the channel is
+// unbuffered (capacity 0), so offline analyses (mover classification in
+// particular) can distinguish rendezvous communication without re-running
+// the program. ChanNone marks a select that committed its default case.
+const (
+	chanUnbufBit = uint64(1) << 62
+	// ChanNone is the OpSelect Target when the default case fired (no
+	// channel was touched).
+	ChanNone = ^uint64(0) &^ chanUnbufBit
+)
+
+// ChanTarget packs a channel id and its unbuffered-ness into an event Target.
+func ChanTarget(id uint64, unbuffered bool) uint64 {
+	if unbuffered {
+		return id | chanUnbufBit
+	}
+	return id
+}
+
+// ChanID extracts the dense channel id from a channel event Target.
+func ChanID(target uint64) uint64 { return target &^ chanUnbufBit }
+
+// ChanUnbuffered reports whether a channel event Target names an
+// unbuffered channel.
+func ChanUnbuffered(target uint64) bool { return target&chanUnbufBit != 0 }
 
 // LocID indexes the trace's string table; it names a source location.
 // LocID 0 is always the empty/unknown location.
@@ -292,6 +345,15 @@ func (t *Trace) Format(e Event) string {
 		return fmt.Sprintf("#%d T%d %s(T%d)%s", e.Idx, e.Tid, e.Op, e.Target, loc)
 	case OpBegin, OpEnd, OpYield:
 		return fmt.Sprintf("#%d T%d %s%s", e.Idx, e.Tid, e.Op, loc)
+	case OpSend, OpRecv, OpClose, OpSelect:
+		if e.Op == OpSelect && e.Target == ChanNone {
+			return fmt.Sprintf("#%d T%d select(default)%s", e.Idx, e.Tid, loc)
+		}
+		mark := ""
+		if ChanUnbuffered(e.Target) {
+			mark = "!"
+		}
+		return fmt.Sprintf("#%d T%d %s(c%d%s)%s", e.Idx, e.Tid, e.Op, ChanID(e.Target), mark, loc)
 	default:
 		return fmt.Sprintf("#%d T%d %s(%d)%s", e.Idx, e.Tid, e.Op, e.Target, loc)
 	}

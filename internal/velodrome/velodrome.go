@@ -95,6 +95,11 @@ type Checker struct {
 	// land in the tables' overflow maps.
 	lastRelease  dense.Table[int32]
 	lastVolWrite dense.Table[int32]
+	// lastChan mirrors the symmetric chan happens-before model of the race
+	// detectors: every send/recv/close on a channel is ordered after the
+	// previous chan op on that channel (keyed by trace.ChanID), so each one
+	// draws an edge from the last chan node and then records itself.
+	lastChan dense.Table[int32]
 	// vars holds per-variable communication state — the last writer node
 	// and the reader nodes since that write — in ONE table slot, so the
 	// access hot path pays a single paged lookup instead of two. Cleared
@@ -256,6 +261,12 @@ func (c *Checker) Event(e trace.Event) {
 		if prev := *c.lastVolWrite.At(e.Target); prev != 0 {
 			c.addEdge(prev-1, id)
 		}
+	case trace.OpSend, trace.OpRecv, trace.OpClose:
+		p := c.lastChan.At(trace.ChanID(e.Target))
+		if prev := *p; prev != 0 {
+			c.addEdge(prev-1, id)
+		}
+		*p = id + 1
 	case trace.OpFork:
 		// Edge from this node to the child's first node is created when
 		// the child's first event arrives, via lastNode bootstrapping:

@@ -1,0 +1,51 @@
+package vsync
+
+import (
+	"repro/internal/sched"
+)
+
+// Context is a minimal context.Context analogue over the virtual runtime's
+// channel primitives: a done channel closed exactly once on cancellation.
+// Cancel is idempotent (guarded by a mutex, since closing a closed channel
+// is a workload bug the runtime punishes); Done exposes the channel for
+// use as a Select arm, and Err polls it without blocking.
+//
+// Cooperability profile: Cancel's close is a broadcast release (every
+// Select watching Done wakes); Err is a non-blocking poll (SelectDefault),
+// so it is a scheduling point but never parks.
+type Context struct {
+	done      *sched.Chan
+	m         *sched.Mutex
+	cancelled *sched.Var
+}
+
+// NewContext declares a context's shared state on p.
+func NewContext(p *sched.Program, name string) *Context {
+	return &Context{
+		done:      p.Chan(name+".done", 0),
+		m:         p.Mutex(name + ".m"),
+		cancelled: p.Var(name + ".cancelled"),
+	}
+}
+
+// Done returns the channel closed on cancellation; receive from it (or
+// select on it) to observe cancellation as (0, false).
+func (c *Context) Done() *sched.Chan { return c.done }
+
+// Cancel cancels the context, closing Done. Safe to call from several
+// threads; only the first call closes.
+func (c *Context) Cancel(t *sched.T) {
+	t.Acquire(c.m)
+	if t.Read(c.cancelled) == 0 {
+		t.Write(c.cancelled, 1)
+		t.Close(c.done)
+	}
+	t.Release(c.m)
+}
+
+// Err reports whether the context has been cancelled, without blocking
+// (the select-with-default poll idiom).
+func (c *Context) Err(t *sched.T) bool {
+	idx, _, _ := t.SelectDefault(sched.RecvCase(c.done))
+	return idx == 0
+}

@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"repro/internal/sched"
+	"repro/internal/vsync"
+)
+
+// This file holds the channel-native service workloads: a token-bucket
+// rate limiter, a bounded connection pool, a publish/subscribe work queue,
+// and a heartbeat/presence monitor. Where the services.go subjects build
+// on monitor primitives (locks and condition waits), these four exercise
+// the message-passing surface — send/recv/close and select — so the
+// channel rules of every layer (runtime semantics, DPOR dependence, mover
+// classes, checker happens-before) see realistic server-style traffic.
+//
+// All four are race-free by channel discipline: shared state is either
+// owned by exactly one thread, protected by a lock, or handed off through
+// a channel (the value received confers exclusive ownership).
+
+func init() {
+	register(Spec{
+		Name:           "ratelimit",
+		Description:    "token-bucket rate limiter; non-blocking grab with blocking fallback",
+		DefaultThreads: 3,
+		DefaultSize:    3,
+		Build:          buildRateLimit,
+	})
+	register(Spec{
+		Name:           "connpool",
+		Description:    "bounded connection pool; ownership handed off through a buffered channel",
+		DefaultThreads: 3,
+		DefaultSize:    3,
+		Build:          buildConnPool,
+	})
+	register(Spec{
+		Name:           "pubsub",
+		Description:    "publish/subscribe work queue; close broadcasts shutdown to subscribers",
+		DefaultThreads: 3,
+		DefaultSize:    4,
+		Build:          buildPubSub,
+	})
+	register(Spec{
+		Name:           "heartbeat",
+		Description:    "presence monitor selecting on heartbeats and context cancellation",
+		DefaultThreads: 3,
+		DefaultSize:    3,
+		Build:          buildHeartbeat,
+	})
+}
+
+// buildRateLimit models a token-bucket limiter: a refiller thread feeds a
+// small buffered channel, and each client must take a token before serving
+// a request. Clients first try a non-blocking grab (select with default);
+// an empty bucket counts a throttle and falls back to a blocking receive.
+// The refiller emits exactly as many tokens as the clients consume, so the
+// program terminates on every schedule.
+func buildRateLimit(threads, size int) *sched.Program {
+	p := sched.NewProgram("ratelimit")
+	tokens := p.Chan("tokens", 2) // bucket depth
+	work := p.Vars("work", threads)
+	served := NewCounter(p, "served")
+	throttled := NewCounter(p, "throttled")
+
+	p.SetMain(func(t *sched.T) {
+		refiller := t.Fork("refiller", func(t *sched.T) {
+			for i := 0; i < threads*size; i++ {
+				t.Send(tokens, 1)
+			}
+		})
+		ws := forkWorkers(t, threads, "client", func(t *sched.T, id int) {
+			for n := 0; n < size; n++ {
+				if idx, _, _ := t.SelectDefault(sched.RecvCase(tokens)); idx < 0 {
+					throttled.Add(t, 1)
+					t.Recv(tokens)
+				}
+				// Per-client state: race-free by thread ownership.
+				t.Write(work[id], t.Read(work[id])+1)
+				served.Add(t, 1)
+			}
+		})
+		joinAll(t, ws)
+		t.Join(refiller)
+		t.Close(tokens)
+	})
+	return p
+}
+
+// buildConnPool models a fixed-size connection pool as a buffered channel
+// of connection ids. A client receives an id (checkout), uses the
+// connection's state, and sends the id back (return). The per-connection
+// accesses are unlocked yet race-free — the id came off the channel, so
+// no other client can hold it. This is the channel-discipline exemplar:
+// the happens-before edges carried by the sends and receives are the only
+// thing standing between these accesses and a race.
+func buildConnPool(threads, size int) *sched.Program {
+	const conns = 2
+	p := sched.NewProgram("connpool")
+	pool := p.Chan("pool", conns)
+	connUses := p.Vars("conn", conns)
+
+	p.SetMain(func(t *sched.T) {
+		for i := 0; i < conns; i++ {
+			t.Send(pool, int64(i))
+		}
+		ws := forkWorkers(t, threads, "client", func(t *sched.T, id int) {
+			for n := 0; n < size; n++ {
+				c, _ := t.Recv(pool)
+				t.Write(connUses[c], t.Read(connUses[c])+1)
+				t.Send(pool, c)
+			}
+		})
+		joinAll(t, ws)
+		t.Close(pool)
+	})
+	return p
+}
+
+// buildPubSub models a work queue with shutdown-by-close: one producer
+// publishes jobs on a small buffered channel and closes it, and the
+// subscribers drain it with the comma-ok receive loop, folding their
+// results into a lock-protected total. Close-as-broadcast is the
+// termination signal — no sentinel values, no condition variables.
+func buildPubSub(threads, size int) *sched.Program {
+	p := sched.NewProgram("pubsub")
+	jobs := p.Chan("jobs", 2)
+	total := NewCounter(p, "total")
+
+	p.SetMain(func(t *sched.T) {
+		prod := t.Fork("producer", func(t *sched.T) {
+			for i := 1; i <= size; i++ {
+				t.Send(jobs, int64(i))
+			}
+			t.Close(jobs)
+		})
+		ws := forkWorkers(t, threads, "sub", func(t *sched.T, id int) {
+			local := int64(0)
+			for {
+				v, ok := t.Recv(jobs)
+				if !ok {
+					break
+				}
+				local += v
+			}
+			total.Add(t, local)
+		})
+		joinAll(t, ws)
+		t.Join(prod)
+	})
+	return p
+}
+
+// buildHeartbeat models a presence tracker: workers report liveness on an
+// unbuffered heartbeat channel while a monitor selects between the next
+// heartbeat and context cancellation. The monitor is the sole writer of
+// the presence table, so those accesses are race-free by ownership; the
+// select nondeterminism (heartbeat vs. done once both are ready) is a real
+// scheduler choice point for the exploration strategies.
+func buildHeartbeat(threads, size int) *sched.Program {
+	p := sched.NewProgram("heartbeat")
+	hb := p.Chan("hb", 0)
+	ctx := vsync.NewContext(p, "ctx")
+	alive := p.Vars("alive", threads)
+	beats := p.Var("beats")
+
+	p.SetMain(func(t *sched.T) {
+		mon := t.Fork("monitor", func(t *sched.T) {
+			for {
+				idx, v, ok := t.Select(sched.RecvCase(hb), sched.RecvCase(ctx.Done()))
+				if idx != 0 || !ok {
+					return
+				}
+				t.Write(beats, t.Read(beats)+1)
+				t.Write(alive[v], t.Read(alive[v])+1)
+			}
+		})
+		ws := forkWorkers(t, threads, "worker", func(t *sched.T, id int) {
+			for n := 0; n < size; n++ {
+				t.Send(hb, int64(id))
+			}
+		})
+		joinAll(t, ws)
+		ctx.Cancel(t)
+		t.Join(mon)
+	})
+	return p
+}

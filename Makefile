@@ -60,6 +60,7 @@ fuzz:
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/coopvet examples/bank examples/quickstart examples/pipeline examples/explore examples/deadlock
+	$(GO) run ./cmd/cooptrans internal/cooptrans/testdata/corpus/counter internal/cooptrans/testdata/corpus/pipeline internal/cooptrans/testdata/corpus/racybank
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,156 @@
+// Command cooptrans translates real Go packages into the virtual-thread
+// runtime and, optionally, runs the dynamic checker battery and the
+// three-way differential (translated dynamic checks vs. coopvet static
+// claims) over the result.
+//
+// Usage:
+//
+//	cooptrans [-run] [-json] [-emit dir] [-max-runs n] [-max-pre n] dir...
+//
+// Without flags it translates each package and prints the units and any
+// diagnostics. With -run it explores each translated unit, feeds every
+// schedule through the two-pass cooperability checker and the fused
+// Table 3 battery, and cross-checks the results against the static pass
+// on the original source. With -emit it writes each unit as standalone
+// sched-DSL Go source into the given directory.
+//
+// Exit status: 0 on clean translation (and, with -run, agreement);
+// 1 when any package has translation diagnostics; 2 on infrastructure
+// errors or — the worst outcome — a three-way contradiction.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cooptrans"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		run     = flag.Bool("run", false, "explore translated units and run the three-way differential")
+		jsonOut = flag.Bool("json", false, "emit machine-readable reports")
+		emitDir = flag.String("emit", "", "write each unit as sched-DSL Go source into this directory")
+		maxRuns = flag.Int("max-runs", 200, "schedules explored per unit with -run")
+		maxPre  = flag.Int("max-pre", 1, "preemption bound per schedule with -run")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cooptrans [flags] dir...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	exit := 0
+	var reports []any
+	for _, dir := range flag.Args() {
+		var rep any
+		var diags []cooptrans.Diagnostic
+		if *run {
+			tw, err := harness.ThreeWay(dir, harness.ThreeWayOptions{MaxRuns: *maxRuns, MaxPreemptions: *maxPre})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cooptrans:", err)
+				os.Exit(2)
+			}
+			if !tw.Agrees() {
+				exit = 2
+			}
+			diags = tw.Diags
+			rep = tw
+			if !*jsonOut {
+				printThreeWay(tw)
+			}
+		} else {
+			tr, err := cooptrans.Translate(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cooptrans:", err)
+				os.Exit(2)
+			}
+			diags = tr.Diags
+			rep = tr
+			if !*jsonOut {
+				printTranslation(tr)
+			}
+			if *emitDir != "" {
+				if err := emitUnits(tr, *emitDir); err != nil {
+					fmt.Fprintln(os.Stderr, "cooptrans:", err)
+					os.Exit(2)
+				}
+			}
+		}
+		if len(diags) > 0 && exit == 0 {
+			exit = 1
+		}
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var out any = reports
+		if len(reports) == 1 {
+			out = reports[0]
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "cooptrans:", err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(exit)
+}
+
+func printTranslation(tr *cooptrans.Translation) {
+	fmt.Printf("%s (package %s): %d unit(s)\n", tr.Dir, tr.Package, len(tr.Units))
+	for _, u := range tr.Units {
+		fmt.Printf("  %s  %d object(s)\n", u, len(u.Objects))
+	}
+	for _, s := range tr.Skipped {
+		fmt.Printf("  skipped entry %s\n", s)
+	}
+	for _, d := range tr.Diags {
+		fmt.Printf("  diag %s\n", d)
+	}
+	for _, w := range tr.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+}
+
+func printThreeWay(tw *harness.ThreeWayReport) {
+	fmt.Printf("%s (package %s): %d unit(s), %d static claim(s)\n",
+		tw.Dir, tw.Package, len(tw.Units), tw.StaticClaims)
+	for _, u := range tw.Units {
+		fmt.Printf("  %s: %d run(s), %d violating, %d racy var(s)\n",
+			u.Name, u.Runs, u.ViolationRuns, u.RacyVars)
+		for _, l := range u.ViolationLocs {
+			fmt.Printf("    violation at %s\n", l)
+		}
+	}
+	for _, d := range tw.Diags {
+		fmt.Printf("  diag %s\n", d)
+	}
+	if tw.Agrees() {
+		fmt.Printf("  agreement: static and dynamic checkers do not contradict\n")
+	}
+	for _, c := range tw.Contradictions {
+		fmt.Printf("  CONTRADICTION: %s claimed %s yet unit %s violates at %s\n",
+			c.Func, c.Verdict, c.Unit, c.Loc)
+	}
+}
+
+func emitUnits(tr *cooptrans.Translation, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, u := range tr.Units {
+		path := filepath.Join(dir, u.Name+".go")
+		if err := os.WriteFile(path, []byte(u.Emit()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  emitted %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,1530 @@
+package cooptrans
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/static"
+)
+
+// cval is a compile-time value: either a runtime int64 expression, a
+// compile-time object identity (mutex, channel, struct aggregate, ...),
+// or a function value. Identities never exist at run time — the compiler
+// burns them into the IR during specialization.
+type ckind uint8
+
+const (
+	cNone ckind = iota // no value (dropped call, or after a diagnostic)
+	cRun               // runtime int64 expression
+	cGrp               // compile-time object/aggregate identity
+	cFn                // function value
+)
+
+type cval struct {
+	kind ckind
+	expr irExpr
+	grp  *group
+	fn   *funcRef
+}
+
+func runVal(e irExpr) cval  { return cval{kind: cRun, expr: e} }
+func grpVal(g *group) cval  { return cval{kind: cGrp, grp: g} }
+func none() cval            { return cval{} }
+func fnVal(f *funcRef) cval { return cval{kind: cFn, fn: f} }
+
+// funcRef is a compile-time function value: a named declaration (possibly
+// a method with a bound receiver) or a function literal with its lexical
+// compile context.
+type funcRef struct {
+	obj   *types.Func
+	lit   *ast.FuncLit
+	recv  cval      // bound receiver for method values (kind cGrp)
+	outer *funcComp // enclosing compilation, for literals
+}
+
+// local is one lexical binding: a runtime slot, an object identity, or a
+// function value.
+type local struct {
+	slot int // -1 when not a slot binding
+	grp  *group
+	fn   *funcRef
+}
+
+type scope struct {
+	parent *scope
+	m      map[types.Object]*local
+}
+
+// funcComp compiles one function specialization.
+type funcComp struct {
+	tr        *translator
+	ir        *irFunc
+	sc        *scope
+	outer     *funcComp // enclosing function, set for literals
+	loopDepth int
+}
+
+func (fc *funcComp) push() { fc.sc = &scope{parent: fc.sc, m: map[types.Object]*local{}} }
+func (fc *funcComp) pop()  { fc.sc = fc.sc.parent }
+
+func (fc *funcComp) bind(obj types.Object, l *local) { fc.sc.m[obj] = l }
+
+func (fc *funcComp) newSlot() int {
+	s := fc.ir.nslots
+	fc.ir.nslots++
+	return s
+}
+
+// lookup resolves obj in this compilation's scope chain; captured reports
+// that the binding lives in an enclosing function (legal for identities,
+// a diagnostic for slots).
+func (fc *funcComp) lookup(obj types.Object) (l *local, captured bool) {
+	for s := fc.sc; s != nil; s = s.parent {
+		if l, ok := s.m[obj]; ok {
+			return l, false
+		}
+	}
+	if fc.outer != nil {
+		if l, _ := fc.outer.lookup(obj); l != nil {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+func (fc *funcComp) loc(pos token.Pos) string { return fc.tr.loc(pos) }
+
+func (fc *funcComp) diag(pos token.Pos, code, format string, args ...any) {
+	fc.tr.diagAt(pos, code, format, args...)
+}
+
+// groupID gives each group a deterministic integer identity for
+// specialization memo keys.
+func (tr *translator) groupID(g *group) int {
+	if id, ok := tr.groupIDs[g]; ok {
+		return id
+	}
+	id := len(tr.groupIDs) + 1
+	tr.groupIDs[g] = id
+	return id
+}
+
+// ---- function specialization ----
+
+// compileFn compiles (or reuses) the specialization of ref for the given
+// receiver and argument bindings, returning the IR function plus the
+// runtime argument expressions to pass at the call site.
+func (tr *translator) compileFn(ref *funcRef, args []cval, callPos token.Pos) (*irFunc, []irExpr, bool) {
+	var (
+		params  []*ast.Ident
+		body    *ast.BlockStmt
+		results *ast.FieldList
+		name    string
+		declPos token.Pos
+	)
+	switch {
+	case ref.lit != nil:
+		params = flattenParams(ref.lit.Type.Params)
+		results = ref.lit.Type.Results
+		body = ref.lit.Body
+		declPos = ref.lit.Pos()
+		name = "func@" + tr.loc(declPos)
+	case ref.obj != nil:
+		decl := tr.u.Decls[ref.obj]
+		if decl == nil || decl.Body == nil {
+			tr.diagAt(callPos, CodeUnknownCall, "call to %s: no source available for translation", ref.obj.FullName())
+			return nil, nil, false
+		}
+		params = flattenParams(decl.Type.Params)
+		results = decl.Type.Results
+		body = decl.Body
+		declPos = decl.Pos()
+		name = ref.obj.Name()
+		if r := recvTypeName(ref.obj); r != "" {
+			name = r + "." + name
+		}
+	default:
+		tr.diagAt(callPos, CodeUnresolvedID, "call target is not a compile-time function value")
+		return nil, nil, false
+	}
+	if results != nil && results.NumFields() > 1 {
+		tr.diagAt(callPos, CodeUnsupported, "%s returns multiple values; only zero or one int result translates", name)
+		return nil, nil, false
+	}
+	if len(args) != len(params)+recvCount(ref) {
+		tr.diagAt(callPos, CodeUnsupported, "%s: argument count mismatch (variadic or conversion forms are outside the subset)", name)
+		return nil, nil, false
+	}
+
+	// Memo key: declaration site plus the binding shape of every argument.
+	key := fmt.Sprintf("%d", declPos)
+	for _, a := range args {
+		switch a.kind {
+		case cRun:
+			key += ":s"
+		case cGrp:
+			key += fmt.Sprintf(":g%d", tr.groupID(a.grp))
+		case cFn:
+			key += fmt.Sprintf(":f%d", fnKeyPos(a.fn))
+		default:
+			tr.diagAt(callPos, CodeUnresolvedID, "%s: argument has no translatable value", name)
+			return nil, nil, false
+		}
+	}
+	runtimeArgs := func() []irExpr {
+		var out []irExpr
+		for _, a := range args {
+			if a.kind == cRun {
+				out = append(out, a.expr)
+			}
+		}
+		return out
+	}
+	if fn, ok := tr.funcs[key]; ok {
+		return fn, runtimeArgs(), true
+	}
+	if tr.stack[key] {
+		tr.diagAt(callPos, CodeRecursion, "%s is (mutually) recursive; the virtual runtime needs bounded call trees", name)
+		return nil, nil, false
+	}
+
+	tr.nameSeq[name]++
+	irName := name
+	if n := tr.nameSeq[name]; n > 1 {
+		irName = fmt.Sprintf("%s#%d", name, n)
+	}
+	fn := &irFunc{name: irName, orig: name, loc: tr.loc(declPos)}
+
+	fc := &funcComp{tr: tr, ir: fn, outer: ref.outer}
+	fc.push()
+	// Bind receiver (args[0] when present) and parameters.
+	bindIdx := 0
+	if recvCount(ref) == 1 {
+		a := args[0]
+		bindIdx = 1
+		if recvObj := recvParamObj(tr, ref); recvObj != nil {
+			fc.bindArg(recvObj, a, callPos)
+		}
+	}
+	for i, p := range params {
+		obj := tr.u.Info.Defs[p]
+		a := args[bindIdx+i]
+		if obj == nil { // blank parameter: evaluate nothing, claim the slot
+			if a.kind == cRun {
+				fc.newSlot()
+			}
+			continue
+		}
+		fc.bindArg(obj, a, p.Pos())
+	}
+	fn.nparams = fn.nslots
+
+	tr.stack[key] = true
+	fn.body = fc.stmts(body.List)
+	delete(tr.stack, key)
+	fc.pop()
+
+	tr.funcs[key] = fn
+	tr.order = append(tr.order, fn)
+	return fn, runtimeArgs(), true
+}
+
+// bindArg installs one parameter binding.
+func (fc *funcComp) bindArg(obj types.Object, a cval, pos token.Pos) {
+	switch a.kind {
+	case cRun:
+		fc.bind(obj, &local{slot: fc.newSlot()})
+	case cGrp:
+		fc.bind(obj, &local{slot: -1, grp: a.grp})
+	case cFn:
+		fc.bind(obj, &local{slot: -1, fn: a.fn})
+	default:
+		fc.diag(pos, CodeUnresolvedID, "parameter %s has no translatable binding", obj.Name())
+		fc.bind(obj, &local{slot: fc.newSlot()})
+	}
+}
+
+func flattenParams(fl *ast.FieldList) []*ast.Ident {
+	var out []*ast.Ident
+	if fl == nil {
+		return out
+	}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Anonymous parameter: represent with a nil-def blank ident.
+			out = append(out, ast.NewIdent("_"))
+			continue
+		}
+		out = append(out, f.Names...)
+	}
+	return out
+}
+
+func recvCount(ref *funcRef) int {
+	if ref.obj != nil && ref.obj.Type().(*types.Signature).Recv() != nil {
+		return 1
+	}
+	return 0
+}
+
+func recvTypeName(f *types.Func) string {
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func recvParamObj(tr *translator, ref *funcRef) types.Object {
+	decl := tr.u.Decls[ref.obj]
+	if decl == nil || decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return tr.u.Info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+func fnKeyPos(f *funcRef) int {
+	if f.lit != nil {
+		return int(f.lit.Pos())
+	}
+	if f.obj != nil {
+		return int(f.obj.Pos())
+	}
+	return 0
+}
+
+// ---- statements ----
+
+func (fc *funcComp) stmts(list []ast.Stmt) []irStmt {
+	fc.push()
+	var out []irStmt
+	for _, s := range list {
+		fc.stmt(s, &out)
+	}
+	fc.pop()
+	return out
+}
+
+func (fc *funcComp) stmt(s ast.Stmt, out *[]irStmt) {
+	switch x := s.(type) {
+	case *ast.DeclStmt:
+		fc.declStmt(x, out)
+	case *ast.AssignStmt:
+		fc.assignStmt(x, out)
+	case *ast.IncDecStmt:
+		op := token.ADD
+		if x.Tok == token.DEC {
+			op = token.SUB
+		}
+		fc.opAssign(x.X, op, &eConst{v: 1}, x.Pos(), out)
+	case *ast.ExprStmt:
+		fc.exprStmt(x.X, out)
+	case *ast.GoStmt:
+		fc.goStmt(x, out)
+	case *ast.DeferStmt:
+		fc.deferStmt(x, out)
+	case *ast.SendStmt:
+		g := fc.chanGroup(x.Chan)
+		if g == nil {
+			return
+		}
+		*out = append(*out, &sSend{obj: g.obj, val: fc.rvalue(x.Value), loc: fc.loc(x.Pos())})
+	case *ast.IfStmt:
+		fc.ifStmt(x, out)
+	case *ast.ForStmt:
+		fc.forStmt(x, out)
+	case *ast.RangeStmt:
+		fc.rangeStmt(x, out)
+	case *ast.SwitchStmt:
+		fc.switchStmt(x, out)
+	case *ast.SelectStmt:
+		fc.selectStmt(x, out)
+	case *ast.ReturnStmt:
+		fc.returnStmt(x, out)
+	case *ast.BranchStmt:
+		switch {
+		case x.Tok == token.BREAK && x.Label == nil:
+			*out = append(*out, &sBreak{})
+		case x.Tok == token.CONTINUE && x.Label == nil:
+			*out = append(*out, &sContinue{})
+		case x.Tok == token.GOTO:
+			fc.diag(x.Pos(), CodeGoto, "goto is outside the structured-control subset")
+		default:
+			fc.diag(x.Pos(), CodeGoto, "labeled %s is outside the structured-control subset", x.Tok)
+		}
+	case *ast.LabeledStmt:
+		fc.diag(x.Pos(), CodeGoto, "labels are outside the structured-control subset")
+	case *ast.BlockStmt:
+		*out = append(*out, fc.stmts(x.List)...)
+	case *ast.EmptyStmt:
+	case *ast.TypeSwitchStmt:
+		fc.diag(x.Pos(), CodeUnsupported, "type switches need dynamic types, which the int64 value model lacks")
+	default:
+		fc.diag(s.Pos(), CodeUnsupported, "%T statements are outside the translated subset", s)
+	}
+}
+
+// declStmt compiles `var name T [= init]` locals: int-ish types become
+// slots; sync primitives, channels, and structs become site-keyed shared
+// objects (one object per syntactic site, so loops are rejected).
+func (fc *funcComp) declStmt(d *ast.DeclStmt, out *[]irStmt) {
+	gd, ok := d.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok == token.TYPE {
+		if !ok {
+			fc.diag(d.Pos(), CodeUnsupported, "unsupported declaration form")
+		}
+		return
+	}
+	if gd.Tok == token.CONST {
+		return // constants fold at use sites via go/types
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			var init ast.Expr
+			if i < len(vs.Values) {
+				init = vs.Values[i]
+			}
+			fc.declareLocal(name, init, out)
+		}
+	}
+}
+
+func (fc *funcComp) declareLocal(name *ast.Ident, init ast.Expr, out *[]irStmt) {
+	if name.Name == "_" {
+		if init != nil {
+			fc.exprStmt(init, out)
+		}
+		return
+	}
+	obj, _ := fc.tr.u.Info.Defs[name].(*types.Var)
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&(types.IsInteger|types.IsBoolean) != 0 {
+		slot := fc.newSlot()
+		fc.bind(obj, &local{slot: slot})
+		var val irExpr = &eConst{}
+		if init != nil {
+			val = fc.rvalue(init)
+		}
+		*out = append(*out, &sAssign{slot: slot, val: val})
+		return
+	}
+	// Identity-carrying local: one shared object per syntactic site.
+	if fc.loopDepth > 0 {
+		fc.diag(name.Pos(), CodeUnresolvedID, "local %s is created inside a loop: object identities must be one-per-site", name.Name)
+		fc.bind(obj, &local{slot: -1, grp: badGroup(CodeUnresolvedID, "loop-local object")})
+		return
+	}
+	// make(...) and sync.NewCond(...) initializers go through the
+	// expression compiler so site allocation stays in one place.
+	if call, ok := initCall(init); ok {
+		v := fc.value(call)
+		switch v.kind {
+		case cGrp:
+			fc.bind(obj, &local{slot: -1, grp: v.grp})
+		case cFn:
+			fc.bind(obj, &local{slot: -1, fn: v.fn})
+		default:
+			fc.bind(obj, &local{slot: -1, grp: badGroup(CodeUnresolvedID, "initializer did not yield an object identity")})
+		}
+		return
+	}
+	siteKey := static.SiteKeyID(fc.tr.u.Fset.Position(name.Pos()), name.Name)
+	g := fc.tr.classify(t, siteKey, name.Name, init, name.Pos())
+	fc.bind(obj, &local{slot: -1, grp: g})
+}
+
+// initCall reports whether an initializer is a call expression whose
+// value the expression compiler should produce (make, sync.NewCond,
+// RLocker, user calls, ...).
+func initCall(init ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(init).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	return call, true
+}
+
+func (fc *funcComp) assignStmt(a *ast.AssignStmt, out *[]irStmt) {
+	switch {
+	case a.Tok == token.DEFINE:
+		fc.defineStmt(a, out)
+	case a.Tok == token.ASSIGN:
+		fc.plainAssign(a, out)
+	default: // op-assign: x += e, x |= e, ...
+		op := a.Tok + (token.ADD - token.ADD_ASSIGN)
+		fc.opAssign(a.Lhs[0], op, fc.rvalue(a.Rhs[0]), a.Pos(), out)
+	}
+}
+
+func (fc *funcComp) defineStmt(a *ast.AssignStmt, out *[]irStmt) {
+	// v, ok := <-ch
+	if len(a.Lhs) == 2 && len(a.Rhs) == 1 {
+		if un, ok := ast.Unparen(a.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			g := fc.chanGroup(un.X)
+			if g == nil {
+				return
+			}
+			*out = append(*out, &sRecv2{
+				valSlot: fc.defineSlot(a.Lhs[0]),
+				okSlot:  fc.defineSlot(a.Lhs[1]),
+				obj:     g.obj,
+				loc:     fc.loc(a.Pos()),
+			})
+			return
+		}
+	}
+	if len(a.Lhs) != len(a.Rhs) {
+		fc.diag(a.Pos(), CodeUnsupported, "multi-value assignment from a single expression is outside the subset")
+		return
+	}
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			fc.diag(lhs.Pos(), CodeUnsupported, "short declaration target must be an identifier")
+			continue
+		}
+		if id.Name == "_" {
+			fc.exprStmt(a.Rhs[i], out)
+			continue
+		}
+		obj := fc.tr.u.Info.Defs[id]
+		if obj == nil {
+			// `x := ...` redeclaring an existing x in the same scope: a plain
+			// assignment to the prior binding.
+			fc.store(id, fc.rvalue(a.Rhs[i]), id.Pos(), out)
+			continue
+		}
+		v := fc.value(a.Rhs[i])
+		switch v.kind {
+		case cGrp:
+			fc.bind(obj, &local{slot: -1, grp: v.grp})
+		case cFn:
+			fc.bind(obj, &local{slot: -1, fn: v.fn})
+		case cRun:
+			slot := fc.newSlot()
+			fc.bind(obj, &local{slot: slot})
+			*out = append(*out, &sAssign{slot: slot, val: v.expr})
+		default:
+			slot := fc.newSlot()
+			fc.bind(obj, &local{slot: slot})
+			*out = append(*out, &sAssign{slot: slot, val: &eConst{}})
+		}
+	}
+}
+
+// defineSlot allocates and binds the slot for a defined identifier
+// (-1 for blank).
+func (fc *funcComp) defineSlot(e ast.Expr) int {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return -1
+	}
+	obj := fc.tr.u.Info.Defs[id]
+	if obj == nil {
+		return -1
+	}
+	slot := fc.newSlot()
+	fc.bind(obj, &local{slot: slot})
+	return slot
+}
+
+func (fc *funcComp) plainAssign(a *ast.AssignStmt, out *[]irStmt) {
+	// v, ok = <-ch
+	if len(a.Lhs) == 2 && len(a.Rhs) == 1 {
+		if un, ok := ast.Unparen(a.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			g := fc.chanGroup(un.X)
+			if g == nil {
+				return
+			}
+			vs, os := fc.newSlot(), fc.newSlot()
+			*out = append(*out, &sRecv2{valSlot: vs, okSlot: os, obj: g.obj, loc: fc.loc(a.Pos())})
+			fc.store(a.Lhs[0], &eSlot{i: vs}, a.Lhs[0].Pos(), out)
+			fc.store(a.Lhs[1], &eSlot{i: os}, a.Lhs[1].Pos(), out)
+			return
+		}
+	}
+	if len(a.Lhs) != len(a.Rhs) {
+		fc.diag(a.Pos(), CodeUnsupported, "multi-value assignment from a single expression is outside the subset")
+		return
+	}
+	if len(a.Lhs) == 1 {
+		fc.store(a.Lhs[0], fc.rvalue(a.Rhs[0]), a.Pos(), out)
+		return
+	}
+	// Parallel assignment: Go evaluates all RHS before any store.
+	tmps := make([]int, len(a.Rhs))
+	for i, r := range a.Rhs {
+		tmps[i] = fc.newSlot()
+		*out = append(*out, &sAssign{slot: tmps[i], val: fc.rvalue(r)})
+	}
+	for i, lhs := range a.Lhs {
+		fc.store(lhs, &eSlot{i: tmps[i]}, lhs.Pos(), out)
+	}
+}
+
+// store compiles one assignment target.
+func (fc *funcComp) store(lhs ast.Expr, val irExpr, pos token.Pos, out *[]irStmt) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			if effectful(val) {
+				*out = append(*out, &sExpr{e: val})
+			}
+			return
+		}
+		if l, captured := fc.lookup(fc.tr.u.Info.Uses[id]); l != nil {
+			if l.slot >= 0 {
+				if captured {
+					fc.diag(pos, CodeCapturedVar, "%s is a local of the enclosing function; goroutines and closures may only capture object identities", id.Name)
+					return
+				}
+				*out = append(*out, &sAssign{slot: l.slot, val: val})
+				return
+			}
+			fc.diag(pos, CodeUnresolvedID, "%s carries an object identity and cannot be reassigned", id.Name)
+			return
+		}
+	}
+	if g := fc.pathGroup(lhs); g != nil {
+		switch g.kind {
+		case gInt:
+			*out = append(*out, &sVarWrite{obj: g.obj, val: val, loc: fc.loc(pos)})
+		case gVol:
+			fc.diag(pos, CodeUnsupported, "plain write to an atomically-accessed variable mixes access disciplines")
+		case gBad:
+			fc.diag(pos, g.code, "%s", g.bad)
+		default:
+			fc.diag(pos, CodeUnresolvedID, "assignment would rebind an object identity")
+		}
+		return
+	}
+	fc.diag(pos, CodeUnsupported, "assignment target is outside the translated subset")
+}
+
+// opAssign compiles x <op>= e and x++/x--, preserving the read-then-write
+// event order of the static model.
+func (fc *funcComp) opAssign(lhs ast.Expr, op token.Token, rhs irExpr, pos token.Pos, out *[]irStmt) {
+	cur := fc.loadLValue(lhs, pos)
+	if cur == nil {
+		return
+	}
+	fc.store(lhs, &eBin{op: op, l: cur, r: rhs, loc: fc.loc(pos)}, pos, out)
+}
+
+// loadLValue produces the read half of a read-modify-write target.
+func (fc *funcComp) loadLValue(lhs ast.Expr, pos token.Pos) irExpr {
+	v := fc.value(lhs)
+	if v.kind != cRun {
+		if v.kind != cNone { // cNone already carries a diagnostic
+			fc.diag(pos, CodeUnsupported, "operand of compound assignment is not a runtime value")
+		}
+		return nil
+	}
+	return v.expr
+}
+
+func (fc *funcComp) exprStmt(e ast.Expr, out *[]irStmt) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		stmts, res := fc.callParts(call, nil)
+		*out = append(*out, stmts...)
+		if res.kind == cRun && effectful(res.expr) {
+			*out = append(*out, &sExpr{e: res.expr})
+		}
+		return
+	}
+	v := fc.value(e)
+	if v.kind == cRun && effectful(v.expr) {
+		*out = append(*out, &sExpr{e: v.expr})
+	}
+}
+
+func effectful(e irExpr) bool {
+	switch e.(type) {
+	case *eCall, *eVolAdd, *eVolCAS, *eRecv, *eSeq, *eVolRead, *eVarRead:
+		return true
+	case *eBin:
+		b := e.(*eBin)
+		return effectful(b.l) || effectful(b.r)
+	case *eUnary:
+		return effectful(e.(*eUnary).x)
+	case *eAnd:
+		a := e.(*eAnd)
+		return effectful(a.l) || effectful(a.r)
+	case *eOr:
+		o := e.(*eOr)
+		return effectful(o.l) || effectful(o.r)
+	}
+	return false
+}
+
+func (fc *funcComp) goStmt(g *ast.GoStmt, out *[]irStmt) {
+	call := g.Call
+	ref := fc.funcValue(call.Fun)
+	if ref == nil {
+		fc.diag(call.Pos(), CodeUnresolvedID, "go target is not a compile-time function value")
+		return
+	}
+	args := fc.callArgs(ref, call)
+	fn, runtimeArgs, ok := fc.tr.compileFn(ref, args, call.Pos())
+	if !ok {
+		return
+	}
+	*out = append(*out, &sFork{name: fn.orig, fn: fn, args: runtimeArgs, loc: fc.loc(g.Pos())})
+}
+
+func (fc *funcComp) deferStmt(d *ast.DeferStmt, out *[]irStmt) {
+	// Arguments of a deferred call evaluate at defer time (Go semantics):
+	// lift every runtime argument into a dedicated slot now, run the call
+	// at function exit.
+	var pre []irStmt
+	stmts, res := fc.callParts(d.Call, &pre)
+	if res.kind == cRun && effectful(res.expr) {
+		stmts = append(stmts, &sExpr{e: res.expr})
+	}
+	if len(stmts) == 0 {
+		// The call produced no statements (dropped call or diagnostic).
+		*out = append(*out, pre...)
+		return
+	}
+	*out = append(*out, &sDefer{pre: pre, call: &sSeq{list: stmts}})
+}
+
+func (fc *funcComp) ifStmt(s *ast.IfStmt, out *[]irStmt) {
+	fc.push()
+	defer fc.pop()
+	if s.Init != nil {
+		fc.stmt(s.Init, out)
+	}
+	cond := fc.rvalue(s.Cond)
+	node := &sIf{cond: cond, then: fc.stmts(s.Body.List)}
+	switch e := s.Else.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		node.els = fc.stmts(e.List)
+	default: // else if
+		var els []irStmt
+		fc.stmt(e, &els)
+		node.els = els
+	}
+	*out = append(*out, node)
+}
+
+func (fc *funcComp) forStmt(s *ast.ForStmt, out *[]irStmt) {
+	fc.push()
+	defer fc.pop()
+	node := &sFor{}
+	if s.Init != nil {
+		var init []irStmt
+		fc.stmt(s.Init, &init)
+		node.init = &sSeq{list: init}
+	}
+	if s.Cond != nil {
+		node.cond = fc.rvalue(s.Cond)
+	}
+	if s.Post != nil {
+		var post []irStmt
+		fc.stmt(s.Post, &post)
+		node.post = &sSeq{list: post}
+	}
+	fc.loopDepth++
+	node.body = fc.stmts(s.Body.List)
+	fc.loopDepth--
+	*out = append(*out, node)
+}
+
+func (fc *funcComp) rangeStmt(s *ast.RangeStmt, out *[]irStmt) {
+	fc.push()
+	defer fc.pop()
+	t := fc.tr.u.Info.TypeOf(s.X)
+	switch t.Underlying().(type) {
+	case *types.Chan:
+		g := fc.chanGroup(s.X)
+		if g == nil {
+			return
+		}
+		valSlot := -1
+		if s.Key != nil && s.Tok == token.DEFINE {
+			valSlot = fc.defineSlot(s.Key)
+		}
+		fc.loopDepth++
+		body := fc.stmts(s.Body.List)
+		fc.loopDepth--
+		*out = append(*out, &sRangeChan{valSlot: valSlot, obj: g.obj, body: body, loc: fc.loc(s.Pos())})
+	case *types.Basic: // for i := range n (Go 1.22 integer range)
+		limit := fc.newSlot()
+		*out = append(*out, &sAssign{slot: limit, val: fc.rvalue(s.X)})
+		iSlot := -1
+		if s.Key != nil && s.Tok == token.DEFINE {
+			iSlot = fc.defineSlot(s.Key)
+		} else {
+			iSlot = fc.newSlot()
+		}
+		fc.loopDepth++
+		body := fc.stmts(s.Body.List)
+		fc.loopDepth--
+		loc := fc.loc(s.Pos())
+		*out = append(*out, &sFor{
+			init: &sAssign{slot: iSlot, val: &eConst{}},
+			cond: &eBin{op: token.LSS, l: &eSlot{i: iSlot}, r: &eSlot{i: limit}, loc: loc},
+			post: &sAssign{slot: iSlot, val: &eBin{op: token.ADD, l: &eSlot{i: iSlot}, r: &eConst{v: 1}, loc: loc}},
+			body: body,
+		})
+	default:
+		fc.diag(s.Pos(), CodeUnsupported, "range over %s is outside the subset (channels and integers translate)", t)
+	}
+}
+
+func (fc *funcComp) switchStmt(s *ast.SwitchStmt, out *[]irStmt) {
+	fc.push()
+	defer fc.pop()
+	if s.Init != nil {
+		fc.stmt(s.Init, out)
+	}
+	var tag irExpr
+	if s.Tag != nil {
+		slot := fc.newSlot()
+		*out = append(*out, &sAssign{slot: slot, val: fc.rvalue(s.Tag)})
+		tag = &eSlot{i: slot}
+	}
+	type arm struct {
+		cond irExpr // nil for default
+		body []irStmt
+	}
+	var arms []arm
+	var def []irStmt
+	hasDef := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if containsFallthrough(cc.Body) {
+			fc.diag(cc.Pos(), CodeUnsupported, "fallthrough is outside the structured-control subset")
+			return
+		}
+		body := []irStmt{&sScope{body: fc.stmts(cc.Body)}}
+		if cc.List == nil {
+			hasDef, def = true, body
+			continue
+		}
+		var cond irExpr
+		for _, ce := range cc.List {
+			var one irExpr
+			if tag != nil {
+				one = &eBin{op: token.EQL, l: tag, r: fc.rvalue(ce), loc: fc.loc(ce.Pos())}
+			} else {
+				one = fc.rvalue(ce)
+			}
+			if cond == nil {
+				cond = one
+			} else {
+				cond = &eOr{l: cond, r: one}
+			}
+		}
+		arms = append(arms, arm{cond: cond, body: body})
+	}
+	// Build the if/else chain back to front.
+	var chain []irStmt
+	if hasDef {
+		chain = def
+	}
+	for i := len(arms) - 1; i >= 0; i-- {
+		chain = []irStmt{&sIf{cond: arms[i].cond, then: arms[i].body, els: chain}}
+	}
+	*out = append(*out, chain...)
+}
+
+func containsFallthrough(body []ast.Stmt) bool {
+	for _, s := range body {
+		if b, ok := s.(*ast.BranchStmt); ok && b.Tok == token.FALLTHROUGH {
+			return true
+		}
+	}
+	return false
+}
+
+func (fc *funcComp) selectStmt(s *ast.SelectStmt, out *[]irStmt) {
+	node := &sSelect{loc: fc.loc(s.Pos())}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		fc.push()
+		if cc.Comm == nil {
+			node.hasDefault = true
+			node.defBody = []irStmt{&sScope{body: fc.stmts(cc.Body)}}
+			fc.pop()
+			continue
+		}
+		arm := selCase{valSlot: -1, okSlot: -1}
+		okComm := true
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			g := fc.chanGroup(comm.Chan)
+			if g == nil {
+				okComm = false
+				break
+			}
+			arm.send = true
+			arm.obj = g.obj
+			arm.sendVal = fc.rvalue(comm.Value)
+		case *ast.ExprStmt:
+			un, ok := ast.Unparen(comm.X).(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				fc.diag(comm.Pos(), CodeUnsupported, "select communication is outside the subset")
+				okComm = false
+				break
+			}
+			g := fc.chanGroup(un.X)
+			if g == nil {
+				okComm = false
+				break
+			}
+			arm.obj = g.obj
+		case *ast.AssignStmt:
+			un, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				fc.diag(comm.Pos(), CodeUnsupported, "select communication is outside the subset")
+				okComm = false
+				break
+			}
+			g := fc.chanGroup(un.X)
+			if g == nil {
+				okComm = false
+				break
+			}
+			arm.obj = g.obj
+			if comm.Tok == token.DEFINE {
+				arm.valSlot = fc.defineSlot(comm.Lhs[0])
+				if len(comm.Lhs) == 2 {
+					arm.okSlot = fc.defineSlot(comm.Lhs[1])
+				}
+			} else {
+				fc.diag(comm.Pos(), CodeUnsupported, "select receive into existing variables is outside the subset")
+				okComm = false
+			}
+		default:
+			fc.diag(cc.Comm.Pos(), CodeUnsupported, "select communication is outside the subset")
+			okComm = false
+		}
+		if okComm {
+			arm.body = []irStmt{&sScope{body: fc.stmts(cc.Body)}}
+			node.cases = append(node.cases, arm)
+		}
+		fc.pop()
+	}
+	*out = append(*out, node)
+}
+
+func (fc *funcComp) returnStmt(s *ast.ReturnStmt, out *[]irStmt) {
+	switch len(s.Results) {
+	case 0:
+		*out = append(*out, &sReturn{})
+	case 1:
+		*out = append(*out, &sReturn{val: fc.rvalue(s.Results[0])})
+	default:
+		fc.diag(s.Pos(), CodeUnsupported, "multiple return values are outside the subset")
+	}
+}
+
+// ---- expressions ----
+
+// rvalue compiles an expression that must produce a runtime value.
+func (fc *funcComp) rvalue(e ast.Expr) irExpr {
+	v := fc.value(e)
+	switch v.kind {
+	case cRun:
+		return v.expr
+	case cNone: // diagnostic already reported (or dropped call)
+		return &eConst{}
+	default:
+		fc.diag(e.Pos(), CodeUnsupported, "object identity used where a runtime value is required")
+		return &eConst{}
+	}
+}
+
+func (fc *funcComp) value(e ast.Expr) cval {
+	e = ast.Unparen(e)
+	// Constants (including untyped bools, iota chains, named consts) fold.
+	if tv, ok := fc.tr.u.Info.Types[e]; ok && tv.Value != nil {
+		if c, ok := foldConst(tv.Value); ok {
+			return runVal(&eConst{v: c})
+		}
+		fc.diag(e.Pos(), CodeUnsupported, "non-integer constant is outside the int64 value model")
+		return none()
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return fc.identValue(x)
+	case *ast.SelectorExpr:
+		return fc.selectorValue(x)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.ARROW:
+			g := fc.chanGroup(x.X)
+			if g == nil {
+				return none()
+			}
+			return runVal(&eRecv{obj: g.obj, loc: fc.loc(x.Pos())})
+		case token.AND:
+			if g := fc.pathGroup(x.X); g != nil {
+				return grpVal(g)
+			}
+			fc.diag(x.Pos(), CodeUnresolvedID, "address-of target is not a translated shared object")
+			return none()
+		default:
+			return runVal(&eUnary{op: x.Op, x: fc.rvalue(x.X)})
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			return runVal(&eAnd{l: fc.rvalue(x.X), r: fc.rvalue(x.Y)})
+		case token.LOR:
+			return runVal(&eOr{l: fc.rvalue(x.X), r: fc.rvalue(x.Y)})
+		default:
+			return runVal(&eBin{op: x.Op, l: fc.rvalue(x.X), r: fc.rvalue(x.Y), loc: fc.loc(x.Pos())})
+		}
+	case *ast.CallExpr:
+		stmts, res := fc.callParts(x, nil)
+		if len(stmts) > 0 {
+			if res.kind == cRun {
+				return runVal(&eSeq{pre: stmts, val: res.expr})
+			}
+			fc.diag(x.Pos(), CodeUnsupported, "effectful call in value position does not yield a value")
+			return none()
+		}
+		return res
+	case *ast.FuncLit:
+		return fnVal(&funcRef{lit: x, outer: fc})
+	case *ast.StarExpr:
+		if g := fc.pathGroup(x.X); g != nil {
+			return fc.groupValue(g, x.Pos())
+		}
+		fc.diag(x.Pos(), CodeUnsupported, "pointer dereference target is not a translated shared object")
+		return none()
+	case *ast.IndexExpr:
+		fc.diag(x.Pos(), CodeSharedKind, "indexed storage (slices, maps, arrays) is outside the modeled subset")
+		return none()
+	case *ast.CompositeLit:
+		fc.diag(x.Pos(), CodeUnsupported, "composite literals only translate as declarations' initializers")
+		return none()
+	case *ast.TypeAssertExpr:
+		fc.diag(x.Pos(), CodeUnsupported, "type assertions need dynamic types, which the int64 value model lacks")
+		return none()
+	}
+	fc.diag(e.Pos(), CodeUnsupported, "%T expressions are outside the translated subset", e)
+	return none()
+}
+
+func foldConst(v constant.Value) (int64, bool) {
+	switch v.Kind() {
+	case constant.Int:
+		return constant.Int64Val(v)
+	case constant.Bool:
+		return b2i(constant.BoolVal(v)), true
+	}
+	return 0, false
+}
+
+func (fc *funcComp) identValue(id *ast.Ident) cval {
+	obj := fc.tr.u.Info.Uses[id]
+	if obj == nil {
+		obj = fc.tr.u.Info.Defs[id]
+	}
+	switch o := obj.(type) {
+	case *types.Var:
+		if l, captured := fc.lookup(o); l != nil {
+			if l.slot >= 0 {
+				if captured {
+					fc.diag(id.Pos(), CodeCapturedVar, "%s is a local of the enclosing function; goroutines and closures may only capture object identities", id.Name)
+					return none()
+				}
+				return runVal(&eSlot{i: l.slot})
+			}
+			if l.grp != nil {
+				return fc.groupValue(l.grp, id.Pos())
+			}
+			return fnVal(l.fn)
+		}
+		if isPackageLevel(o) {
+			return fc.groupValue(fc.tr.groupFor(o), id.Pos())
+		}
+		fc.diag(id.Pos(), CodeUnresolvedID, "%s does not resolve to a translated binding", id.Name)
+		return none()
+	case *types.Func:
+		return fnVal(&funcRef{obj: o})
+	case *types.Nil:
+		fc.diag(id.Pos(), CodeUnsupported, "nil is outside the int64 value model")
+		return none()
+	}
+	fc.diag(id.Pos(), CodeUnresolvedID, "%s does not resolve to a translated binding", id.Name)
+	return none()
+}
+
+func (fc *funcComp) selectorValue(sel *ast.SelectorExpr) cval {
+	// Method value: x.M used as a function value.
+	if s, ok := fc.tr.u.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		f := s.Obj().(*types.Func)
+		recv := fc.pathGroup(sel.X)
+		if recv == nil {
+			fc.diag(sel.Pos(), CodeUnresolvedID, "method receiver is not a translated shared object")
+			return none()
+		}
+		return fnVal(&funcRef{obj: f, recv: grpVal(recv)})
+	}
+	// Qualified function: pkg.F.
+	if f, ok := fc.tr.u.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fnVal(&funcRef{obj: f})
+	}
+	if g := fc.pathGroup(sel); g != nil {
+		return fc.groupValue(g, sel.Pos())
+	}
+	fc.diag(sel.Pos(), CodeUnresolvedID, "%s does not resolve to a translated binding", sel.Sel.Name)
+	return none()
+}
+
+// groupValue converts a group reference in value position: leaf variables
+// become reads, everything else stays an identity.
+func (fc *funcComp) groupValue(g *group, pos token.Pos) cval {
+	switch g.kind {
+	case gInt:
+		return runVal(&eVarRead{obj: g.obj, loc: fc.loc(pos)})
+	case gVol:
+		fc.diag(pos, CodeUnsupported, "plain read of an atomically-accessed variable mixes access disciplines")
+		return none()
+	case gBad:
+		fc.diag(pos, g.code, "%s", g.bad)
+		return none()
+	default:
+		return grpVal(g)
+	}
+}
+
+// pathGroup resolves an expression to an object/aggregate identity without
+// converting leaves into reads (receiver and address-of positions).
+func (fc *funcComp) pathGroup(e ast.Expr) *group {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj, _ := fc.tr.u.Info.Uses[x].(*types.Var)
+		if obj == nil {
+			return nil
+		}
+		if l, _ := fc.lookup(obj); l != nil {
+			return l.grp // nil for slot bindings
+		}
+		if isPackageLevel(obj) {
+			return fc.tr.groupFor(obj)
+		}
+	case *ast.SelectorExpr:
+		if base := fc.pathGroup(x.X); base != nil && base.kind == gStruct {
+			return base.fields[x.Sel.Name]
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return fc.pathGroup(x.X)
+		}
+	case *ast.StarExpr:
+		return fc.pathGroup(x.X)
+	case *ast.CallExpr:
+		// RLocker() chains: mu.RLocker().Lock() — the Locker view carries
+		// its RWMutex's identity.
+		v := fc.value(x)
+		if v.kind == cGrp {
+			return v.grp
+		}
+	}
+	return nil
+}
+
+// chanGroup resolves an expression to a channel object, reporting a
+// diagnostic when it cannot.
+func (fc *funcComp) chanGroup(e ast.Expr) *group {
+	g := fc.pathGroup(e)
+	if g == nil {
+		fc.diag(e.Pos(), CodeDynamicChan, "channel identity is not compile-time resolvable here")
+		return nil
+	}
+	switch g.kind {
+	case gChan:
+		return g
+	case gBad:
+		fc.diag(e.Pos(), g.code, "%s", g.bad)
+		return nil
+	default:
+		fc.diag(e.Pos(), CodeDynamicChan, "expression does not name a translated channel")
+		return nil
+	}
+}
+
+// funcValue resolves a call/go/defer target to a function reference.
+func (fc *funcComp) funcValue(fun ast.Expr) *funcRef {
+	fun = ast.Unparen(fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		return &funcRef{lit: lit, outer: fc}
+	}
+	v := fc.value(fun)
+	if v.kind == cFn {
+		return v.fn
+	}
+	return nil
+}
+
+// callArgs assembles the full binding vector (receiver first for methods).
+func (fc *funcComp) callArgs(ref *funcRef, call *ast.CallExpr) []cval {
+	var args []cval
+	if recvCount(ref) == 1 {
+		if ref.recv.kind != cNone {
+			args = append(args, ref.recv)
+		} else {
+			args = append(args, none())
+		}
+	}
+	for _, a := range call.Args {
+		args = append(args, fc.value(a))
+	}
+	return args
+}
+
+// liftRun replaces runtime argument expressions with freshly-assigned
+// slots, for defer-time evaluation.
+func (fc *funcComp) liftRun(v cval, lift *[]irStmt) cval {
+	if lift == nil || v.kind != cRun {
+		return v
+	}
+	if _, isConst := v.expr.(*eConst); isConst {
+		return v
+	}
+	slot := fc.newSlot()
+	*lift = append(*lift, &sAssign{slot: slot, val: v.expr})
+	return runVal(&eSlot{i: slot})
+}
+
+// callParts compiles one call expression into side-effect statements plus
+// a result value. lift, when non-nil, receives defer-time argument
+// evaluations.
+func (fc *funcComp) callParts(call *ast.CallExpr, lift *[]irStmt) ([]irStmt, cval) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := fc.tr.u.Info.Uses[id].(*types.Builtin); ok {
+			return fc.builtinCall(b.Name(), call, lift)
+		}
+	}
+	// Type conversions: int-ish conversions are value-preserving.
+	if tv, ok := fc.tr.u.Info.Types[call.Fun]; ok && tv.IsType() {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&(types.IsInteger|types.IsBoolean) != 0 {
+			return nil, fc.liftRun(runVal(fc.rvalue(call.Args[0])), lift)
+		}
+		fc.diag(call.Pos(), CodeUnsupported, "conversion to %s is outside the int64 value model", tv.Type)
+		return nil, none()
+	}
+
+	if f := calleeFunc(fc.tr.u.Info, call); f != nil {
+		if parts, res, handled := fc.intrinsicCall(f, call, fun, lift); handled {
+			return parts, res
+		}
+		// User function with translatable source.
+		if fc.tr.u.Decls[f] != nil {
+			var ref *funcRef
+			if selExpr, ok := fun.(*ast.SelectorExpr); ok {
+				if s, ok := fc.tr.u.Info.Selections[selExpr]; ok && s.Kind() == types.MethodVal {
+					recv := fc.pathGroup(selExpr.X)
+					if recv == nil {
+						fc.diag(call.Pos(), CodeUnresolvedID, "method receiver is not a translated shared object")
+						return nil, none()
+					}
+					ref = &funcRef{obj: f, recv: grpVal(recv)}
+				}
+			}
+			if ref == nil {
+				ref = &funcRef{obj: f}
+			}
+			return fc.userCall(ref, call, lift)
+		}
+		// External, unrecognized.
+		switch pkgPathOf(f) {
+		case "fmt", "log":
+			return nil, none() // diagnostics output: no shared-state effect, dropped
+		case "time":
+			if f.Name() == "Sleep" {
+				return []irStmt{&sYield{loc: fc.loc(call.Pos())}}, none()
+			}
+		case "runtime":
+			if f.Name() == "Gosched" {
+				return []irStmt{&sYield{loc: fc.loc(call.Pos())}}, none()
+			}
+		}
+		fc.diag(call.Pos(), CodeUnknownCall, "call to %s is outside the translatable set", f.FullName())
+		return nil, none()
+	}
+
+	// Local function value (ident or literal).
+	if ref := fc.funcValue(fun); ref != nil {
+		return fc.userCall(ref, call, lift)
+	}
+	fc.diag(call.Pos(), CodeUnresolvedID, "call target does not resolve to a translatable function")
+	return nil, none()
+}
+
+func pkgPathOf(f *types.Func) string {
+	if p := f.Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}
+
+func (fc *funcComp) userCall(ref *funcRef, call *ast.CallExpr, lift *[]irStmt) ([]irStmt, cval) {
+	args := fc.callArgs(ref, call)
+	for i := range args {
+		args[i] = fc.liftRun(args[i], lift)
+	}
+	fn, runtimeArgs, ok := fc.tr.compileFn(ref, args, call.Pos())
+	if !ok {
+		return nil, none()
+	}
+	return nil, runVal(&eCall{fn: fn, args: runtimeArgs})
+}
+
+// builtinCall lowers Go builtins.
+func (fc *funcComp) builtinCall(name string, call *ast.CallExpr, lift *[]irStmt) ([]irStmt, cval) {
+	switch name {
+	case "close":
+		g := fc.chanGroup(call.Args[0])
+		if g == nil {
+			return nil, none()
+		}
+		return []irStmt{&sClose{obj: g.obj, loc: fc.loc(call.Pos())}}, none()
+	case "make":
+		t := fc.tr.u.Info.TypeOf(call)
+		if _, ok := t.Underlying().(*types.Chan); !ok {
+			fc.diag(call.Pos(), CodeSharedKind, "make(%s) allocates storage outside the modeled subset", t)
+			return nil, none()
+		}
+		if fc.loopDepth > 0 {
+			fc.diag(call.Pos(), CodeDynamicChan, "channel created inside a loop: identities must be one-per-site")
+			return nil, none()
+		}
+		capN, ok := fc.tr.chanInitCap(call)
+		if !ok {
+			fc.diag(call.Pos(), CodeDynamicChan, "channel capacity must be a compile-time constant")
+			return nil, none()
+		}
+		pos := fc.tr.u.Fset.Position(call.Pos())
+		idx := fc.tr.addObj(objDecl{kind: oChan, name: static.SiteKeyID(pos, "chan"), cap: capN, loc: fc.loc(call.Pos())})
+		return nil, grpVal(&group{kind: gChan, obj: idx})
+	case "println", "print":
+		return nil, none() // debug output, dropped like fmt
+	case "len", "cap":
+		fc.diag(call.Pos(), CodeUnsupported, "%s observes dynamic buffer state the trace model does not carry", name)
+		return nil, none()
+	case "panic":
+		fc.diag(call.Pos(), CodeUnsupported, "panic unwinding is outside the modeled subset")
+		return nil, none()
+	}
+	fc.diag(call.Pos(), CodeUnsupported, "builtin %s is outside the translated subset", name)
+	return nil, none()
+}
+
+// intrinsicCall lowers recognized sync / sync/atomic / DSL calls.
+// handled=false means the call is not an intrinsic.
+func (fc *funcComp) intrinsicCall(f *types.Func, call *ast.CallExpr, fun ast.Expr, lift *[]irStmt) ([]irStmt, cval, bool) {
+	// sync.NewCond is a constructor, not in the recognition tables.
+	if pkgPathOf(f) == "sync" && f.Name() == "NewCond" {
+		g := fc.pathGroup(call.Args[0])
+		if g == nil || g.kind != gMutex {
+			fc.diag(call.Pos(), CodeUnresolvedID, "sync.NewCond guard does not resolve to a translated mutex")
+			return nil, none(), true
+		}
+		pos := fc.tr.u.Fset.Position(call.Pos())
+		idx := fc.tr.addObj(objDecl{kind: oCond, name: static.SiteKeyID(pos, "cond"), mu: g.obj, loc: fc.loc(call.Pos())})
+		return nil, grpVal(&group{kind: gCond, obj: idx}), true
+	}
+
+	act, ok := static.RecognizeCall(f)
+	if !ok {
+		return nil, cval{}, false
+	}
+	loc := fc.loc(call.Pos())
+
+	switch act.Path {
+	case "sync":
+		sel, _ := fun.(*ast.SelectorExpr)
+		if sel == nil {
+			fc.diag(call.Pos(), CodeUnresolvedID, "sync call without a resolvable receiver")
+			return nil, none(), true
+		}
+		recv := fc.pathGroup(sel.X)
+		if recv == nil || recv.kind == gBad {
+			if recv != nil {
+				fc.diag(call.Pos(), recv.code, "%s", recv.bad)
+			} else {
+				fc.diag(call.Pos(), CodeUnresolvedID, "receiver of %s.%s is not a translated shared object", act.Recv, f.Name())
+			}
+			return nil, none(), true
+		}
+		switch act.Recv {
+		case "Mutex", "RWMutex", "Locker":
+			if recv.kind != gMutex {
+				fc.diag(call.Pos(), CodeUnresolvedID, "lock receiver does not resolve to a translated mutex")
+				return nil, none(), true
+			}
+			switch f.Name() {
+			case "Lock", "RLock":
+				return []irStmt{&sAcquire{obj: recv.obj, loc: loc}}, none(), true
+			case "Unlock", "RUnlock":
+				return []irStmt{&sRelease{obj: recv.obj, loc: loc}}, none(), true
+			case "TryLock", "TryRLock":
+				// The virtual runtime's TryLock model: the attempt always
+				// succeeds (acquire + true), matching the static pass's
+				// non-guard OpAcquire classification.
+				return nil, runVal(&eSeq{pre: []irStmt{&sAcquire{obj: recv.obj, loc: loc}}, val: &eConst{v: 1}}), true
+			case "RLocker":
+				return nil, grpVal(recv), true
+			}
+		case "WaitGroup":
+			if recv.kind != gWg {
+				fc.diag(call.Pos(), CodeUnresolvedID, "receiver does not resolve to a translated WaitGroup")
+				return nil, none(), true
+			}
+			switch f.Name() {
+			case "Add":
+				d := fc.liftRun(runVal(fc.rvalue(call.Args[0])), lift)
+				return []irStmt{&sWgAdd{obj: recv.obj, delta: d.expr, loc: loc}}, none(), true
+			case "Done":
+				return []irStmt{&sWgAdd{obj: recv.obj, delta: &eConst{v: -1}, loc: loc}}, none(), true
+			case "Wait":
+				return []irStmt{&sWgWait{obj: recv.obj, loc: loc}}, none(), true
+			}
+		case "Once":
+			if recv.kind != gVol {
+				fc.diag(call.Pos(), CodeUnresolvedID, "receiver does not resolve to a translated Once")
+				return nil, none(), true
+			}
+			bodyRef := fc.funcValue(call.Args[0])
+			if bodyRef == nil {
+				fc.diag(call.Args[0].Pos(), CodeUnresolvedID, "Once.Do argument is not a compile-time function value")
+				return nil, none(), true
+			}
+			fn, runtimeArgs, ok := fc.tr.compileFn(bodyRef, nil, call.Pos())
+			if !ok {
+				return nil, none(), true
+			}
+			_ = runtimeArgs
+			return []irStmt{&sOnce{flag: recv.obj, body: []irStmt{&sExpr{e: &eCall{fn: fn}}}, loc: loc}}, none(), true
+		case "Cond":
+			if recv.kind != gCond {
+				fc.diag(call.Pos(), CodeUnresolvedID, "receiver does not resolve to a translated Cond")
+				return nil, none(), true
+			}
+			switch f.Name() {
+			case "Wait":
+				return []irStmt{&sCondWait{obj: recv.obj, loc: loc}}, none(), true
+			case "Signal":
+				return []irStmt{&sCondNotify{obj: recv.obj, loc: loc}}, none(), true
+			case "Broadcast":
+				return []irStmt{&sCondNotify{obj: recv.obj, broadcast: true, loc: loc}}, none(), true
+			}
+		case "Map", "Pool":
+			fc.diag(call.Pos(), CodeSharedKind, "sync.%s has no virtual-runtime model", act.Recv)
+			return nil, none(), true
+		}
+		fc.diag(call.Pos(), CodeUnknownCall, "sync.%s.%s is outside the translatable set", act.Recv, f.Name())
+		return nil, none(), true
+
+	case "sync/atomic":
+		return fc.atomicCall(f, act, call, fun, lift)
+	}
+	// Any other recognized action (the sched DSL itself) should not appear
+	// in translated source.
+	fc.diag(call.Pos(), CodeUnknownCall, "call to %s is outside the translatable set", f.FullName())
+	return nil, none(), true
+}
+
+// atomicCall lowers sync/atomic package functions and typed-atomic
+// methods onto single-event volatile operations.
+func (fc *funcComp) atomicCall(f *types.Func, act static.Action, call *ast.CallExpr, fun ast.Expr, lift *[]irStmt) ([]irStmt, cval, bool) {
+	loc := fc.loc(call.Pos())
+	name := f.Name()
+
+	resolveVol := func(e ast.Expr) *group {
+		g := fc.pathGroup(e)
+		if g == nil {
+			fc.diag(e.Pos(), CodeUnresolvedID, "atomic operand does not resolve to a translated shared variable")
+			return nil
+		}
+		switch g.kind {
+		case gVol:
+			return g
+		case gInt:
+			fc.diag(e.Pos(), CodeUnsupported, "atomic access to a plainly-accessed variable mixes access disciplines")
+		case gBad:
+			fc.diag(e.Pos(), g.code, "%s", g.bad)
+		default:
+			fc.diag(e.Pos(), CodeUnresolvedID, "atomic operand is not integer storage")
+		}
+		return nil
+	}
+
+	if act.Recv != "" { // typed atomics: v.Load(), v.Store(x), ...
+		sel, _ := fun.(*ast.SelectorExpr)
+		if sel == nil {
+			fc.diag(call.Pos(), CodeUnresolvedID, "atomic call without a resolvable receiver")
+			return nil, none(), true
+		}
+		g := resolveVol(sel.X)
+		if g == nil {
+			return nil, none(), true
+		}
+		switch name {
+		case "Load":
+			return nil, runVal(&eVolRead{obj: g.obj, loc: loc}), true
+		case "Store":
+			v := fc.liftRun(runVal(fc.rvalue(call.Args[0])), lift)
+			return []irStmt{&sVolWrite{obj: g.obj, val: v.expr, loc: loc}}, none(), true
+		case "Add":
+			v := fc.liftRun(runVal(fc.rvalue(call.Args[0])), lift)
+			return nil, runVal(&eVolAdd{obj: g.obj, delta: v.expr, loc: loc}), true
+		case "CompareAndSwap":
+			o := fc.liftRun(runVal(fc.rvalue(call.Args[0])), lift)
+			n := fc.liftRun(runVal(fc.rvalue(call.Args[1])), lift)
+			return nil, runVal(&eVolCAS{obj: g.obj, old: o.expr, new: n.expr, loc: loc}), true
+		}
+		fc.diag(call.Pos(), CodeUnsupported, "atomic %s.%s is outside the translated subset", act.Recv, name)
+		return nil, none(), true
+	}
+
+	// Package functions: atomic.AddInt64(&v, d), ...
+	g := resolveVol(call.Args[0])
+	if g == nil {
+		return nil, none(), true
+	}
+	switch {
+	case hasPrefix(name, "Load"):
+		return nil, runVal(&eVolRead{obj: g.obj, loc: loc}), true
+	case hasPrefix(name, "Store"):
+		v := fc.liftRun(runVal(fc.rvalue(call.Args[1])), lift)
+		return []irStmt{&sVolWrite{obj: g.obj, val: v.expr, loc: loc}}, none(), true
+	case hasPrefix(name, "Add"):
+		v := fc.liftRun(runVal(fc.rvalue(call.Args[1])), lift)
+		return nil, runVal(&eVolAdd{obj: g.obj, delta: v.expr, loc: loc}), true
+	case hasPrefix(name, "CompareAndSwap"):
+		o := fc.liftRun(runVal(fc.rvalue(call.Args[1])), lift)
+		n := fc.liftRun(runVal(fc.rvalue(call.Args[2])), lift)
+		return nil, runVal(&eVolCAS{obj: g.obj, old: o.expr, new: n.expr, loc: loc}), true
+	}
+	fc.diag(call.Pos(), CodeUnsupported, "atomic.%s is outside the translated subset", name)
+	return nil, none(), true
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

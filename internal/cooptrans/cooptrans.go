@@ -1,0 +1,156 @@
+// Package cooptrans translates real Go packages into the virtual-thread
+// runtime, so the dynamic checker battery can run on ordinary source
+// instead of hand-written sched programs.
+//
+// The translator reuses internal/static's loader and call-recognition
+// tables (the exported seam in static/seams.go), compiles goroutine
+// bodies, sync primitives, channel operations, and shared-variable
+// accesses into a small tree-walking IR, and packages each niladic
+// top-level function as one sched.Program. Object names follow the
+// static pass's key abstraction and every effectful IR node carries its
+// original "dir/file.go:line" location, so translated traces, static
+// findings, and dynamic findings all speak one coordinate system — the
+// property the three-way differential harness checks.
+//
+// Translation is total over its input subset and explicit outside it:
+// untranslatable constructs (reflection, cgo, recursion, goto, dynamic
+// channel identities, goroutine-captured locals, exotic shared types,
+// unknown calls) produce positioned Diagnostics, never panics and never
+// silently wrong programs.
+package cooptrans
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/sched"
+	"repro/internal/static"
+)
+
+// Unit is one translated entry point, buildable into a runnable program.
+type Unit struct {
+	// Name is the program name, "pkg.Entry".
+	Name string `json:"name"`
+	// Entry is the original entry function's name.
+	Entry string `json:"entry"`
+	// Loc is the entry function's declaration site.
+	Loc string `json:"loc"`
+	// Objects maps translated object names to their declaration sites —
+	// the unit's source map, object side.
+	Objects map[string]string `json:"objects,omitempty"`
+
+	ir *irProgram
+}
+
+// Build constructs a fresh immutable sched.Program for this unit. The
+// program may be run or explored concurrently; all mutable interpreter
+// state is per-run.
+func (u *Unit) Build() *sched.Program { return u.ir.Build() }
+
+// Translation is the result of translating one package directory.
+type Translation struct {
+	Dir     string `json:"dir"`
+	Package string `json:"package"`
+	// Units are the successfully translated entry points.
+	Units []*Unit `json:"units"`
+	// Diags are the positioned reasons any construct or entry did not
+	// translate. A package with Diags may still have usable Units: each
+	// entry stands or falls on the constructs it reaches.
+	Diags []Diagnostic `json:"diags,omitempty"`
+	// Skipped names entry functions dropped because compiling them hit
+	// diagnostics.
+	Skipped []string `json:"skipped,omitempty"`
+	// Warnings are the loader's collected type-check/import errors.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// OK reports whether every discovered entry translated cleanly.
+func (t *Translation) OK() bool { return len(t.Diags) == 0 && len(t.Units) > 0 }
+
+// Translate loads and translates the package rooted at dir. The returned
+// error covers only load-level failures (unreadable directory, no Go
+// files); everything else is expressed as Diagnostics.
+func Translate(dir string) (*Translation, error) {
+	u, err := static.Load([]string{dir})
+	if err != nil {
+		return nil, err
+	}
+	pkg := u.Pkgs[0]
+	out := &Translation{Dir: pkg.Dir, Package: pkg.Name, Warnings: u.Warnings}
+
+	tr := &translator{
+		u:        u,
+		pkg:      pkg,
+		groups:   map[types.Object]*group{},
+		volPaths: map[string]bool{},
+		funcs:    map[string]*irFunc{},
+		stack:    map[string]bool{},
+		nameSeq:  map[string]int{},
+		groupIDs: map[*group]int{},
+	}
+	tr.discover()
+
+	entries := entryFuncs(pkg)
+	if len(entries) == 0 {
+		tr.diagAt(pkg.Files[0].Package, CodeNoEntry,
+			"package %s has no niladic top-level function to use as an entry point", pkg.Name)
+	}
+	for _, fd := range entries {
+		before := len(tr.diags)
+		fobj, _ := u.Info.Defs[fd.Name].(*types.Func)
+		if fobj == nil {
+			continue
+		}
+		fn, _, ok := tr.compileFn(&funcRef{obj: fobj}, nil, fd.Pos())
+		if !ok || len(tr.diags) > before {
+			out.Skipped = append(out.Skipped, fd.Name.Name)
+			continue
+		}
+		objs := append([]objDecl(nil), tr.objs...)
+		objMap := make(map[string]string, len(objs))
+		for _, d := range objs {
+			objMap[d.name] = d.loc
+		}
+		out.Units = append(out.Units, &Unit{
+			Name:    pkg.Name + "." + fd.Name.Name,
+			Entry:   fd.Name.Name,
+			Loc:     tr.loc(fd.Pos()),
+			Objects: objMap,
+			ir: &irProgram{
+				name:    pkg.Name + "." + fd.Name.Name,
+				entryFn: fd.Name.Name,
+				loc:     tr.loc(fd.Pos()),
+				objs:    objs,
+				entry:   fn,
+				funcs:   append([]*irFunc(nil), tr.order...),
+			},
+		})
+	}
+	out.Diags = dedupeDiags(tr.diags)
+	return out, nil
+}
+
+// entryFuncs returns the package's entry points in declaration order:
+// exported niladic top-level functions (no receiver, no parameters, no
+// results). Unexported helpers are reachable only through entries, so
+// running them standalone would misrepresent the package's concurrency.
+func entryFuncs(pkg *static.LoadedPackage) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() != 0 {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// String renders a unit for diagnostics.
+func (u *Unit) String() string { return fmt.Sprintf("%s (%s)", u.Name, u.Loc) }

@@ -1,0 +1,70 @@
+package cooptrans
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diagnostic codes, one per untranslatable-construct class. The negative
+// corpus asserts every class yields a positioned diagnostic rather than a
+// panic or a silently wrong program.
+const (
+	CodeReflection   = "reflection"    // reflect/unsafe usage
+	CodeCgo          = "cgo"           // import "C"
+	CodeRecursion    = "recursion"     // (mutually) recursive call chain
+	CodeGoto         = "goto"          // goto or labeled branch
+	CodeDynamicChan  = "dynamic-chan"  // non-constant capacity or loop-local make
+	CodeCapturedVar  = "captured-var"  // goroutine captures an enclosing local
+	CodeSharedKind   = "shared-kind"   // shared storage of untranslatable type
+	CodeUnknownCall  = "unknown-call"  // call target outside the translatable set
+	CodeUnsupported  = "unsupported"   // construct outside the modeled subset
+	CodeNoEntry      = "no-entry"      // package has no niladic entry function
+	CodeUnresolvedID = "unresolved-id" // sync/chan object identity not compile-time
+)
+
+// Diagnostic is one reason a construct could not be translated. The
+// translator never panics on input programs: every failure mode becomes a
+// Diagnostic positioned at the offending construct.
+type Diagnostic struct {
+	// Pos is the construct's location in the runtime's "dir/file.go:line"
+	// format ("" only for package-scope conditions with no anchor).
+	Pos string `json:"pos"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Msg is the human-readable explanation.
+	Msg string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	if d.Pos == "" {
+		return fmt.Sprintf("%s: %s", d.Code, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Code, d.Msg)
+}
+
+// sortDiags orders diagnostics by position then code for deterministic
+// output.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos < ds[j].Pos
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		return ds[i].Msg < ds[j].Msg
+	})
+}
+
+// dedupeDiags removes exact duplicates (specialized compilations can
+// rediscover the same construct).
+func dedupeDiags(ds []Diagnostic) []Diagnostic {
+	sortDiags(ds)
+	out := ds[:0]
+	for i, d := range ds {
+		if i == 0 || d != ds[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,720 @@
+package cooptrans
+
+import (
+	"fmt"
+	"go/token"
+
+	"repro/internal/sched"
+)
+
+// The translator compiles Go source to this small tree-walking IR at
+// translate time; at run time the IR is interpreted inside virtual
+// threads, each node performing its shared-state effects through the
+// running thread's sched.T handle. All runtime values are int64 (bools
+// are 0/1), matching the runtime's variable model; every identity —
+// which mutex, which channel, which shared variable — was resolved to an
+// object-table index during compilation, so interpretation never does
+// name lookup.
+//
+// Every effectful node carries the original source location ("dir/
+// file.go:line"); the interpreter sets it via T.At before emitting, so
+// traces and findings read in the translated package's own coordinates.
+
+// objKind classifies one entry of a program's shared-object table.
+type objKind uint8
+
+const (
+	oVar objKind = iota
+	oVol
+	oMutex
+	oCond
+	oChan
+	oWg
+)
+
+// objDecl is one shared object discovered at translate time.
+type objDecl struct {
+	kind objKind
+	name string // static-key-style id; becomes the sched object name
+	init int64  // oVar/oVol initial value
+	cap  int    // oChan capacity
+	mu   int    // oCond: object index of the guarding mutex
+	// loc is the declaration site, for emit comments and diagnostics.
+	loc string
+}
+
+// irProgram is one translated entry point: an object table plus the
+// compiled entry function (which transitively references every compiled
+// specialization through sFork/eCall nodes).
+type irProgram struct {
+	name    string // program name: "pkg.Entry"
+	entryFn string // original entry function name
+	loc     string // entry declaration site
+	objs    []objDecl
+	entry   *irFunc
+	funcs   []*irFunc // every compiled specialization, deterministic order
+}
+
+// irFunc is one compiled function specialization. Parameters that carried
+// compile-time identities (mutexes, channels, struct pointers, funcs) were
+// burned into the body during specialization; the remaining runtime
+// parameters are int64s in slots 0..nparams-1.
+type irFunc struct {
+	name    string // diagnostic name, e.g. "counter.worker[mu=…]"
+	orig    string // original (unspecialized) function name
+	loc     string // declaration site
+	nparams int
+	nslots  int
+	body    []irStmt
+}
+
+// Build constructs a fresh, immutable sched.Program for this translation.
+// The returned program may be explored concurrently: all per-run state
+// lives in run/frame values created inside the Proc bodies.
+func (p *irProgram) Build() *sched.Program {
+	sp := sched.NewProgram(p.name)
+	objs := make([]any, len(p.objs))
+	for i, d := range p.objs {
+		switch d.kind {
+		case oVar:
+			if d.init != 0 {
+				objs[i] = sp.VarInit(d.name, d.init)
+			} else {
+				objs[i] = sp.Var(d.name)
+			}
+		case oVol:
+			if d.init != 0 {
+				objs[i] = sp.VolatileInit(d.name, d.init)
+			} else {
+				objs[i] = sp.Volatile(d.name)
+			}
+		case oMutex:
+			objs[i] = sp.Mutex(d.name)
+		case oCond:
+			objs[i] = sp.Cond(d.name, objs[d.mu].(*sched.Mutex))
+		case oChan:
+			objs[i] = sp.Chan(d.name, d.cap)
+		case oWg:
+			objs[i] = sp.WaitGroup(d.name)
+		}
+	}
+	entry := p.entry
+	sp.SetMain(func(t *sched.T) {
+		r := &run{t: t, objs: objs}
+		r.call(entry, nil)
+	})
+	return sp
+}
+
+// run is the per-thread interpreter state: the thread's op handle plus
+// the shared (immutable) handle table. Forks create a fresh run for the
+// child thread.
+type run struct {
+	t       *sched.T
+	objs    []any
+	forkSeq int
+	depth   int
+}
+
+// maxCallDepth is a backstop against interpreter bugs; the compiler
+// rejects recursion, so translated programs stay far below it.
+const maxCallDepth = 2048
+
+func (r *run) call(fn *irFunc, args []int64) int64 {
+	r.depth++
+	if r.depth > maxCallDepth {
+		panic(fmt.Sprintf("cooptrans: call depth exceeded in %s (interpreter bug: recursion must be rejected at translate time)", fn.name))
+	}
+	fr := &frame{slots: make([]int64, fn.nslots)}
+	copy(fr.slots, args)
+	execBlock(r, fr, fn.body)
+	for i := len(fr.defers) - 1; i >= 0; i-- {
+		fr.defers[i].exec(r, fr)
+	}
+	r.depth--
+	return fr.ret
+}
+
+func (r *run) varOf(i int) *sched.Var      { return r.objs[i].(*sched.Var) }
+func (r *run) volOf(i int) *sched.Volatile { return r.objs[i].(*sched.Volatile) }
+func (r *run) muOf(i int) *sched.Mutex     { return r.objs[i].(*sched.Mutex) }
+func (r *run) condOf(i int) *sched.Cond    { return r.objs[i].(*sched.Cond) }
+func (r *run) chanOf(i int) *sched.Chan    { return r.objs[i].(*sched.Chan) }
+func (r *run) wgOf(i int) *sched.WaitGroup { return r.objs[i].(*sched.WaitGroup) }
+
+// frame is one interpreted activation record.
+type frame struct {
+	slots  []int64
+	defers []irStmt
+	ret    int64
+}
+
+// ctrl is a statement's control-flow outcome.
+type ctrl uint8
+
+const (
+	cNext ctrl = iota
+	cBreak
+	cContinue
+	cReturn
+)
+
+type irStmt interface{ exec(r *run, fr *frame) ctrl }
+type irExpr interface{ eval(r *run, fr *frame) int64 }
+
+func execBlock(r *run, fr *frame, body []irStmt) ctrl {
+	for _, s := range body {
+		if c := s.exec(r, fr); c != cNext {
+			return c
+		}
+	}
+	return cNext
+}
+
+// ---- statements ----
+
+type sAssign struct {
+	slot int
+	val  irExpr
+}
+
+func (s *sAssign) exec(r *run, fr *frame) ctrl {
+	fr.slots[s.slot] = s.val.eval(r, fr)
+	return cNext
+}
+
+type sVarWrite struct {
+	obj int
+	val irExpr
+	loc string
+}
+
+func (s *sVarWrite) exec(r *run, fr *frame) ctrl {
+	v := s.val.eval(r, fr)
+	r.t.At(s.loc).Write(r.varOf(s.obj), v)
+	return cNext
+}
+
+type sVolWrite struct {
+	obj int
+	val irExpr
+	loc string
+}
+
+func (s *sVolWrite) exec(r *run, fr *frame) ctrl {
+	v := s.val.eval(r, fr)
+	r.t.At(s.loc).VolWrite(r.volOf(s.obj), v)
+	return cNext
+}
+
+type sAcquire struct {
+	obj int
+	loc string
+}
+
+func (s *sAcquire) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).Acquire(r.muOf(s.obj))
+	return cNext
+}
+
+type sRelease struct {
+	obj int
+	loc string
+}
+
+func (s *sRelease) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).Release(r.muOf(s.obj))
+	return cNext
+}
+
+type sWgAdd struct {
+	obj   int
+	delta irExpr
+	loc   string
+}
+
+func (s *sWgAdd) exec(r *run, fr *frame) ctrl {
+	d := s.delta.eval(r, fr)
+	r.t.At(s.loc).WgAdd(r.wgOf(s.obj), d)
+	return cNext
+}
+
+type sWgWait struct {
+	obj int
+	loc string
+}
+
+func (s *sWgWait) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).WgWait(r.wgOf(s.obj))
+	return cNext
+}
+
+type sCondWait struct {
+	obj int
+	loc string
+}
+
+func (s *sCondWait) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).Wait(r.condOf(s.obj))
+	return cNext
+}
+
+type sCondNotify struct {
+	obj       int
+	broadcast bool
+	loc       string
+}
+
+func (s *sCondNotify) exec(r *run, fr *frame) ctrl {
+	if s.broadcast {
+		r.t.At(s.loc).Broadcast(r.condOf(s.obj))
+	} else {
+		r.t.At(s.loc).Signal(r.condOf(s.obj))
+	}
+	return cNext
+}
+
+type sYield struct{ loc string }
+
+func (s *sYield) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).Yield()
+	return cNext
+}
+
+type sSend struct {
+	obj int
+	val irExpr
+	loc string
+}
+
+func (s *sSend) exec(r *run, fr *frame) ctrl {
+	v := s.val.eval(r, fr)
+	r.t.At(s.loc).Send(r.chanOf(s.obj), v)
+	return cNext
+}
+
+type sClose struct {
+	obj int
+	loc string
+}
+
+func (s *sClose) exec(r *run, fr *frame) ctrl {
+	r.t.At(s.loc).Close(r.chanOf(s.obj))
+	return cNext
+}
+
+// sRecv2 is the statement form `v, ok := <-ch` (either slot may be -1).
+type sRecv2 struct {
+	valSlot int
+	okSlot  int
+	obj     int
+	loc     string
+}
+
+func (s *sRecv2) exec(r *run, fr *frame) ctrl {
+	v, ok := r.t.At(s.loc).Recv(r.chanOf(s.obj))
+	if s.valSlot >= 0 {
+		fr.slots[s.valSlot] = v
+	}
+	if s.okSlot >= 0 {
+		fr.slots[s.okSlot] = b2i(ok)
+	}
+	return cNext
+}
+
+// sOnce is the lowering of sync.Once.Do: a single-event volatile CAS on
+// the flag (matching the static model's one volatile write) guarding the
+// first and only execution of the body.
+type sOnce struct {
+	flag int // oVol object index
+	body []irStmt
+	loc  string
+}
+
+func (s *sOnce) exec(r *run, fr *frame) ctrl {
+	if r.t.At(s.loc).VolCAS(r.volOf(s.flag), 0, 1) {
+		return execBlock(r, fr, s.body)
+	}
+	return cNext
+}
+
+type sFork struct {
+	name string
+	fn   *irFunc
+	args []irExpr
+	loc  string
+}
+
+func (s *sFork) exec(r *run, fr *frame) ctrl {
+	args := make([]int64, len(s.args))
+	for i, a := range s.args {
+		args[i] = a.eval(r, fr)
+	}
+	r.forkSeq++
+	name := fmt.Sprintf("%s#%d", s.name, r.forkSeq)
+	fn := s.fn
+	objs := r.objs
+	r.t.At(s.loc).Fork(name, func(ct *sched.T) {
+		cr := &run{t: ct, objs: objs}
+		cr.call(fn, args)
+	})
+	return cNext
+}
+
+// sSeq groups several statements into one (loop init/post slots, deferred
+// calls). Control flow passes through unchanged.
+type sSeq struct{ list []irStmt }
+
+func (s *sSeq) exec(r *run, fr *frame) ctrl { return execBlock(r, fr, s.list) }
+
+// sScope is a break boundary: switch and select case bodies compile into
+// one, so a naked `break` exits the case (Go semantics) instead of
+// escaping to an enclosing loop. continue and return pass through.
+type sScope struct{ body []irStmt }
+
+func (s *sScope) exec(r *run, fr *frame) ctrl {
+	if c := execBlock(r, fr, s.body); c != cBreak {
+		return c
+	}
+	return cNext
+}
+
+type sExpr struct{ e irExpr }
+
+func (s *sExpr) exec(r *run, fr *frame) ctrl {
+	s.e.eval(r, fr)
+	return cNext
+}
+
+type sReturn struct{ val irExpr }
+
+func (s *sReturn) exec(r *run, fr *frame) ctrl {
+	if s.val != nil {
+		fr.ret = s.val.eval(r, fr)
+	}
+	return cReturn
+}
+
+type sBreak struct{}
+
+func (s *sBreak) exec(r *run, fr *frame) ctrl { return cBreak }
+
+type sContinue struct{}
+
+func (s *sContinue) exec(r *run, fr *frame) ctrl { return cContinue }
+
+type sIf struct {
+	cond irExpr
+	then []irStmt
+	els  []irStmt
+}
+
+func (s *sIf) exec(r *run, fr *frame) ctrl {
+	if s.cond.eval(r, fr) != 0 {
+		return execBlock(r, fr, s.then)
+	}
+	return execBlock(r, fr, s.els)
+}
+
+type sFor struct {
+	init irStmt // may be nil
+	cond irExpr // may be nil (for {})
+	post irStmt // may be nil
+	body []irStmt
+}
+
+func (s *sFor) exec(r *run, fr *frame) ctrl {
+	if s.init != nil {
+		s.init.exec(r, fr)
+	}
+	for {
+		if s.cond != nil && s.cond.eval(r, fr) == 0 {
+			return cNext
+		}
+		switch execBlock(r, fr, s.body) {
+		case cBreak:
+			return cNext
+		case cReturn:
+			return cReturn
+		}
+		if s.post != nil {
+			s.post.exec(r, fr)
+		}
+	}
+}
+
+// sRangeChan is `for v := range ch { ... }`.
+type sRangeChan struct {
+	valSlot int // -1 when the value is discarded
+	obj     int
+	body    []irStmt
+	loc     string
+}
+
+func (s *sRangeChan) exec(r *run, fr *frame) ctrl {
+	for {
+		v, ok := r.t.At(s.loc).Recv(r.chanOf(s.obj))
+		if !ok {
+			return cNext
+		}
+		if s.valSlot >= 0 {
+			fr.slots[s.valSlot] = v
+		}
+		switch execBlock(r, fr, s.body) {
+		case cBreak:
+			return cNext
+		case cReturn:
+			return cReturn
+		}
+	}
+}
+
+type sDefer struct {
+	// pre evaluates the deferred call's arguments at defer time into
+	// dedicated slots (Go semantics); call runs at function exit.
+	pre  []irStmt
+	call irStmt
+}
+
+func (s *sDefer) exec(r *run, fr *frame) ctrl {
+	for _, p := range s.pre {
+		p.exec(r, fr)
+	}
+	fr.defers = append(fr.defers, s.call)
+	return cNext
+}
+
+// selCase is one arm of an sSelect.
+type selCase struct {
+	send    bool
+	obj     int
+	sendVal irExpr // send arms
+	valSlot int    // recv arms; -1 none
+	okSlot  int    // recv arms; -1 none
+	body    []irStmt
+}
+
+type sSelect struct {
+	cases      []selCase
+	hasDefault bool
+	defBody    []irStmt
+	loc        string
+}
+
+func (s *sSelect) exec(r *run, fr *frame) ctrl {
+	cs := make([]sched.SelectCase, len(s.cases))
+	for i := range s.cases {
+		c := &s.cases[i]
+		if c.send {
+			cs[i] = sched.SendCase(r.chanOf(c.obj), c.sendVal.eval(r, fr))
+		} else {
+			cs[i] = sched.RecvCase(r.chanOf(c.obj))
+		}
+	}
+	var idx int
+	var val int64
+	var ok bool
+	if s.hasDefault {
+		idx, val, ok = r.t.At(s.loc).SelectDefault(cs...)
+	} else {
+		idx, val, ok = r.t.At(s.loc).Select(cs...)
+	}
+	if idx < 0 {
+		return execBlock(r, fr, s.defBody)
+	}
+	c := &s.cases[idx]
+	if !c.send {
+		if c.valSlot >= 0 {
+			fr.slots[c.valSlot] = val
+		}
+		if c.okSlot >= 0 {
+			fr.slots[c.okSlot] = b2i(ok)
+		}
+	}
+	return execBlock(r, fr, c.body)
+}
+
+// ---- expressions ----
+
+type eConst struct{ v int64 }
+
+func (e *eConst) eval(r *run, fr *frame) int64 { return e.v }
+
+type eSlot struct{ i int }
+
+func (e *eSlot) eval(r *run, fr *frame) int64 { return fr.slots[e.i] }
+
+type eVarRead struct {
+	obj int
+	loc string
+}
+
+func (e *eVarRead) eval(r *run, fr *frame) int64 {
+	return r.t.At(e.loc).Read(r.varOf(e.obj))
+}
+
+type eVolRead struct {
+	obj int
+	loc string
+}
+
+func (e *eVolRead) eval(r *run, fr *frame) int64 {
+	return r.t.At(e.loc).VolRead(r.volOf(e.obj))
+}
+
+type eVolAdd struct {
+	obj   int
+	delta irExpr
+	loc   string
+}
+
+func (e *eVolAdd) eval(r *run, fr *frame) int64 {
+	d := e.delta.eval(r, fr)
+	return r.t.At(e.loc).VolAdd(r.volOf(e.obj), d)
+}
+
+type eVolCAS struct {
+	obj      int
+	old, new irExpr
+	loc      string
+}
+
+func (e *eVolCAS) eval(r *run, fr *frame) int64 {
+	o := e.old.eval(r, fr)
+	n := e.new.eval(r, fr)
+	return b2i(r.t.At(e.loc).VolCAS(r.volOf(e.obj), o, n))
+}
+
+type eRecv struct {
+	obj int
+	loc string
+}
+
+func (e *eRecv) eval(r *run, fr *frame) int64 {
+	v, _ := r.t.At(e.loc).Recv(r.chanOf(e.obj))
+	return v
+}
+
+// eSeq runs side-effecting statements before yielding a value — the shape
+// of value-position intrinsics like TryLock (acquire, then true).
+type eSeq struct {
+	pre []irStmt
+	val irExpr
+}
+
+func (e *eSeq) eval(r *run, fr *frame) int64 {
+	execBlock(r, fr, e.pre)
+	return e.val.eval(r, fr)
+}
+
+type eCall struct {
+	fn   *irFunc
+	args []irExpr
+}
+
+func (e *eCall) eval(r *run, fr *frame) int64 {
+	args := make([]int64, len(e.args))
+	for i, a := range e.args {
+		args[i] = a.eval(r, fr)
+	}
+	return r.call(e.fn, args)
+}
+
+type eAnd struct{ l, r irExpr }
+
+func (e *eAnd) eval(r *run, fr *frame) int64 {
+	if e.l.eval(r, fr) == 0 {
+		return 0
+	}
+	return b2i(e.r.eval(r, fr) != 0)
+}
+
+type eOr struct{ l, r irExpr }
+
+func (e *eOr) eval(r *run, fr *frame) int64 {
+	if e.l.eval(r, fr) != 0 {
+		return 1
+	}
+	return b2i(e.r.eval(r, fr) != 0)
+}
+
+type eBin struct {
+	op   token.Token
+	l, r irExpr
+	loc  string
+}
+
+func (e *eBin) eval(r *run, fr *frame) int64 {
+	l := e.l.eval(r, fr)
+	rv := e.r.eval(r, fr)
+	switch e.op {
+	case token.ADD:
+		return l + rv
+	case token.SUB:
+		return l - rv
+	case token.MUL:
+		return l * rv
+	case token.QUO:
+		if rv == 0 {
+			panic(fmt.Sprintf("cooptrans: integer division by zero at %s", e.loc))
+		}
+		return l / rv
+	case token.REM:
+		if rv == 0 {
+			panic(fmt.Sprintf("cooptrans: integer division by zero at %s", e.loc))
+		}
+		return l % rv
+	case token.EQL:
+		return b2i(l == rv)
+	case token.NEQ:
+		return b2i(l != rv)
+	case token.LSS:
+		return b2i(l < rv)
+	case token.LEQ:
+		return b2i(l <= rv)
+	case token.GTR:
+		return b2i(l > rv)
+	case token.GEQ:
+		return b2i(l >= rv)
+	case token.AND:
+		return l & rv
+	case token.OR:
+		return l | rv
+	case token.XOR:
+		return l ^ rv
+	case token.SHL:
+		return l << uint(rv)
+	case token.SHR:
+		return l >> uint(rv)
+	case token.AND_NOT:
+		return l &^ rv
+	}
+	panic(fmt.Sprintf("cooptrans: unhandled binary op %v at %s (translate-time bug)", e.op, e.loc))
+}
+
+type eUnary struct {
+	op token.Token
+	x  irExpr
+}
+
+func (e *eUnary) eval(r *run, fr *frame) int64 {
+	v := e.x.eval(r, fr)
+	switch e.op {
+	case token.SUB:
+		return -v
+	case token.NOT:
+		return b2i(v == 0)
+	case token.XOR:
+		return ^v
+	case token.ADD:
+		return v
+	}
+	panic(fmt.Sprintf("cooptrans: unhandled unary op %v (translate-time bug)", e.op))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+// Package counter is the lock-discipline half of the translation corpus:
+// several workers bump a shared total under a mutex, joined by a local
+// WaitGroup captured (by identity) in goroutine closures.
+package counter
+
+import "sync"
+
+var (
+	mu    sync.Mutex
+	total int
+	dirty int
+)
+
+func worker(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		total += 1
+		mu.Unlock()
+	}
+}
+
+// Run is the disciplined entry: all shared accesses are guarded.
+func Run() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		worker(3)
+		wg.Done()
+	}()
+	go func() {
+		worker(3)
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Racy seeds a lost-update race on dirty for the differential check: the
+// dynamic checkers must flag it and the static pass must not claim the
+// touching code.
+func Racy() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		dirty = dirty + 1
+		wg.Done()
+	}()
+	go func() {
+		dirty = dirty + 1
+		wg.Done()
+	}()
+	wg.Wait()
+}

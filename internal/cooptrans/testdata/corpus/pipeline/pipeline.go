@@ -1,0 +1,48 @@
+// Package pipeline is the channel-discipline half of the translation
+// corpus: a bounded producer, a draining consumer over range, a close,
+// an unbuffered join, and a select.
+package pipeline
+
+var (
+	jobs = make(chan int, 2)
+	done = make(chan int)
+	quit = make(chan int)
+	sum  int
+)
+
+func producer() {
+	for i := 0; i < 4; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+func consumer() {
+	s := 0
+	for v := range jobs {
+		s += v
+	}
+	done <- s
+}
+
+// Run drives the produce/consume pipeline to completion.
+func Run() {
+	go producer()
+	go consumer()
+	sum = <-done
+}
+
+func stopper() {
+	quit <- 1
+}
+
+// Mix exercises select: nothing feeds jobs here, so the quit arm commits.
+func Mix() {
+	go stopper()
+	select {
+	case v := <-jobs:
+		sum = v
+	case <-quit:
+		sum = -1
+	}
+}

@@ -1,0 +1,36 @@
+// Package racybank seeds the corpus's atomicity bug: withdraw checks the
+// balance in one critical section and moves the money in another, the
+// classic check-then-act compound that both the static pass and the
+// dynamic cooperability checker must flag — through their own pipelines,
+// at the same source coordinates.
+package racybank
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	a  int = 10
+	b  int
+	wg sync.WaitGroup
+)
+
+func withdraw(amount int) {
+	mu.Lock()
+	ok := a >= amount
+	mu.Unlock()
+	if ok {
+		mu.Lock()
+		a -= amount
+		b += amount
+		mu.Unlock()
+	}
+	wg.Done()
+}
+
+// Run races two withdrawals that together overdraw the account.
+func Run() {
+	wg.Add(2)
+	go withdraw(6)
+	go withdraw(6)
+	wg.Wait()
+}

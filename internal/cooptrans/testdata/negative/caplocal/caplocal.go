@@ -1,0 +1,18 @@
+// Package caplocal must fail translation: a goroutine closure captures a
+// plain local of the enclosing function, which has no place in the
+// runtime's slot model (only object identities may be captured).
+package caplocal
+
+import "sync"
+
+func Run() {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(1)
+	go func() {
+		n++
+		wg.Done()
+	}()
+	wg.Wait()
+	_ = n
+}

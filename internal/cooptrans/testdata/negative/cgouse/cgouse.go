@@ -1,0 +1,7 @@
+// Package cgouse must fail translation: cgo is outside the virtual
+// runtime's model.
+package cgouse
+
+import "C"
+
+func Run() {}

@@ -1,0 +1,10 @@
+// Package dynchan must fail translation: channel identities and
+// capacities must be compile-time resolvable.
+package dynchan
+
+func Run() {
+	n := 3
+	ch := make(chan int, n)
+	ch <- 1
+	<-ch
+}

@@ -1,0 +1,13 @@
+// Package gotouse must fail translation: goto and labels are outside the
+// structured-control subset.
+package gotouse
+
+func Run() {
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	_ = i
+}

@@ -1,0 +1,9 @@
+// Package mapshared must fail translation: shared storage beyond int64
+// scalars (maps, slices, strings) is outside the modeled subset.
+package mapshared
+
+var counts = map[string]int{}
+
+func Run() {
+	_ = counts["a"]
+}

@@ -1,0 +1,14 @@
+// Package recur must fail translation: the virtual runtime needs bounded
+// call trees, so (mutually) recursive functions are rejected.
+package recur
+
+func count(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return count(n-1) + 1
+}
+
+func Run() {
+	_ = count(3)
+}

@@ -1,0 +1,9 @@
+// Package reflectuse must fail translation: reflection breaks the static
+// shape the translator depends on.
+package reflectuse
+
+import "reflect"
+
+func Run() {
+	_ = reflect.ValueOf(1)
+}

@@ -1,0 +1,10 @@
+// Package unknowncall must fail translation: calls whose targets are
+// neither translatable source nor recognized intrinsics are rejected
+// explicitly rather than silently dropped.
+package unknowncall
+
+import "os"
+
+func Run() {
+	_ = os.Getpid()
+}

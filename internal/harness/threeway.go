@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"sort"
+
+	"repro/internal/cooptrans"
+	"repro/internal/core"
+	"repro/internal/movers"
+	"repro/internal/sched"
+	"repro/internal/static"
+)
+
+// The three-way differential closes the loop the translator opens: for
+// one real Go package it runs
+//
+//  (a) the dynamic checker battery over the cooptrans-translated
+//      programs (explored schedules, two-pass cooperability per run,
+//      fused Table 3 battery on the cooperative schedule),
+//  (b) the static cooperability pass (coopvet) over the original
+//      source, and
+//  (c) the agreement rule from the static differential gate: no
+//      dynamically observed violation location may fall inside a
+//      statically claimed function.
+//
+// Because the translator, the static pass, and the trace runtime all
+// name program points in the same trimmed "dir/file.go:line" form, the
+// comparison is exact string/containment matching — no fuzzy mapping.
+// A Contradiction is a soundness bug in one of the three components.
+
+// ThreeWayOptions bounds the dynamic side of the differential.
+type ThreeWayOptions struct {
+	// MaxRuns caps explored schedules per translated unit; 0 means 200.
+	MaxRuns int
+	// MaxPreemptions bounds non-forced context switches per schedule;
+	// 0 explores only the cooperative schedule tree.
+	MaxPreemptions int
+}
+
+// ThreeWayUnit summarizes the dynamic evidence for one translated entry.
+type ThreeWayUnit struct {
+	Name  string `json:"name"`
+	Entry string `json:"entry"`
+	// Runs is the number of schedules explored.
+	Runs int `json:"runs"`
+	// ErrRuns counts schedules ending in deadlock or panic; those runs
+	// carry no reducibility evidence and are excluded from the check.
+	ErrRuns int `json:"err_runs,omitempty"`
+	// ViolationRuns counts schedules on which the two-pass cooperability
+	// checker reported at least one violation.
+	ViolationRuns int `json:"violation_runs"`
+	// ViolationLocs are the distinct violation locations across all
+	// explored schedules, in the shared "dir/file.go:line" form.
+	ViolationLocs []string `json:"violation_locs,omitempty"`
+	// RacyVars is the size of the fused battery's racy-variable set on
+	// the cooperative schedule.
+	RacyVars int `json:"racy_vars"`
+}
+
+// Contradiction records one violation of the agreement rule: the static
+// pass claimed Func cooperable, yet a dynamic checker reported a
+// violation at Loc inside it on a translated schedule.
+type Contradiction struct {
+	Unit    string `json:"unit"`
+	Func    string `json:"func"`
+	Verdict string `json:"verdict"`
+	Loc     string `json:"loc"`
+}
+
+// ThreeWayReport is the JSON-serializable outcome for one package.
+type ThreeWayReport struct {
+	Dir     string `json:"dir"`
+	Package string `json:"package"`
+	// Diags are translation diagnostics (untranslatable constructs).
+	Diags []cooptrans.Diagnostic `json:"diags,omitempty"`
+	// Skipped names entry functions dropped by translation diagnostics.
+	Skipped []string `json:"skipped,omitempty"`
+	// Units carry the per-entry dynamic evidence.
+	Units []ThreeWayUnit `json:"units"`
+	// StaticClaims counts functions coopvet claimed cooperable.
+	StaticClaims int `json:"static_claims"`
+	// StaticFindingLocs are coopvet's yield-required locations.
+	StaticFindingLocs []string `json:"static_finding_locs,omitempty"`
+	// DynamicLocs is the union of every unit's ViolationLocs.
+	DynamicLocs []string `json:"dynamic_violation_locs,omitempty"`
+	// Contradictions is never nil, so the JSON form always carries an
+	// array the CI gate can length-check.
+	Contradictions []Contradiction `json:"contradictions"`
+
+	// Static is the full coopvet report, for callers that need verdict
+	// detail; omitted from the JSON form (Funcs repeat its content).
+	Static *static.Report `json:"-"`
+}
+
+// Agrees reports whether the three components never contradicted.
+func (r *ThreeWayReport) Agrees() bool { return len(r.Contradictions) == 0 }
+
+// ThreeWay runs the full differential over the package rooted at dir.
+// The returned error covers infrastructure failures (unloadable package,
+// exploration errors); translation diagnostics and contradictions are
+// reported in the ThreeWayReport instead.
+func ThreeWay(dir string, opts ThreeWayOptions) (*ThreeWayReport, error) {
+	maxRuns := opts.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 200
+	}
+	tr, err := cooptrans.Translate(dir)
+	if err != nil {
+		return nil, err
+	}
+	srep, err := static.Analyze([]string{dir}, static.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ThreeWayReport{
+		Dir:            tr.Dir,
+		Package:        tr.Package,
+		Diags:          tr.Diags,
+		Skipped:        tr.Skipped,
+		Contradictions: []Contradiction{},
+		Static:         srep,
+	}
+	for _, f := range srep.Funcs {
+		if f.Claimed() {
+			rep.StaticClaims++
+		}
+	}
+	staticLocs := map[string]bool{}
+	for _, fd := range srep.Findings {
+		staticLocs[fd.Loc] = true
+	}
+	rep.StaticFindingLocs = sortedLocs(staticLocs)
+
+	dynAll := map[string]bool{}
+	for _, u := range tr.Units {
+		unit := ThreeWayUnit{Name: u.Name, Entry: u.Entry}
+		locs := map[string]bool{}
+		_, err := sched.Explore(u.Build(), sched.ExploreOptions{
+			MaxRuns:        maxRuns,
+			MaxPreemptions: opts.MaxPreemptions,
+			RecordTrace:    true,
+			Visit: func(res *sched.Result, runErr error) bool {
+				unit.Runs++
+				if runErr != nil {
+					// Deadlocks and panics on some schedule are real
+					// findings, but not reducibility evidence.
+					unit.ErrRuns++
+					return true
+				}
+				c := core.AnalyzeTwoPass(res.Trace, core.Options{Policy: movers.DefaultPolicy()})
+				if vs := c.Violations(); len(vs) > 0 {
+					unit.ViolationRuns++
+					for _, v := range vs {
+						locs[res.Trace.Strings.Name(v.Event.Loc)] = true
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The fused Table 3 battery on the cooperative schedule: path (a)
+		// also exercises the race/lockset/atomicity checkers, and its
+		// racy-variable set feeds the unit summary.
+		if res, runErr := sched.Run(u.Build(), sched.Options{Strategy: &sched.Cooperative{}, RecordTrace: true}); runErr == nil {
+			fa := FusedRunner{}.Analyze(res.Trace)
+			unit.RacyVars = len(fa.KnownRaces)
+		}
+		unit.ViolationLocs = sortedLocs(locs)
+		for l := range locs {
+			dynAll[l] = true
+		}
+		// The agreement rule, verbatim from the static differential gate.
+		for _, loc := range unit.ViolationLocs {
+			for _, f := range srep.Funcs {
+				if f.Claimed() && f.Contains(loc) {
+					rep.Contradictions = append(rep.Contradictions, Contradiction{
+						Unit:    u.Name,
+						Func:    f.Name,
+						Verdict: string(f.Verdict),
+						Loc:     loc,
+					})
+				}
+			}
+		}
+		rep.Units = append(rep.Units, unit)
+	}
+	rep.DynamicLocs = sortedLocs(dynAll)
+	return rep, nil
+}
+
+func sortedLocs(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The three-way gate over the vendored corpus: dynamic checkers on
+// translated programs, coopvet on original source, and the agreement
+// rule must never contradict. The corpus is chosen so the gate is not
+// vacuous: pipeline carries positive static claims (channel
+// discipline), counter carries a seeded data race (lock discipline plus
+// a racy entry), and racybank carries a seeded check-then-act atomicity
+// bug that must surface through BOTH pipelines at the same coordinates.
+
+const corpusRoot = "../cooptrans/testdata/corpus/"
+
+func threeWay(t *testing.T, pkg string) *ThreeWayReport {
+	t.Helper()
+	rep, err := ThreeWay(corpusRoot+pkg, ThreeWayOptions{MaxRuns: 200, MaxPreemptions: 1})
+	if err != nil {
+		t.Fatalf("ThreeWay(%s): %v", pkg, err)
+	}
+	return rep
+}
+
+func TestThreeWayCorpusAgreement(t *testing.T) {
+	claims, violRuns, runs := 0, 0, 0
+	for _, pkg := range []string{"counter", "pipeline", "racybank"} {
+		rep := threeWay(t, pkg)
+		if len(rep.Diags) > 0 {
+			t.Errorf("%s: corpus package must translate cleanly, got diags %v", pkg, rep.Diags)
+		}
+		if len(rep.Units) == 0 {
+			t.Fatalf("%s: no translated units", pkg)
+		}
+		if !rep.Agrees() {
+			t.Errorf("%s: three-way contradiction(s): %+v", pkg, rep.Contradictions)
+		}
+		claims += rep.StaticClaims
+		for _, u := range rep.Units {
+			runs += u.Runs
+			violRuns += u.ViolationRuns
+			if u.Runs == 0 {
+				t.Errorf("%s/%s: explored zero schedules", pkg, u.Name)
+			}
+		}
+	}
+	// Vacuous gates: the agreement check proves nothing unless the static
+	// side claimed something and the dynamic side found something.
+	if claims == 0 {
+		t.Fatal("vacuous gate: static pass claimed nothing across the corpus")
+	}
+	if violRuns == 0 {
+		t.Fatal("vacuous gate: dynamic checker never reported a violation across the corpus")
+	}
+	if runs == 0 {
+		t.Fatal("vacuous gate: no schedules explored")
+	}
+}
+
+// TestThreeWayChannelDiscipline pins the positive half: the pipeline
+// package's channel-disciplined functions must be statically claimed,
+// and no explored schedule of the translated programs may contradict.
+func TestThreeWayChannelDiscipline(t *testing.T) {
+	rep := threeWay(t, "pipeline")
+	if rep.StaticClaims == 0 {
+		t.Fatalf("pipeline: want >0 static claims (channel ops are boundaries), got verdicts %+v", rep.Static.Funcs)
+	}
+	if !rep.Agrees() {
+		t.Errorf("pipeline: contradictions %+v", rep.Contradictions)
+	}
+}
+
+// TestThreeWaySeededBug pins the negative half: racybank's check-then-act
+// withdraw must be flagged by the static pass on original source AND by
+// the dynamic checker on the translated program — at intersecting source
+// coordinates.
+func TestThreeWaySeededBug(t *testing.T) {
+	rep := threeWay(t, "racybank")
+
+	f, ok := rep.Static.Func("withdraw")
+	if !ok {
+		t.Fatal("racybank: static report has no entry for withdraw")
+	}
+	if f.Claimed() {
+		t.Fatalf("racybank: withdraw must not be claimed (check-then-act), got verdict %q", f.Verdict)
+	}
+	staticInWithdraw := false
+	for _, loc := range rep.StaticFindingLocs {
+		if f.Contains(loc) {
+			staticInWithdraw = true
+		}
+	}
+	if !staticInWithdraw {
+		t.Errorf("racybank: no static finding inside withdraw, findings %v", rep.StaticFindingLocs)
+	}
+
+	dynInWithdraw := false
+	for _, loc := range rep.DynamicLocs {
+		if f.Contains(loc) {
+			dynInWithdraw = true
+		}
+	}
+	if !dynInWithdraw {
+		t.Errorf("racybank: no dynamic violation inside withdraw on any translated schedule, dyn locs %v", rep.DynamicLocs)
+	}
+
+	// "Surfaced identically": at least one exact coordinate is reported
+	// by both pipelines.
+	both := false
+	for _, d := range rep.DynamicLocs {
+		for _, s := range rep.StaticFindingLocs {
+			if d == s {
+				both = true
+			}
+		}
+	}
+	if !both {
+		t.Errorf("racybank: static findings %v and dynamic locs %v share no coordinate",
+			rep.StaticFindingLocs, rep.DynamicLocs)
+	}
+	if !rep.Agrees() {
+		t.Errorf("racybank: contradictions %+v", rep.Contradictions)
+	}
+}
+
+// TestThreeWayReportJSON pins the machine-readable contract the CI gate
+// depends on: contradictions is always a JSON array (never null), and
+// the report round-trips.
+func TestThreeWayReportJSON(t *testing.T) {
+	rep := threeWay(t, "counter")
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"contradictions":[`) {
+		t.Errorf("report JSON must carry a contradictions array, got %s", b)
+	}
+	var back ThreeWayReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Package != "counter" || len(back.Units) != len(rep.Units) {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}

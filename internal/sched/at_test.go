@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestAtOverridesLocations: every op emitted after At(loc) carries loc
+// verbatim instead of a PC-resolved call site, until the next At.
+func TestAtOverridesLocations(t *testing.T) {
+	p := NewProgram("at")
+	v := p.Var("x")
+	m := p.Mutex("mu")
+	p.SetMain(func(tt *T) {
+		tt.At("pkg/orig.go:10").Acquire(m)
+		tt.At("pkg/orig.go:11")
+		tt.Write(v, 1)
+		tt.At("pkg/orig.go:12").Release(m)
+		tt.At("") // back to PC capture
+		tt.Read(v)
+	})
+	res, err := Run(p, Options{Strategy: Cooperative{}, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := map[trace.Op]string{
+		trace.OpAcquire: "pkg/orig.go:10",
+		trace.OpWrite:   "pkg/orig.go:11",
+		trace.OpRelease: "pkg/orig.go:12",
+	}
+	for _, e := range res.Trace.Events {
+		if loc, ok := want[e.Op]; ok {
+			if got := res.Trace.Strings.Name(e.Loc); got != loc {
+				t.Errorf("%v: loc = %q, want %q", e.Op, got, loc)
+			}
+		}
+		if e.Op == trace.OpRead {
+			got := res.Trace.Strings.Name(e.Loc)
+			if got == "" || got == "pkg/orig.go:12" {
+				t.Errorf("Read after At(\"\") should use PC capture, got %q", got)
+			}
+		}
+	}
+}
+
+// TestAtDoesNotLeakAcrossThreads: the override is per-thread; a forked
+// thread keeps PC capture until it calls At itself.
+func TestAtDoesNotLeakAcrossThreads(t *testing.T) {
+	p := NewProgram("at-threads")
+	v := p.Var("x")
+	p.SetMain(func(tt *T) {
+		tt.At("pkg/main.go:1")
+		h := tt.Fork("child", func(c *T) {
+			c.Write(v, 1) // no override: PC-captured
+		})
+		tt.Join(h)
+	})
+	res, err := Run(p, Options{Strategy: Cooperative{}, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, e := range res.Trace.Events {
+		if e.Op == trace.OpWrite {
+			if got := res.Trace.Strings.Name(e.Loc); got == "pkg/main.go:1" {
+				t.Errorf("child write inherited parent's At override")
+			}
+		}
+	}
+}
+
+// TestVolAddVolCAS: single-event RMW semantics and values.
+func TestVolAddVolCAS(t *testing.T) {
+	p := NewProgram("volrmw")
+	v := p.Volatile("n")
+	p.SetMain(func(tt *T) {
+		if got := tt.VolAdd(v, 5); got != 5 {
+			t.Errorf("VolAdd = %d, want 5", got)
+		}
+		if !tt.VolCAS(v, 5, 9) {
+			t.Error("VolCAS(5->9) failed")
+		}
+		if tt.VolCAS(v, 5, 1) {
+			t.Error("VolCAS with stale old value succeeded")
+		}
+		if got := tt.VolRead(v); got != 9 {
+			t.Errorf("VolRead = %d, want 9", got)
+		}
+	})
+	res, err := Run(p, Options{Strategy: Cooperative{}, RecordTrace: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	writes := 0
+	for _, e := range res.Trace.Events {
+		if e.Op == trace.OpVolWrite {
+			writes++
+		}
+	}
+	// VolAdd + 2×VolCAS: one OpVolWrite each, no hidden OpVolRead.
+	if writes != 3 {
+		t.Errorf("OpVolWrite count = %d, want 3", writes)
+	}
+	if got := res.FinalVolatiles[0]; got != 9 {
+		t.Errorf("final volatile = %d, want 9", got)
+	}
+}

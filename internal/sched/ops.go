@@ -23,6 +23,22 @@ func (x *T) ID() trace.TID { return x.t.id }
 // Name returns the thread's diagnostic name.
 func (x *T) Name() string { return x.t.name }
 
+// At overrides location capture for every subsequent op this thread
+// emits: events carry loc (the runtime's "dir/file.go:line" format)
+// instead of the Go call site resolved from the PC. The override is
+// sticky until the next At call; At("") restores PC capture. Translated
+// programs (internal/cooptrans) set it before each interpreted operation
+// so findings read in the original source's coordinates. Returns the
+// receiver for chaining: t.At("pkg/file.go:12").Acquire(mu).
+func (x *T) At(loc string) *T {
+	if loc == "" {
+		x.t.locOverride = locNone
+		return x
+	}
+	x.t.locOverride = x.rt.strings.Intern(loc)
+	return x
+}
+
 // Handle identifies a forked thread for joining.
 type Handle struct {
 	tid trace.TID
@@ -85,6 +101,73 @@ func (x *T) VolWrite(v *Volatile, val int64) {
 	var pcs [1]uintptr
 	x.rt.capturePC(&pcs)
 	x.rt.emitPC(x.t, trace.OpVolWrite, v.ID(), pcs[0])
+}
+
+// VolAdd atomically adds delta to a volatile variable and returns the new
+// value. The read-modify-write is one atomic operation, so it emits a
+// single OpVolWrite — mirroring sync/atomic.Add*, whose static model
+// (internal/static/ops.go) is likewise one volatile write.
+func (x *T) VolAdd(v *Volatile, delta int64) int64 {
+	val := x.rt.volVals[v.id] + delta
+	x.rt.volVals[v.id] = val
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpVolWrite, v.ID(), pcs[0])
+	return val
+}
+
+// VolCAS atomically compares-and-swaps a volatile variable. Like VolAdd it
+// emits a single OpVolWrite whether or not the swap happens: a failed CAS
+// still synchronizes (it is an RMW on real hardware), and modeling both
+// outcomes identically keeps traces deterministic across value histories.
+func (x *T) VolCAS(v *Volatile, old, new int64) bool {
+	swapped := x.rt.volVals[v.id] == old
+	if swapped {
+		x.rt.volVals[v.id] = new
+	}
+	var pcs [1]uintptr
+	x.rt.capturePC(&pcs)
+	x.rt.emitPC(x.t, trace.OpVolWrite, v.ID(), pcs[0])
+	return swapped
+}
+
+// WgAdd adds delta (which may be negative) to the barrier's counter,
+// waking group waiters when it reaches zero. The whole read-modify-write
+// is one volatile write event, exactly the static model of
+// sync.WaitGroup.Add. A negative counter aborts the run (a workload bug,
+// as in sync).
+func (x *T) WgAdd(w *WaitGroup, delta int64) {
+	rt := x.rt
+	val := rt.volVals[w.v.id] + delta
+	if val < 0 {
+		rt.fail("T%d drops group %s counter below zero", x.t.id, w.v.name)
+	}
+	rt.volVals[w.v.id] = val
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpVolWrite, w.v.ID(), pcs[0])
+	if val == 0 {
+		rt.wakeGroupWaiters(w.v.id)
+	}
+}
+
+// WgDone lowers the barrier's counter by one.
+func (x *T) WgDone(w *WaitGroup) { x.WgAdd(w, -1) }
+
+// WgWait blocks until the barrier's counter is zero. The release traces
+// as a single target-less OpSelect — a pure scheduling boundary, like the
+// static model's treatment of sync.WaitGroup.Wait. It deliberately emits
+// no lock or volatile op: a barrier provides ordering for the scheduler,
+// not mutual exclusion, and OpWait's trace validity rule (the target lock
+// must be held) rules that op out for a lock-free wait.
+func (x *T) WgWait(w *WaitGroup) {
+	rt := x.rt
+	for rt.volVals[w.v.id] != 0 {
+		rt.blockOn(x.t, waitGroup, w.v.id)
+	}
+	var pcs [1]uintptr
+	rt.capturePC(&pcs)
+	rt.emitPC(x.t, trace.OpSelect, 0, pcs[0])
 }
 
 // Acquire takes the lock, blocking while another thread holds it. Locks are

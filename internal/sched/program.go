@@ -39,6 +39,7 @@ type Program struct {
 
 type objDef struct {
 	name string
+	init int64
 }
 
 type condDef struct {
@@ -68,6 +69,16 @@ func (p *Program) Var(name string) *Var {
 	return &Var{id: uint64(len(p.vars) - 1), name: name}
 }
 
+// VarInit declares a plain shared variable with a non-zero initial value.
+// The initial value is pre-run state, not an event: runs start with the
+// variable already set and no write appears in the trace — the shape of a
+// package-level initializer in translated source.
+func (p *Program) VarInit(name string, init int64) *Var {
+	v := p.Var(name)
+	p.vars[v.id].init = init
+	return v
+}
+
 // Vars declares n variables named prefix0..prefix{n-1}, for array-like
 // shared state (matrix rows, per-bucket slots, ...).
 func (p *Program) Vars(prefix string, n int) []*Var {
@@ -84,6 +95,14 @@ func (p *Program) Vars(prefix string, n int) []*Var {
 func (p *Program) Volatile(name string) *Volatile {
 	p.volatiles = append(p.volatiles, objDef{name: name})
 	return &Volatile{id: uint64(len(p.volatiles) - 1), name: name}
+}
+
+// VolatileInit declares a volatile variable with a non-zero initial
+// value; like VarInit, the initial value produces no event.
+func (p *Program) VolatileInit(name string, init int64) *Volatile {
+	v := p.Volatile(name)
+	p.volatiles[v.id].init = init
+	return v
 }
 
 // Mutex declares a reentrant lock (Java monitor semantics).
@@ -127,6 +146,17 @@ func (p *Program) Chans(prefix string, n, capacity int) []*Chan {
 		out[i] = p.Chan(fmt.Sprintf("%s%d", prefix, i), capacity)
 	}
 	return out
+}
+
+// WaitGroup declares a fork-join barrier: a counter threads raise and
+// lower with WgAdd/WgDone and a blocking WgWait that releases when it
+// hits zero. The counter is stored as a hidden volatile, so WgAdd/WgDone
+// trace as single volatile writes and the barrier never introduces
+// guard-grade synchronization — matching the static pass's abstract
+// model of sync.WaitGroup, which translated programs lower onto this
+// primitive.
+func (p *Program) WaitGroup(name string) *WaitGroup {
+	return &WaitGroup{v: p.Volatile(name)}
 }
 
 // Var is a handle to a plain shared variable.
@@ -183,6 +213,18 @@ func (c *Cond) Name() string { return c.name }
 
 // Mutex returns the guarding lock.
 func (c *Cond) Mutex() *Mutex { return c.mutex }
+
+// WaitGroup is a handle to a fork-join barrier (see Program.WaitGroup).
+type WaitGroup struct {
+	v *Volatile
+}
+
+// Name returns the declared name.
+func (w *WaitGroup) Name() string { return w.v.name }
+
+// Counter returns the underlying volatile carrying the count, whose ID is
+// the trace Target of the barrier's add/done writes.
+func (w *WaitGroup) Counter() *Volatile { return w.v }
 
 // Chan is a handle to a declared channel.
 type Chan struct {

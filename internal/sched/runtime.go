@@ -241,6 +241,7 @@ const (
 	waitChanSend
 	waitChanRecv
 	waitChanSelect
+	waitGroup
 )
 
 type thread struct {
@@ -257,6 +258,11 @@ type thread struct {
 	// watching; any state change on one of them wakes the thread to
 	// re-evaluate readiness. Cleared when the select commits.
 	selWatch []uint64
+	// locOverride, when >= 0, replaces PC-based location capture for every
+	// op this thread emits (T.At). Translated programs (internal/cooptrans)
+	// use it to attribute events to the original source's coordinates
+	// instead of the interpreter's call sites.
+	locOverride trace.LocID
 }
 
 type mutexState struct {
@@ -399,6 +405,14 @@ func Run(p *Program, opts Options) (*Result, error) {
 	for i := range rt.chs {
 		rt.chs[i].cap = p.chans[i].cap
 	}
+	// Declared initial values are pre-run state, not events: nothing is
+	// emitted for them (translated package-level initializers rely on this).
+	for i := range rt.vals {
+		rt.vals[i] = p.vars[i].init
+	}
+	for i := range rt.volVals {
+		rt.volVals[i] = p.volatiles[i].init
+	}
 	rt.symbols = &Symbols{
 		Vars:      names(p.vars),
 		Volatiles: names(p.volatiles),
@@ -499,11 +513,12 @@ func chanNames(defs []chanDef) []string {
 // immediately awaiting its first turn.
 func (rt *Runtime) spawn(name string, fn Proc) *thread {
 	t := &thread{
-		id:     trace.TID(len(rt.threads)),
-		name:   name,
-		proc:   fn,
-		resume: make(chan struct{}),
-		state:  stateRunnable,
+		id:          trace.TID(len(rt.threads)),
+		name:        name,
+		proc:        fn,
+		resume:      make(chan struct{}),
+		state:       stateRunnable,
+		locOverride: locNone,
 	}
 	rt.threads = append(rt.threads, t)
 	rt.symbols.Threads = append(rt.symbols.Threads, name)
@@ -698,6 +713,8 @@ func (rt *Runtime) deadlockError() error {
 			fmt.Fprintf(&b, " T%d(%s) blocked in wait;", t.id, t.name)
 		case waitJoin:
 			fmt.Fprintf(&b, " T%d(%s) blocked joining T%d;", t.id, t.name, t.waitID)
+		case waitGroup:
+			fmt.Fprintf(&b, " T%d(%s) blocked in group wait on %s;", t.id, t.name, rt.symbols.VarName(volatileBase+t.waitID))
 		case waitChanSend:
 			fmt.Fprintf(&b, " T%d(%s) blocked sending on chan %s;", t.id, t.name, rt.symbols.ChanName(t.waitID))
 		case waitChanRecv:
@@ -854,12 +871,25 @@ func (rt *Runtime) wakeLockWaiters(lockID uint64) {
 	}
 }
 
+func (rt *Runtime) wakeGroupWaiters(volID uint64) {
+	for _, t := range rt.threads {
+		if t.state == stateBlocked && t.waitOn == waitGroup && t.waitID == volID {
+			t.state = stateRunnable
+		}
+	}
+}
+
 // locNone suppresses location capture for runtime-internal events.
 const locNone trace.LocID = -1
 
 // emitPC is the op-method entry to emit: it resolves a raw call-site PC
-// (from capturePC) against the location cache and records the event.
+// (from capturePC) against the location cache and records the event. A
+// thread-level location override (T.At) wins over PC capture entirely.
 func (rt *Runtime) emitPC(t *thread, op trace.Op, target uint64, pc uintptr) {
+	if t.locOverride != locNone {
+		rt.emit(t, op, target, t.locOverride)
+		return
+	}
 	var loc trace.LocID
 	if pc != 0 {
 		if rt.opts.LegacyLocations {

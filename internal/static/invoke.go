@@ -187,6 +187,20 @@ func (it *interp) intrinsic(f *types.Func, act action, call *ast.CallExpr, recvE
 		return binding{}
 	}
 
+	// RWMutex.RLocker() returns a read-side view of the same lock. The
+	// result keeps the RWMutex's identity but demoted to a multi class:
+	// many readers hold it concurrently, so Lock/Unlock through the
+	// returned Locker must never establish a guard.
+	if act.kind == actPure && f.Name() == "RLocker" && recvNamed(f) == "RWMutex" {
+		it.evalArgs(call)
+		if recvB.kind == bindKey && recvB.key.valid() {
+			k := recvB.key
+			k.multi = true
+			return binding{kind: bindKey, key: k}
+		}
+		return binding{}
+	}
+
 	switch act.kind {
 	case actPure:
 		it.evalArgs(call)
@@ -340,6 +354,9 @@ func (it *interp) create(kind creatorKind, call *ast.CallExpr) binding {
 			it.an.fields.set(k, "mutex", args[1])
 		}
 		return binding{kind: bindKey, key: k}
+	case createWaitGroup:
+		// The barrier's identity is its hidden volatile counter.
+		return binding{kind: bindKey, key: freshKey(kindVolatile, it.inst, pos, "wg:"+name, multi)}
 	case createChan:
 		return binding{kind: bindKey, key: freshKey(kindOpaque, it.inst, pos, "chan:"+name, multi)}
 	case createChans:

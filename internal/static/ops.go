@@ -41,8 +41,9 @@ const (
 	createMutex
 	createMutexes
 	createCond
-	createChan  // p.Chan(name, cap)
-	createChans // p.Chans(prefix, n, cap) -> slice, elements multi
+	createChan      // p.Chan(name, cap)
+	createChans     // p.Chans(prefix, n, cap) -> slice, elements multi
+	createWaitGroup // p.WaitGroup(name)
 )
 
 // action is the interpretation of one call expression.
@@ -91,7 +92,9 @@ func schedAction(f *types.Func) (action, bool) {
 	switch recv {
 	case "T":
 		switch name {
-		case "ID", "Name":
+		case "ID", "Name", "At":
+			// At only redirects location capture; it has no scheduling or
+			// memory effect of its own.
 			return action{kind: actPure}, true
 		case "Read":
 			return action{kind: actOp, op: trace.OpRead, target: 0}, true
@@ -99,7 +102,9 @@ func schedAction(f *types.Func) (action, bool) {
 			return action{kind: actOp, op: trace.OpWrite, target: 0}, true
 		case "VolRead":
 			return action{kind: actOp, op: trace.OpVolRead, target: 0}, true
-		case "VolWrite":
+		case "VolWrite", "VolAdd", "VolCAS":
+			// The RMW variants emit a single volatile write at runtime
+			// (see sched.T.VolAdd), matching this one-op static model.
 			return action{kind: actOp, op: trace.OpVolWrite, target: 0}, true
 		case "Acquire":
 			return action{kind: actOp, op: trace.OpAcquire, target: 0, guardGrade: true}, true
@@ -119,6 +124,13 @@ func schedAction(f *types.Func) (action, bool) {
 			return action{kind: actOp, op: trace.OpRecv, target: 0}, true
 		case "Close":
 			return action{kind: actOp, op: trace.OpClose, target: 0}, true
+		case "WgAdd", "WgDone":
+			// Single volatile write on the barrier's counter (see
+			// sched.T.WgAdd), matching syncAction's WaitGroup.Add model.
+			return action{kind: actOp, op: trace.OpVolWrite, target: 0}, true
+		case "WgWait":
+			// The barrier release traces as a target-less OpSelect boundary.
+			return action{kind: actOp, op: trace.OpSelect, target: -2}, true
 		case "Select", "SelectDefault":
 			// The case set is dynamic; statically a select is one scheduling
 			// choice point, target-less like Yield. Under the default policy
@@ -139,11 +151,11 @@ func schedAction(f *types.Func) (action, bool) {
 		switch name {
 		case "Name":
 			return action{kind: actPure}, true
-		case "Var":
+		case "Var", "VarInit":
 			return action{kind: actCreator, creator: createVar}, true
 		case "Vars":
 			return action{kind: actCreator, creator: createVars}, true
-		case "Volatile":
+		case "Volatile", "VolatileInit":
 			return action{kind: actCreator, creator: createVolatile}, true
 		case "Mutex":
 			return action{kind: actCreator, creator: createMutex}, true
@@ -155,12 +167,19 @@ func schedAction(f *types.Func) (action, bool) {
 			return action{kind: actCreator, creator: createChan}, true
 		case "Chans":
 			return action{kind: actCreator, creator: createChans}, true
+		case "WaitGroup":
+			return action{kind: actCreator, creator: createWaitGroup}, true
 		case "SetMain":
 			return action{kind: actSetMain, fnArg: 0}, true
 		}
 	case "Var", "Volatile", "Mutex":
 		switch name {
 		case "ID", "Name":
+			return action{kind: actPure}, true
+		}
+	case "WaitGroup":
+		switch name {
+		case "Name", "Counter":
 			return action{kind: actPure}, true
 		}
 	case "Cond":
@@ -232,6 +251,18 @@ func syncAction(f *types.Func) (action, bool) {
 			return action{kind: actOp, op: trace.OpWait, target: -1}, true
 		case "Signal", "Broadcast":
 			return action{kind: actOp, op: trace.OpNotify, target: -1}, true
+		}
+	case "Locker":
+		// sync.Locker interface calls: the dynamic type is unknown, so the
+		// lock may be a read-side RLocker view — acquisition cannot count as
+		// a guard. The identity still resolves through the receiver value
+		// (an RLocker result carries its RWMutex's key, demoted multi; see
+		// invoke.go intrinsic handling of RLocker).
+		switch name {
+		case "Lock":
+			return action{kind: actOp, op: trace.OpAcquire, target: -1}, true
+		case "Unlock":
+			return action{kind: actOp, op: trace.OpRelease, target: -1}, true
 		}
 	case "Once":
 		if name == "Do" {

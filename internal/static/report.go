@@ -84,12 +84,17 @@ type Stats struct {
 
 // Report is the full, deterministic result of one analysis run.
 type Report struct {
-	Dirs       []string     `json:"dirs"`
-	Funcs      []FuncReport `json:"funcs"`
-	Findings   []Finding    `json:"findings,omitempty"`
-	SpecDiags  []SpecDiag   `json:"spec_diags,omitempty"`
-	TypeErrors int          `json:"type_errors,omitempty"`
-	Stats      Stats        `json:"stats"`
+	Dirs      []string     `json:"dirs"`
+	Funcs     []FuncReport `json:"funcs"`
+	Findings  []Finding    `json:"findings,omitempty"`
+	SpecDiags []SpecDiag   `json:"spec_diags,omitempty"`
+	// Warnings are the loader's collected type-check and import errors.
+	// Analysis continues past them, but affected functions degrade to
+	// unknown verdicts — surfacing the cause here keeps that degradation
+	// from being silent.
+	Warnings   []string `json:"warnings,omitempty"`
+	TypeErrors int      `json:"type_errors,omitempty"`
+	Stats      Stats    `json:"stats"`
 }
 
 // WriteJSON emits the machine-readable form.
@@ -101,6 +106,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // WriteText emits the human-readable form.
 func (r *Report) WriteText(w io.Writer) error {
+	for _, warn := range r.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
 	for _, f := range r.Funcs {
 		if f.Verdict == VerdictYieldFree && len(f.Findings) == 0 {
 			continue

@@ -1,0 +1,92 @@
+package static
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Reader/writer lock mover policy: read-side acquisitions (RLock,
+// RLocker().Lock, TryLock) never provide guards, so a class written
+// under the write lock and read under a read lock is racy for the
+// writer, while a class that only ever sees the write lock stays
+// guarded.
+func TestRWMutexReaderSideDemotesGuard(t *testing.T) {
+	rep := analyze(t, "testdata/rwmutex")
+	cases := map[string]Verdict{
+		// Written under Lock, read under RLock: racy, so the increment is
+		// read(non) + write(non).
+		"rwmutex.Gauge.Bump": VerdictNeedsYields,
+		// One racy read between acquire and release is still reducible.
+		"rwmutex.Gauge.Peek": VerdictYieldFree,
+		// Write lock on both sides: the guard holds.
+		"rwmutex.Strict.Add":  VerdictYieldFree,
+		"rwmutex.Strict.View": VerdictYieldFree,
+		// RLocker view demotes the guard exactly like a direct RLock.
+		"rwmutex.Viewer.Set":  VerdictNeedsYields,
+		"rwmutex.Viewer.Scan": VerdictYieldFree,
+		// TryLock can fail, so its acquisition guards nothing.
+		"rwmutex.Opportunist.Maybe": VerdictNeedsYields,
+	}
+	for name, want := range cases {
+		if got := mustFunc(t, rep, name).Verdict; got != want {
+			t.Errorf("%s: verdict %v, want %v", name, got, want)
+		}
+	}
+}
+
+// The demoted writer's findings must point at the increment, in the
+// shared dynamic location format.
+func TestRWMutexWriterFindingLocations(t *testing.T) {
+	rep := analyze(t, "testdata/rwmutex")
+	for _, name := range []string{"rwmutex.Gauge.Bump", "rwmutex.Viewer.Set"} {
+		f := mustFunc(t, rep, name)
+		if len(f.Findings) == 0 {
+			t.Errorf("%s: no findings", name)
+			continue
+		}
+		for _, fd := range f.Findings {
+			if !strings.HasPrefix(fd.Loc, "rwmutex/rwmutex.go:") {
+				t.Errorf("%s: finding location %q not in rwmutex/rwmutex.go", name, fd.Loc)
+			}
+		}
+	}
+}
+
+// Loader type errors must surface as warnings in both output forms, not
+// silently degrade verdicts to unknown.
+func TestTypeErrorWarningsSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc f() int {\n\treturn undefinedName\n}\n"
+	if err := os.WriteFile(dir+"/broken.go", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := analyze(t, dir)
+	if len(rep.Warnings) == 0 {
+		t.Fatal("no warnings for a package with type errors")
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "undefinedName") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings %v do not mention undefinedName", rep.Warnings)
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "warning: ") {
+		t.Errorf("text output lacks warning lines:\n%s", text.String())
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"warnings"`) {
+		t.Errorf("JSON output lacks warnings field:\n%s", js.String())
+	}
+}

@@ -104,6 +104,7 @@ type analysis struct {
 	findings  map[string]findingRec
 	roots     []*rootResult
 	typeErrs  int
+	warnings  []string
 }
 
 func (a *analysis) taint(k key, reason string) {
@@ -233,6 +234,7 @@ func Analyze(dirs []string, cfg Config) (*Report, error) {
 		yieldLocs: map[string]bool{},
 		findings:  map[string]findingRec{},
 		typeErrs:  len(l.typeErrs),
+		warnings:  warningStrings(l.typeErrs),
 	}
 	a.collectRoots()
 
@@ -363,7 +365,7 @@ func isStructish(t types.Type) bool {
 
 // report assembles the deterministic result.
 func (a *analysis) report(dirs []string) *Report {
-	rep := &Report{Dirs: dirs, TypeErrors: a.typeErrs}
+	rep := &Report{Dirs: dirs, TypeErrors: a.typeErrs, Warnings: a.warnings}
 
 	var all []findingRec
 	for _, f := range a.findings {

@@ -1,0 +1,109 @@
+// Package rwmutex is a static-analysis test corpus for reader/writer
+// lock recognition: read-side acquisitions block like locks but never
+// establish guards, so data read under RLock and written under Lock is
+// racy for the writer.
+package rwmutex
+
+import "sync"
+
+// Gauge is written under the write lock and read under the read lock.
+// The read side demotes the guard: RLock admits concurrent readers, so
+// mu does not exclude every other access and the class is racy.
+type Gauge struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Bump is needs-yields: n is racy (see Gauge) and the increment is a
+// racy read followed by a racy write — two non-movers in one region.
+func (g *Gauge) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Peek is cooperable as written: a single racy read between a right
+// mover (acquire) and a left mover (release) matches the reducible
+// pattern.
+func (g *Gauge) Peek() int {
+	g.mu.RLock()
+	v := g.n
+	g.mu.RUnlock()
+	return v
+}
+
+// Strict uses the write lock on both sides, so its counter stays
+// guarded and Add is yield-free.
+type Strict struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Add is yield-free-cooperable: every access to n holds the write lock.
+func (s *Strict) Add() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// View also takes the write lock, keeping n's guard intact.
+func (s *Strict) View() int {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+// Viewer goes through RLocker: the returned Locker is a read-side view
+// of mu, so Lock/Unlock on it must not count as a guard even though the
+// calls are spelled like exclusive ones.
+type Viewer struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Set writes under the write lock, but Scan's RLocker reads demote the
+// guard, so the increment is two non-movers.
+func (v *Viewer) Set() {
+	v.mu.Lock()
+	v.n++
+	v.mu.Unlock()
+}
+
+// Scan reads through the RLocker view: cooperable (one racy read inside
+// acquire/release), never a guard provider.
+func (v *Viewer) Scan() int {
+	l := v.mu.RLocker()
+	l.Lock()
+	x := v.n
+	l.Unlock()
+	return x
+}
+
+// Opportunist uses TryLock, which can fail and therefore provides no
+// mutual-exclusion guarantee for guard purposes.
+type Opportunist struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Maybe is needs-yields: the TryLock acquisition is non-guard, so n is
+// unguarded-written and the increment has two racy halves.
+func (o *Opportunist) Maybe() {
+	if o.mu.TryLock() {
+		o.n++
+		o.mu.Unlock()
+	}
+}
+
+// Spawn creates the concurrency that makes the classes above racy.
+func Spawn(g *Gauge, s *Strict, v *Viewer, o *Opportunist) {
+	go func() { g.Bump() }()
+	go func() { _ = g.Peek() }()
+	go func() { s.Add() }()
+	go func() { _ = s.View() }()
+	go func() { v.Set() }()
+	go func() { _ = v.Scan() }()
+	go func() { o.Maybe() }()
+	go func() { o.Maybe() }()
+}
